@@ -1,0 +1,52 @@
+"""Ablations on the reproduction's design choices (see DESIGN.md §5)."""
+
+from repro.bench.experiments.ablations import (
+    failure_detection_sweep,
+    ordering_engine_latency,
+    sequencer_batching,
+    stable_slot_sweep,
+)
+from repro.bench.reporting import format_table
+
+
+def test_ordering_engine_ablation(benchmark, report):
+    rows = benchmark.pedantic(
+        ordering_engine_latency, kwargs={"trials": 10}, rounds=1, iterations=1
+    )
+    table = format_table(rows)
+    report(benchmark, "Ablation: sequencer vs token-ring ordering", table, rows)
+    for row in rows:
+        # The sequencer orders on arrival; the token must rotate to the
+        # sender — strictly worse latency at every group size.
+        assert row["sequencer_ms"] < row["token_ms"]
+
+
+def test_sequencer_batching_ablation(benchmark, report):
+    rows = benchmark.pedantic(sequencer_batching, rounds=1, iterations=1)
+    table = format_table(rows)
+    report(benchmark, "Ablation: ORDER batching delay vs burst delivery", table, rows)
+    times = [row["burst_time_ms"] for row in rows]
+    assert times == sorted(times)  # batching trades burst latency
+
+
+def test_failure_detection_ablation(benchmark, report):
+    rows = benchmark.pedantic(failure_detection_sweep, rounds=1, iterations=1)
+    table = format_table(rows)
+    report(benchmark, "Ablation: suspect timeout vs view-change latency", table, rows)
+    changes = [row["view_change_s"] for row in rows]
+    assert all(v is not None for v in changes)
+    assert changes == sorted(changes)
+    for row in rows:
+        # View change completes within a small multiple of the timeout.
+        assert row["view_change_s"] <= row["suspect_timeout_s"] * 3 + 0.5
+
+
+def test_stable_slot_ablation(benchmark, report):
+    rows = benchmark.pedantic(stable_slot_sweep, rounds=1, iterations=1)
+    table = format_table(rows)
+    report(benchmark, "Ablation: deferred-ack slot vs jsub latency", table, rows)
+    latencies = [row["jsub_ms"] for row in rows]
+    # The slot is the dominant per-head latency knob: monotone (within a
+    # small tolerance for the slot<=base region where the base gates).
+    assert latencies[-1] > latencies[0]
+    assert latencies[-1] - latencies[0] > 50

@@ -1,0 +1,41 @@
+"""Figure 11 — job submission throughput (time to enqueue 10/50/100 jobs).
+
+Paper: TORQUE 0.93/4.95/10.18 s; JOSHUA 1 head 1.32/6.48/14.08 s rising to
+3.62/17.65/33.32 s at 4 heads — i.e. throughput cost scales linearly in
+batch size and grows with head count, but "adding 100 jobs to the job
+queue in 33 s for a 4 head node system is an acceptable trade-off".
+"""
+
+from repro.bench.experiments.throughput import PAPER_FIGURE11, figure11
+from repro.bench.reporting import format_table
+
+
+def test_figure11_throughput(benchmark, report):
+    rows = benchmark.pedantic(figure11, rounds=1, iterations=1)
+    columns = ["system", "heads"] + [
+        c for c in rows[0] if c.startswith(("measured", "paper"))
+    ]
+    table = format_table(rows, columns)
+    report(benchmark, "Figure 11: job submission throughput", table, rows)
+
+    by_config = {(r["system"], r["heads"]): r for r in rows}
+    # Linear in batch size: 100 jobs ~ 10x the 10-job time (sequential client).
+    for config, row in by_config.items():
+        ratio = row["measured_100_s"] / row["measured_10_s"]
+        assert 8.0 <= ratio <= 12.0, (config, ratio)
+    # Grows with head count for every batch size.
+    for jobs in (10, 50, 100):
+        series = [by_config[("JOSHUA/TORQUE", n)][f"measured_{jobs}_s"] for n in (1, 2, 3, 4)]
+        assert series == sorted(series)
+    # TORQUE beats JOSHUA at equal head count (replication is not free).
+    assert (
+        by_config[("TORQUE", 1)]["measured_100_s"]
+        < by_config[("JOSHUA/TORQUE", 1)]["measured_100_s"]
+    )
+    # Absolute numbers within 2x of the paper everywhere.
+    for (system, heads), paper_row in PAPER_FIGURE11.items():
+        for jobs, paper_s in paper_row.items():
+            measured = by_config[(system, heads)][f"measured_{jobs}_s"]
+            assert 0.5 <= measured / paper_s <= 2.0, (system, heads, jobs, measured)
+    # The paper's headline: 100 jobs on 4 heads in ~33 s.
+    assert by_config[("JOSHUA/TORQUE", 4)]["measured_100_s"] < 50.0

@@ -1,0 +1,49 @@
+"""Figure 12 — availability / downtime per year for 1-4 head nodes.
+
+Paper (MTTF 5000 h, MTTR 72 h): 98.6 % / 99.98 % / 99.9997 % / 99.999996 %
+with downtimes 5d 4h 21min / 1h 45min / 1min 30s / 1s. The analytic table
+must match exactly (same equations); the Monte-Carlo cross-check must agree
+with the analytic values within sampling error.
+"""
+
+from repro.bench.experiments.availability import (
+    PAPER_FIGURE12,
+    figure12,
+    figure12_empirical,
+)
+from repro.bench.reporting import format_table
+
+
+def test_figure12_analytic(benchmark, report):
+    rows = benchmark.pedantic(figure12, rounds=1, iterations=1)
+    table = format_table(rows)
+    report(benchmark, "Figure 12 (analytic): availability/downtime per year", table, rows)
+
+    for row in rows:
+        paper_pct, paper_nines, paper_downtime = PAPER_FIGURE12[row["nodes"]]
+        assert row["nines"] == paper_nines
+        assert row["downtime"] == paper_downtime
+        # Availability agrees at the paper's printed precision.
+        printed = round(row["availability_pct"], max(1, paper_nines + 1))
+        assert abs(printed - paper_pct) < 10 ** (-(paper_nines - 1)) or printed == paper_pct
+
+
+def test_figure12_monte_carlo(benchmark, report):
+    rows = benchmark.pedantic(
+        figure12_empirical,
+        kwargs={"max_nodes": 3, "horizon_years": 3000.0},
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(rows)
+    report(benchmark, "Figure 12 (Monte-Carlo cross-check)", table, rows)
+
+    for row in rows:
+        if row["nodes"] <= 2:
+            # Plenty of events: tight agreement.
+            assert abs(row["empirical_pct"] - row["analytic_pct"]) < 0.05
+        else:
+            # Triple overlaps are rare; demand the right order of magnitude.
+            emp_down = 100.0 - row["empirical_pct"]
+            ana_down = 100.0 - row["analytic_pct"]
+            assert emp_down < ana_down * 20 + 1e-6

@@ -1,0 +1,43 @@
+"""HA model comparison — the quantitative version of the paper's §2.
+
+Identical Poisson workload and head-node crash across the four models.
+Expected ordering (the paper's qualitative claims):
+
+* downtime: single >> active/standby > asymmetric > symmetric (~0);
+* symmetric loses nothing and restarts nothing;
+* failover-based models restart running applications;
+* the single head rejects submissions for the whole repair window.
+"""
+
+from repro.bench.experiments.models import compare_models
+from repro.bench.reporting import format_table
+
+
+def test_ha_model_comparison(benchmark, report):
+    rows = benchmark.pedantic(compare_models, rounds=1, iterations=1)
+    table = format_table(rows)
+    report(benchmark, "HA model comparison (identical workload + fault)", table, rows)
+
+    by_model = {row["model"]: row for row in rows}
+    single = by_model["single"]
+    standby = by_model["active_standby"]
+    symmetric = by_model["symmetric"]
+
+    # Symmetric active/active: continuous availability, no losses.
+    assert symmetric["downtime_s"] == 0.0
+    assert symmetric["lost"] == 0
+    assert symmetric["restarted"] == 0
+    assert symmetric["submit_failures"] == 0
+
+    # The single head is down for the whole repair window.
+    assert single["downtime_s"] > 30.0
+    assert single["submit_failures"] > 0
+
+    # Failover shortens the outage by an order of magnitude but does not
+    # eliminate it, and it restarts the running application.
+    assert 1.0 < standby["downtime_s"] < single["downtime_s"] / 3
+    assert standby["restarted"] >= 1
+
+    # Every model eventually completes what it kept.
+    for row in rows:
+        assert row["completed"] == row["submitted"] - row["lost"]

@@ -1,0 +1,49 @@
+"""Extension experiment: replicated PVFS metadata server latency.
+
+The paper's follow-on claim quantified: the universal active/active wrapper
+replicates the PVFS MDS, and — like JOSHUA's Figure 10 — the price is
+metadata-operation latency that grows with replica count while availability
+grows with Figure 12's parallel redundancy. This bench produces the
+Figure-10-analogue for the metadata service.
+"""
+
+from repro.bench.reporting import format_table
+from repro.cluster.cluster import Cluster
+from repro.pvfs import PVFSClient, build_replicated_mds
+
+
+def measure_mds_latency(replicas: int, *, operations: int = 20, seed: int = 3) -> dict:
+    cluster = Cluster(head_count=replicas, compute_count=0, login_node=True, seed=seed)
+    mds = build_replicated_mds(cluster)
+    client = PVFSClient(cluster.network, "login", mds.addresses())
+    kernel = cluster.kernel
+    cluster.run(until=0.5)
+    samples = []
+
+    def workload():
+        for index in range(operations):
+            start = kernel.now
+            yield from client.create(f"/f{index}")
+            samples.append(kernel.now - start)
+
+    process = kernel.spawn(workload())
+    cluster.run(until=process)
+    mean_ms = 1000 * sum(samples) / len(samples)
+    return {"replicas": replicas, "create_ms": round(mean_ms, 2)}
+
+
+def test_pvfs_replicated_latency(benchmark, report):
+    def run():
+        return [measure_mds_latency(n) for n in (1, 2, 3, 4)]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(rows)
+    report(benchmark, "Extension: replicated PVFS MDS create latency", table, rows)
+
+    latencies = [row["create_ms"] for row in rows]
+    # Replication costs latency, monotonically...
+    assert latencies == sorted(latencies)
+    # ...but stays in interactive metadata territory even at 4 replicas.
+    assert latencies[-1] < 100.0
+    # And a single replica is close to the bare round trip.
+    assert latencies[0] < 25.0

@@ -1,0 +1,25 @@
+"""pytest-benchmark configuration for the reproduction benches.
+
+Every bench regenerates one of the paper's tables/figures inside the
+deterministic simulator. pytest-benchmark times the *simulation run*
+(useful as a performance regression guard); the scientific output — the
+paper-vs-measured rows — is printed and attached to ``extra_info`` so it
+lands in ``--benchmark-json`` exports.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def emit(benchmark, title: str, table: str, rows) -> None:
+    """Print a result table and attach the rows to the benchmark record."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{table}\n")
+    benchmark.extra_info["rows"] = rows
+
+
+@pytest.fixture
+def report():
+    return emit

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: a highly available job queue that shrugs off a head crash.
+
+Builds the paper's testbed — two JOSHUA head nodes, two compute nodes —
+submits a stream of jobs, kills a head node mid-stream, and shows that:
+
+* submissions keep succeeding (continuous availability),
+* no job is lost and none restarts (no loss of state),
+* every job executes exactly once (the jmutex prologue),
+* the surviving replica's queue is complete and consistent.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import Cluster
+from repro.joshua import build_joshua_stack
+from repro.pbs.job import JobState
+
+
+def main() -> None:
+    # 1. Build the cluster: 2 head nodes, 2 compute nodes, 1 login node,
+    #    all on one simulated Fast-Ethernet LAN.
+    cluster = Cluster(head_count=2, compute_count=2, login_node=True, seed=2006)
+    stack = build_joshua_stack(cluster)
+    kernel = cluster.kernel
+    print(f"deployed JOSHUA on heads {stack.head_names}, "
+          f"moms on {[c.name for c in cluster.computes]}")
+
+    # 2. A user on the login node submits jobs with jsub (a drop-in qsub).
+    client = stack.client(node="login")
+    submitted = []
+
+    def user_session():
+        for index in range(6):
+            job_id = yield from client.jsub(name=f"sim-{index}", walltime=3.0)
+            submitted.append(job_id)
+            print(f"[t={kernel.now:7.2f}s] jsub -> {job_id}")
+            yield kernel.timeout(2.0)
+
+    session = kernel.spawn(user_session())
+
+    # 3. Halfway through, head0 dies (cable unplugged / kernel panic).
+    def disaster():
+        yield kernel.timeout(6.5)
+        print(f"[t={kernel.now:7.2f}s] *** head0 crashes ***")
+        cluster.node("head0").crash()
+
+    kernel.spawn(disaster())
+
+    # 4. Let the session finish and every job run to completion.
+    cluster.run(until=session)
+    cluster.run(until=60.0)
+
+    # 5. Inspect the surviving replica.
+    survivor = stack.pbs("head1")
+    print(f"\nsubmitted {len(submitted)} jobs; surviving head1 sees:")
+    runs = sum(stack.mom(c.name).stats["runs"] for c in cluster.computes)
+    for job_id in submitted:
+        job = survivor.jobs.get(job_id)
+        print(f"  {job_id}: state={job.state.value} "
+              f"exit={job.exit_status} run_count={job.run_count}")
+        assert job.state is JobState.COMPLETE
+        assert job.run_count == 1, "no application restarted"
+    assert runs == len(submitted), "each job executed exactly once"
+    print(f"\nall {len(submitted)} jobs completed exactly once, "
+          "zero downtime, zero restarts — despite losing a head node.")
+
+
+if __name__ == "__main__":
+    main()

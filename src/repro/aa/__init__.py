@@ -1,0 +1,32 @@
+"""Generic symmetric active/active replication for deterministic services.
+
+The paper's §3 presents a *universal* architecture (Figures 5-7): any
+deterministic service can be made continuously available by wrapping it in
+a virtually synchronous environment — intercept its interface, totally
+order the state-changing requests through a group communication system,
+execute them at every replica, and deliver output exactly once. JOSHUA is
+that architecture specialised to the PBS interface; §1 and §6 name the PVFS
+metadata server as the next target ("the generic symmetric active/active
+high availability model our approach is based on is applicable to any
+deterministic HPC system service, such as the metadata server of the
+parallel virtual file system").
+
+:class:`~repro.aa.replicated.ReplicatedService` is that universal wrapper,
+extracted as a reusable component:
+
+* client requests carry UUIDs; replicas multicast them with SAFE service,
+  execute them in delivery order through a *backend driver* the service
+  plugs in, and the contacted replica relays the output — exactly once
+  across client retries and failovers;
+* joins use the marker-cut protocol (pin a point in the command stream,
+  transfer a backend snapshot as of that point, execute only post-cut
+  commands);
+* leaves and failures are handled by the group membership layer.
+
+:mod:`repro.pvfs` applies it to a PVFS-like metadata server, completing
+the paper's stated follow-on.
+"""
+
+from repro.aa.replicated import ReplicatedService, BackendDriver
+
+__all__ = ["ReplicatedService", "BackendDriver"]

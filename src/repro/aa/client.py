@@ -1,0 +1,75 @@
+"""Client for generic replicated services: UUID retries + replica failover."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator
+
+from repro.aa.replicated import ReplRequest, ReplResult
+from repro.net.address import Address
+from repro.net.network import Network
+from repro.pbs.wire import RpcTimeout, rpc_call
+from repro.util.errors import NoActiveHeadError, ReproError
+
+__all__ = ["ReplicatedClient", "ServiceError"]
+
+_UUID = itertools.count(1)
+
+
+class ServiceError(ReproError):
+    """The replicated backend rejected the request (deterministically —
+    every replica produced the same error)."""
+
+
+class ReplicatedClient:
+    """Issues exactly-once requests against any replica of a service."""
+
+    def __init__(
+        self,
+        network: Network,
+        node: str,
+        replicas: list[Address],
+        *,
+        timeout: float = 3.0,
+        prefer: Address | None = None,
+    ):
+        if not replicas:
+            raise NoActiveHeadError("no replicas configured")
+        self.network = network
+        self.node = node
+        self.replicas = list(replicas)
+        self.timeout = timeout
+        self.prefer = prefer
+        self.stats = {"failovers": 0}
+
+    def _ordered(self) -> list[Address]:
+        replicas = list(self.replicas)
+        if self.prefer in replicas:
+            replicas.remove(self.prefer)
+            replicas.insert(0, self.prefer)
+        return replicas
+
+    def call(self, payload: Any) -> Generator:
+        """One request; returns the backend result value."""
+        request = ReplRequest(f"req-{self.node}-{next(_UUID)}", payload)
+        last: Exception | None = None
+        for replica in self._ordered():
+            if not self.network.node_is_up(replica.node):
+                self.stats["failovers"] += 1
+                continue
+            try:
+                result: ReplResult = yield from rpc_call(
+                    self.network, self.node, replica, request,
+                    timeout=self.timeout, retries=0,
+                )
+            except RpcTimeout as exc:
+                last = exc
+                self.stats["failovers"] += 1
+                continue
+            if result.error == "joining":
+                self.stats["failovers"] += 1
+                continue
+            if result.error is not None:
+                raise ServiceError(result.error)
+            return result.value
+        raise NoActiveHeadError(f"no replica answered: {last}")

@@ -1,0 +1,291 @@
+"""The universal external-replication wrapper (paper §3, Figures 5/7).
+
+:class:`ReplicatedService` turns any *deterministic* backend into a
+symmetric active/active service. The backend is supplied as a
+:class:`BackendDriver` with three coroutines:
+
+``execute(payload) -> result``
+    Apply one state-changing (or read-only) request. Must be
+    deterministic: same request sequence ⇒ same state and same results at
+    every replica.
+``snapshot() -> state``
+    Capture the full backend state (for join-time transfer).
+``restore(state)``
+    Replace the backend state with a snapshot.
+
+The wrapper supplies everything else: SAFE-multicast ordering, serial
+execution, exactly-once output (UUID-keyed result caching across client
+retries/failovers), and the marker-cut join protocol. JOSHUA
+(:mod:`repro.joshua`) is historically the same pattern hand-specialised to
+the PBS interface plus the launch mutual exclusion PBS needs; new services
+(like the PVFS metadata server in :mod:`repro.pvfs`) build on this class
+directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator, Protocol
+
+from repro.cluster.daemon import Daemon
+from repro.gcs.config import GroupConfig
+from repro.gcs.member import GroupMember
+from repro.gcs.messages import SAFE, DeliveredMessage
+from repro.gcs.view import View
+from repro.net.address import Address
+from repro.sim.resources import Store
+from repro.util.errors import JoshuaError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+
+__all__ = ["BackendDriver", "ReplicatedService", "ReplRequest", "ReplResult"]
+
+_MARKER_COUNTER = itertools.count(1)
+
+
+class BackendDriver(Protocol):
+    """What a service must provide to be replicated."""
+
+    def execute(self, payload: Any) -> Generator:  # pragma: no cover - protocol
+        ...
+
+    def snapshot(self) -> Generator:  # pragma: no cover - protocol
+        ...
+
+    def restore(self, state: Any) -> Generator:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class ReplRequest:
+    """Client -> replica: one request with its exactly-once identity."""
+
+    uuid: str
+    payload: Any
+
+
+@dataclass(frozen=True)
+class ReplResult:
+    uuid: str
+    value: Any
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class _Cmd:
+    uuid: str
+    payload: Any
+
+
+@dataclass(frozen=True)
+class _Marker:
+    uuid: str
+    joiner: Address
+
+
+@dataclass(frozen=True)
+class _Snapshot:
+    marker_uuid: str
+    state: Any
+
+
+class ReplicatedService(Daemon):
+    """One replica of a generic active/active service.
+
+    Parameters
+    ----------
+    node:
+        Hosting node.
+    name:
+        Service name (log tag / daemon key).
+    driver:
+        The deterministic backend driver.
+    port / gcs_port:
+        Client-facing RPC port and the group-communication port.
+    initial_members / contacts:
+        Node names for static bootstrap vs. live join (exactly one).
+    group_config:
+        Group communication tuning.
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        name: str,
+        driver: BackendDriver,
+        *,
+        port: int,
+        gcs_port: int,
+        initial_members: list[str] | None = None,
+        contacts: list[str] | None = None,
+        group_config: GroupConfig = GroupConfig(),
+    ):
+        super().__init__(node, name, port)
+        if (initial_members is None) == (contacts is None):
+            raise JoshuaError("exactly one of initial_members/contacts required")
+        self.driver = driver
+        self.gcs_port = gcs_port
+        self.initial_members = list(initial_members or [])
+        self.contacts = list(contacts or [])
+        self.group = GroupMember(
+            node.network.bind(node.name, gcs_port),
+            group_config,
+            on_deliver=self._on_deliver,
+            on_view=self._on_view,
+        )
+        self.active = False
+        self.results: dict[str, ReplResult] = {}
+        self._pending: dict[str, list[tuple[Address, int]]] = {}
+        self._multicast_uuids: set[str] = set()
+        self._queue: Store = Store(self.kernel)
+        self._syncing_marker: str | None = None
+        self._marker_seen = False
+        self._snapshots: dict[str, _Snapshot] = {}
+        self._snapshot_waiters: dict[str, object] = {}
+        self._applied: set[str] = set()
+        self.stats = {"requests": 0, "executed": 0, "snapshots_served": 0}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.spawn(self._executor(), name=f"{self.tag}-executor")
+        if self.initial_members:
+            self.group.boot([Address(n, self.gcs_port) for n in self.initial_members])
+            self.active = True
+        else:
+            self.group.join([Address(n, self.gcs_port) for n in self.contacts])
+
+    def on_stop(self, *, crashed: bool) -> None:
+        self.group.stop()
+
+    def leave(self) -> None:
+        self.group.leave()
+        self.stop()
+
+    # -- client handling ---------------------------------------------------------
+
+    def run(self):
+        while True:
+            delivery = yield self.endpoint.recv()
+            frame = delivery.payload
+            if not isinstance(frame, tuple) or not frame:
+                continue
+            if frame[0] == "RPC" and isinstance(frame[2], ReplRequest):
+                self._handle_request(delivery.src, frame[1], frame[2])
+            elif frame[0] == "SNAP":
+                self._handle_snapshot(frame[1])
+
+    def _reply(self, dst: Address, request_id: int, result: ReplResult) -> None:
+        if self.running and not self.endpoint.closed:
+            self.endpoint.send(dst, ("RPC-R", request_id, result))
+
+    def _handle_request(self, src: Address, request_id: int, request: ReplRequest) -> None:
+        if not self.active:
+            self._reply(src, request_id, ReplResult(request.uuid, None, "joining"))
+            return
+        if request.uuid in self.results:
+            self._reply(src, request_id, self.results[request.uuid])
+            return
+        self._pending.setdefault(request.uuid, []).append((src, request_id))
+        if request.uuid in self._multicast_uuids:
+            return
+        self._multicast_uuids.add(request.uuid)
+        self.stats["requests"] += 1
+        self.group.multicast(_Cmd(request.uuid, request.payload), service=SAFE)
+
+    # -- delivery / execution ---------------------------------------------------------
+
+    def _on_deliver(self, msg: DeliveredMessage) -> None:
+        payload = msg.payload
+        if self._syncing_marker is not None and not self._marker_seen:
+            if not (isinstance(payload, _Marker) and payload.uuid == self._syncing_marker):
+                return
+        if isinstance(payload, (_Cmd, _Marker)):
+            self._queue.put_nowait(payload)
+            if isinstance(payload, _Marker) and payload.uuid == self._syncing_marker:
+                self._marker_seen = True
+
+    def _on_view(self, view: View) -> None:
+        if self._syncing_marker is None and not self.active and self.contacts:
+            marker = _Marker(f"aa-{self.node.name}-{next(_MARKER_COUNTER)}", self.address)
+            self._syncing_marker = marker.uuid
+            self._marker_seen = False
+            self.group.multicast(marker)
+
+    def _executor(self):
+        while True:
+            item = yield self._queue.get()
+            if isinstance(item, _Marker):
+                yield from self._execute_marker(item)
+            elif isinstance(item, _Cmd):
+                if not self.active and self._syncing_marker is not None:
+                    continue  # superseded by a fresh marker's snapshot
+                yield from self._execute_cmd(item)
+
+    def _execute_cmd(self, cmd: _Cmd):
+        if cmd.uuid in self.results:
+            self._answer(cmd.uuid)
+            return
+        try:
+            value = yield from self.driver.execute(cmd.payload)
+            result = ReplResult(cmd.uuid, value)
+        except Exception as exc:  # deterministic application errors
+            result = ReplResult(cmd.uuid, None, f"{type(exc).__name__}: {exc}")
+        self.results[cmd.uuid] = result
+        self.stats["executed"] += 1
+        self._answer(cmd.uuid)
+
+    def _answer(self, uuid: str) -> None:
+        result = self.results.get(uuid)
+        for src, request_id in self._pending.pop(uuid, []):
+            self._reply(src, request_id, result)
+
+    # -- join / snapshot transfer --------------------------------------------------------
+
+    def _execute_marker(self, marker: _Marker):
+        if marker.joiner == self.address:
+            yield from self._receive_snapshot(marker)
+            return
+        view = self.group.view
+        if view is None or not self.active:
+            return
+        others = [m for m in view.members if m.node != marker.joiner.node]
+        if not others or min(others) != self.group.address:
+            return
+        state = yield from self.driver.snapshot()
+        self.stats["snapshots_served"] += 1
+        if not self.endpoint.closed:
+            self.endpoint.send(marker.joiner, ("SNAP", _Snapshot(marker.uuid, state)))
+
+    def _handle_snapshot(self, snapshot: _Snapshot) -> None:
+        self._snapshots[snapshot.marker_uuid] = snapshot
+        waiter = self._snapshot_waiters.pop(snapshot.marker_uuid, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(snapshot)
+
+    def _receive_snapshot(self, marker: _Marker):
+        uuid = marker.uuid
+        if uuid in self._applied or uuid != self._syncing_marker:
+            return
+        if uuid not in self._snapshots:
+            waiter = self.kernel.event()
+            self._snapshot_waiters[uuid] = waiter
+            deadline = self.kernel.timeout(self.group.config.flush_timeout * 4)
+            yield self.kernel.any_of([waiter, deadline])
+            if not waiter.triggered:
+                self._snapshot_waiters.pop(uuid, None)
+                fresh = _Marker(
+                    f"aa-{self.node.name}-{next(_MARKER_COUNTER)}", self.address
+                )
+                self._syncing_marker = fresh.uuid
+                self._marker_seen = False
+                self.group.multicast(fresh)
+                return
+        snapshot = self._snapshots[uuid]
+        self._applied.add(uuid)
+        yield from self.driver.restore(snapshot.state)
+        self._syncing_marker = None
+        self.active = True
+        self.log.info(self.tag, "snapshot transfer complete, replica active")

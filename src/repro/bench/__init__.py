@@ -1,0 +1,33 @@
+"""Benchmark harness: regenerates every table and figure in the paper.
+
+Each experiment module builds the system under test, drives a workload,
+and returns structured rows directly comparable to the paper's figures.
+The ``benchmarks/`` pytest-benchmark suite wraps these (timing the
+simulation itself) and prints paper-vs-measured tables; EXPERIMENTS.md
+records the comparison.
+
+Experiment index
+----------------
+=================  ======================================================
+Figure 10          :func:`repro.bench.experiments.latency.figure10`
+Figure 11          :func:`repro.bench.experiments.throughput.figure11`
+Figure 12          :func:`repro.bench.experiments.availability.figure12`
+HA model compare   :func:`repro.bench.experiments.models.compare_models`
+Ablations          :mod:`repro.bench.experiments.ablations`
+=================  ======================================================
+"""
+
+from repro.bench.workloads import BurstWorkload, PoissonWorkload, TraceWorkload
+from repro.bench.metrics import LatencySample, LatencyStats, summarize
+from repro.bench.reporting import format_table, paper_vs_measured
+
+__all__ = [
+    "BurstWorkload",
+    "PoissonWorkload",
+    "TraceWorkload",
+    "LatencySample",
+    "LatencyStats",
+    "summarize",
+    "format_table",
+    "paper_vs_measured",
+]

@@ -1,0 +1,77 @@
+"""Figure 11: job submission throughput — time to enqueue 10/50/100 jobs.
+
+Paper rows (seconds to submit the batch, sequential client):
+
+=================  =====  =======  =======  ========
+System             heads  10 jobs  50 jobs  100 jobs
+=================  =====  =======  =======  ========
+TORQUE             1      0.93     4.95     10.18
+JOSHUA/TORQUE      1      1.32     6.48     14.08
+JOSHUA/TORQUE      2      2.68     13.09    26.37
+JOSHUA/TORQUE      3      2.93     15.91    30.03
+JOSHUA/TORQUE      4      3.62     17.65    33.32
+=================  =====  =======  =======  ========
+
+The reproduction replays the same burst through a sequential client (the
+q/j commands are synchronous binaries; a burst is a shell loop).
+"""
+
+from __future__ import annotations
+
+from repro.bench.workloads import BurstWorkload
+from repro.cluster.cluster import Cluster
+from repro.joshua.deploy import build_joshua_stack
+from repro.pbs.stack import build_pbs_stack
+
+__all__ = ["PAPER_FIGURE11", "measure_burst", "figure11"]
+
+#: (system, heads) -> {jobs: seconds} from the paper.
+PAPER_FIGURE11 = {
+    ("TORQUE", 1): {10: 0.93, 50: 4.95, 100: 10.18},
+    ("JOSHUA/TORQUE", 1): {10: 1.32, 50: 6.48, 100: 14.08},
+    ("JOSHUA/TORQUE", 2): {10: 2.68, 50: 13.09, 100: 26.37},
+    ("JOSHUA/TORQUE", 3): {10: 2.93, 50: 15.91, 100: 30.03},
+    ("JOSHUA/TORQUE", 4): {10: 3.62, 50: 17.65, 100: 33.32},
+}
+
+
+def measure_burst(system: str, heads: int, jobs: int, *, seed: int = 1) -> float:
+    """Simulated seconds to sequentially submit *jobs* jobs."""
+    cluster = Cluster(head_count=heads, compute_count=2, seed=seed)
+    if system == "TORQUE":
+        stack = build_pbs_stack(cluster)
+        submit = lambda spec: stack.client().qsub(spec)  # noqa: E731
+    else:
+        stack = build_joshua_stack(cluster)
+        client = stack.client(node="head0", prefer="head0")
+        submit = client.jsub
+    cluster.run(until=1.0)
+    kernel = cluster.kernel
+
+    def burst():
+        for delay, spec in BurstWorkload(jobs, walltime=100_000.0):
+            if delay:
+                yield kernel.timeout(delay)
+            yield from submit(spec)
+
+    start = kernel.now
+    process = kernel.spawn(burst())
+    cluster.run(until=process)
+    return kernel.now - start
+
+
+def figure11(*, job_counts=(10, 50, 100), seed: int = 1) -> list[dict]:
+    """Regenerate Figure 11; one row per (system, heads)."""
+    rows = []
+    configs = [("TORQUE", 1), ("JOSHUA/TORQUE", 1), ("JOSHUA/TORQUE", 2),
+               ("JOSHUA/TORQUE", 3), ("JOSHUA/TORQUE", 4)]
+    for system, heads in configs:
+        row: dict = {"system": system, "heads": heads}
+        for jobs in job_counts:
+            measured = measure_burst(system, heads, jobs, seed=seed)
+            row[f"measured_{jobs}_s"] = round(measured, 2)
+            paper = PAPER_FIGURE11[(system, heads)].get(jobs)
+            if paper is not None:
+                row[f"paper_{jobs}_s"] = paper
+        rows.append(row)
+    return rows

@@ -1,0 +1,61 @@
+"""Latency/throughput measurement helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ReproError
+
+__all__ = ["LatencySample", "LatencyStats", "summarize"]
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One timed operation in simulated time."""
+
+    started: float
+    finished: float
+    label: str = ""
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.started
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    count: int
+    mean: float
+    median: float
+    p95: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean * 1000, 2),
+            "median_ms": round(self.median * 1000, 2),
+            "p95_ms": round(self.p95 * 1000, 2),
+            "min_ms": round(self.minimum * 1000, 2),
+            "max_ms": round(self.maximum * 1000, 2),
+        }
+
+
+def summarize(samples: list[LatencySample]) -> LatencyStats:
+    """Aggregate latency samples (vectorised; benches can have thousands)."""
+    if not samples:
+        raise ReproError("no samples to summarize")
+    values = np.array([s.latency for s in samples], dtype=float)
+    return LatencyStats(
+        count=len(values),
+        mean=float(values.mean()),
+        median=float(np.median(values)),
+        p95=float(np.percentile(values, 95)),
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        stddev=float(values.std()),
+    )

@@ -1,0 +1,153 @@
+"""Workload generators.
+
+Three shapes cover the paper's scenarios and the motivating use cases:
+
+* :class:`BurstWorkload` — N back-to-back submissions, as fast as the
+  client can issue them (Figure 11's throughput measurement; the paper's
+  "submitting a large number of jobs at once").
+* :class:`PoissonWorkload` — exponential inter-arrivals, the steady-state
+  user population the availability comparisons use.
+* :class:`TraceWorkload` — explicit (time, spec) pairs for scripted
+  scenarios and regression tests.
+
+A workload is an iterable of ``(delay_before_submit, JobSpec)`` pairs, so
+drivers stay trivial: wait the delay, submit, repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.pbs.job import JobSpec
+from repro.util.errors import ReproError
+
+__all__ = ["BurstWorkload", "PoissonWorkload", "DiurnalWorkload", "TraceWorkload"]
+
+
+def _default_spec(index: int, walltime: float) -> JobSpec:
+    return JobSpec(name=f"job{index:04d}", walltime=walltime)
+
+
+@dataclass(frozen=True)
+class BurstWorkload:
+    """*count* submissions with no think time between them."""
+
+    count: int
+    walltime: float = 600.0
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ReproError("burst needs at least one job")
+
+    def __iter__(self) -> Iterator[tuple[float, JobSpec]]:
+        for index in range(self.count):
+            yield 0.0, _default_spec(index, self.walltime)
+
+    def __len__(self) -> int:
+        return self.count
+
+
+@dataclass(frozen=True)
+class PoissonWorkload:
+    """Exponential inter-arrival times with mean ``1/rate`` seconds.
+
+    Walltimes are drawn uniformly from ``walltime_range`` — enough spread
+    to interleave queueing and execution.
+    """
+
+    count: int
+    rate: float
+    walltime_range: tuple[float, float] = (5.0, 30.0)
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.count < 1 or self.rate <= 0:
+            raise ReproError("poisson workload needs count >= 1 and rate > 0")
+        lo, hi = self.walltime_range
+        if lo <= 0 or hi < lo:
+            raise ReproError("invalid walltime range")
+
+    def __iter__(self) -> Iterator[tuple[float, JobSpec]]:
+        rng = np.random.default_rng(self.seed)
+        lo, hi = self.walltime_range
+        for index in range(self.count):
+            delay = float(rng.exponential(1.0 / self.rate))
+            walltime = float(rng.uniform(lo, hi))
+            yield delay, JobSpec(name=f"job{index:04d}", walltime=walltime)
+
+    def __len__(self) -> int:
+        return self.count
+
+
+@dataclass(frozen=True)
+class DiurnalWorkload:
+    """A day-shaped submission pattern: a sinusoidal rate peaking mid-day.
+
+    What a production head node actually sees — quiet nights, busy
+    afternoons — used by the endurance bench that replays the paper's
+    multi-day stress scenario. The rate at time *t* (seconds) is::
+
+        rate(t) = base_rate * (1 + amplitude * sin(2*pi*t/day - pi/2))
+
+    so the day starts at the trough. Submission times come from thinning a
+    Poisson process at the peak rate (deterministic given *seed*).
+    """
+
+    count: int
+    base_rate: float
+    amplitude: float = 0.8
+    day_seconds: float = 86400.0
+    walltime_range: tuple[float, float] = (10.0, 120.0)
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.count < 1 or self.base_rate <= 0:
+            raise ReproError("diurnal workload needs count >= 1 and base_rate > 0")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ReproError("amplitude must be in [0, 1)")
+        lo, hi = self.walltime_range
+        if lo <= 0 or hi < lo:
+            raise ReproError("invalid walltime range")
+
+    def __iter__(self) -> Iterator[tuple[float, JobSpec]]:
+        rng = np.random.default_rng(self.seed)
+        lo, hi = self.walltime_range
+        peak = self.base_rate * (1.0 + self.amplitude)
+        time = 0.0
+        emitted = 0
+        previous = 0.0
+        while emitted < self.count:
+            time += float(rng.exponential(1.0 / peak))
+            phase = 2.0 * np.pi * time / self.day_seconds - np.pi / 2.0
+            rate = self.base_rate * (1.0 + self.amplitude * np.sin(phase))
+            if float(rng.random()) < rate / peak:  # thinning
+                walltime = float(rng.uniform(lo, hi))
+                yield time - previous, JobSpec(
+                    name=f"job{emitted:05d}", walltime=walltime
+                )
+                previous = time
+                emitted += 1
+
+    def __len__(self) -> int:
+        return self.count
+
+
+@dataclass(frozen=True)
+class TraceWorkload:
+    """Explicit ``(absolute_time, spec)`` schedule."""
+
+    entries: tuple = field(default=())
+
+    def __iter__(self) -> Iterator[tuple[float, JobSpec]]:
+        previous = 0.0
+        for time, spec in sorted(self.entries, key=lambda e: e[0]):
+            if time < previous:
+                raise ReproError("trace times must be non-decreasing")
+            yield time - previous, spec
+            previous = time
+
+    def __len__(self) -> int:
+        return len(self.entries)

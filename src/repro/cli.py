@@ -1,0 +1,178 @@
+"""Command-line interface: regenerate any experiment without writing code.
+
+::
+
+    python -m repro figure10 [--trials N] [--seed S]
+    python -m repro figure11 [--jobs 10 50 100]
+    python -m repro figure12 [--mttf H] [--mttr H] [--empirical]
+    python -m repro compare  [--seed S]
+    python -m repro correlated [--cc-mttf H] [--cc-mttr H]
+    python -m repro ablations {ordering,batching,detection,slot,all}
+
+Every command prints the same tables the benchmark suite produces; all
+runs are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.reporting import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="JOSHUA (CLUSTER 2006) reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig10 = sub.add_parser("figure10", help="job submission latency table")
+    fig10.add_argument("--trials", type=int, default=10)
+    fig10.add_argument("--seed", type=int, default=1)
+
+    fig11 = sub.add_parser("figure11", help="job submission throughput table")
+    fig11.add_argument("--jobs", type=int, nargs="+", default=[10, 50, 100])
+    fig11.add_argument("--seed", type=int, default=1)
+
+    fig12 = sub.add_parser("figure12", help="availability/downtime table")
+    fig12.add_argument("--mttf", type=float, default=5000.0, help="node MTTF (hours)")
+    fig12.add_argument("--mttr", type=float, default=72.0, help="node MTTR (hours)")
+    fig12.add_argument("--empirical", action="store_true",
+                       help="add the Monte-Carlo cross-check (slower)")
+    fig12.add_argument("--years", type=float, default=1000.0,
+                       help="Monte-Carlo horizon in simulated years")
+
+    compare = sub.add_parser("compare", help="HA model comparison")
+    compare.add_argument("--seed", type=int, default=101)
+
+    correlated = sub.add_parser("correlated", help="correlated-failure analysis")
+    correlated.add_argument("--mttf", type=float, default=5000.0)
+    correlated.add_argument("--mttr", type=float, default=72.0)
+    correlated.add_argument("--cc-mttf", type=float, default=50_000.0,
+                            help="common-cause MTTF (hours)")
+    correlated.add_argument("--cc-mttr", type=float, default=24.0,
+                            help="common-cause MTTR (hours)")
+    correlated.add_argument("--max-nodes", type=int, default=6)
+
+    ablations = sub.add_parser("ablations", help="design-choice sweeps")
+    ablations.add_argument(
+        "which",
+        choices=["ordering", "batching", "detection", "slot", "all"],
+        nargs="?",
+        default="all",
+    )
+    return parser
+
+
+def _cmd_figure10(args) -> str:
+    from repro.bench.experiments.latency import figure10
+    from repro.bench.reporting import bar_chart
+    rows = figure10(trials=args.trials, seed=args.seed)
+    for row in rows:
+        row["config"] = f"{row['system']} x{row['heads']}"
+    table = format_table(
+        rows,
+        ["system", "heads", "measured_ms", "paper_ms",
+         "measured_overhead_pct", "paper_overhead_pct"],
+        title="Figure 10 — job submission latency (ms)",
+    )
+    chart = bar_chart(
+        rows, label="config", series=["measured_ms", "paper_ms"],
+        title="shape (shared scale):",
+    )
+    return f"{table}\n\n{chart}"
+
+
+def _cmd_figure11(args) -> str:
+    from repro.bench.experiments.throughput import figure11
+    rows = figure11(job_counts=tuple(args.jobs), seed=args.seed)
+    return format_table(rows, title="Figure 11 — submission throughput (s)")
+
+
+def _cmd_figure12(args) -> str:
+    from repro.bench.experiments.availability import figure12, figure12_empirical
+    out = [format_table(
+        figure12(mttf_hours=args.mttf, mttr_hours=args.mttr),
+        title=f"Figure 12 — MTTF={args.mttf} h, MTTR={args.mttr} h",
+    )]
+    if args.empirical:
+        out.append(format_table(
+            figure12_empirical(
+                max_nodes=3, mttf_hours=args.mttf, mttr_hours=args.mttr,
+                horizon_years=args.years,
+            ),
+            title=f"Monte-Carlo cross-check ({args.years:.0f} simulated years)",
+        ))
+    return "\n\n".join(out)
+
+
+def _cmd_compare(args) -> str:
+    from repro.bench.experiments.models import compare_models
+    rows = compare_models(seed=args.seed)
+    return format_table(rows, title="HA model comparison (identical workload + fault)")
+
+
+def _cmd_correlated(args) -> str:
+    from repro.ha.correlated import correlated_table, diminishing_returns
+    rows = correlated_table(
+        args.max_nodes,
+        mttf_hours=args.mttf, mttr_hours=args.mttr,
+        cc_mttf_hours=args.cc_mttf, cc_mttr_hours=args.cc_mttr,
+    )
+    table = format_table(
+        rows, title="Correlated failures — independent vs common-cause-capped"
+    )
+    point = diminishing_returns(
+        mttf_hours=args.mttf, mttr_hours=args.mttr,
+        cc_mttf_hours=args.cc_mttf, cc_mttr_hours=args.cc_mttr,
+    )
+    return (f"{table}\n\nDiminishing returns after {point} head node(s): "
+            "past that, spend on a second failure domain, not more heads.")
+
+
+def _cmd_ablations(args) -> str:
+    from repro.bench.experiments import ablations as ab
+    sections = []
+    if args.which in ("ordering", "all"):
+        sections.append(format_table(
+            ab.ordering_engine_latency(trials=10),
+            title="Ablation — sequencer vs token ordering (ms)",
+        ))
+    if args.which in ("batching", "all"):
+        sections.append(format_table(
+            ab.sequencer_batching(), title="Ablation — ORDER batching delay"
+        ))
+    if args.which in ("detection", "all"):
+        sections.append(format_table(
+            ab.failure_detection_sweep(),
+            title="Ablation — suspect timeout vs view change",
+        ))
+    if args.which in ("slot", "all"):
+        sections.append(format_table(
+            ab.stable_slot_sweep(), title="Ablation — stability-ack slot vs jsub"
+        ))
+    return "\n\n".join(sections)
+
+
+_COMMANDS = {
+    "figure10": _cmd_figure10,
+    "figure11": _cmd_figure11,
+    "figure12": _cmd_figure12,
+    "compare": _cmd_compare,
+    "correlated": _cmd_correlated,
+    "ablations": _cmd_ablations,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

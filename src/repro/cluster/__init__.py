@@ -1,0 +1,36 @@
+"""Virtual cluster: nodes, daemons, persistent storage, failure injection.
+
+Models the paper's testbed — up to 4 head nodes and 2 compute nodes on one
+LAN — as simulation objects:
+
+* :class:`~repro.cluster.node.Node` — a machine that can crash and restart.
+  Crashing tears down every daemon and endpoint on the node (fail-stop) and
+  wipes volatile state; only the node's :class:`~repro.cluster.storage.Disk`
+  survives.
+* :class:`~repro.cluster.daemon.Daemon` — base class for long-running
+  services (PBS server, mom, joshua, GCS). Handles the start/crash/restart
+  lifecycle so protocol code never sees half-dead daemons.
+* :class:`~repro.cluster.cluster.Cluster` — builder that wires a kernel, a
+  network, N head nodes and M compute nodes together.
+* :class:`~repro.cluster.failures.FailureInjector` — deterministic fault
+  schedules ("crash head2 at t=12.5") and stochastic MTTF/MTTR failure
+  processes for availability experiments.
+"""
+
+from repro.cluster.node import Node, NodeState
+from repro.cluster.daemon import Daemon
+from repro.cluster.cluster import Cluster
+from repro.cluster.storage import Disk, SharedStorage
+from repro.cluster.failures import FailureInjector, FailureSchedule, FailureEvent
+
+__all__ = [
+    "Node",
+    "NodeState",
+    "Daemon",
+    "Cluster",
+    "Disk",
+    "SharedStorage",
+    "FailureInjector",
+    "FailureSchedule",
+    "FailureEvent",
+]

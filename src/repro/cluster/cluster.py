@@ -1,0 +1,110 @@
+"""Cluster builder: kernel + network + head/compute/login nodes in one call.
+
+Reproduces the paper's testbed topology (Figures 1–4): a set of head nodes
+and a set of compute nodes on one LAN, with an optional separate login node
+from which users run the JOSHUA control commands.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import Node
+from repro.cluster.storage import SharedStorage
+from repro.net.link import FAST_ETHERNET, LOOPBACK, LinkModel
+from repro.net.network import Network
+from repro.sim.kernel import Kernel
+from repro.util.errors import ClusterError
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A simulated Beowulf-style cluster.
+
+    Parameters
+    ----------
+    head_count / compute_count:
+        Number of head and compute nodes (``head0..``, ``compute0..``).
+    login_node:
+        Also create a ``login`` node for running user commands off-head.
+    seed:
+        Master seed for all randomness in this cluster's kernel.
+    lan / loopback:
+        Link models (defaults reproduce the paper's Fast Ethernet testbed).
+    shared_medium:
+        Hub-style wire contention (the paper used a hub).
+    strict_errors:
+        Forwarded to the kernel; disable only in deliberate kill tests.
+
+    Examples
+    --------
+    >>> cluster = Cluster(head_count=2, compute_count=2, seed=1)
+    >>> [n.name for n in cluster.heads]
+    ['head0', 'head1']
+    """
+
+    def __init__(
+        self,
+        *,
+        head_count: int = 1,
+        compute_count: int = 2,
+        login_node: bool = False,
+        seed: int = 0,
+        lan: LinkModel = FAST_ETHERNET,
+        loopback: LinkModel = LOOPBACK,
+        shared_medium: bool = True,
+        strict_errors: bool = True,
+        log_level: str = "WARNING",
+        log_echo: bool = False,
+    ):
+        if head_count < 1:
+            raise ClusterError("need at least one head node")
+        if compute_count < 0:
+            raise ClusterError("compute_count must be non-negative")
+        self.kernel = Kernel(
+            seed=seed,
+            strict_errors=strict_errors,
+            log_level=log_level,
+            log_echo=log_echo,
+        )
+        self.network = Network(
+            self.kernel, lan=lan, loopback=loopback, shared_medium=shared_medium
+        )
+        self.heads: list[Node] = [
+            Node(self.network, f"head{i}", role="head") for i in range(head_count)
+        ]
+        self.computes: list[Node] = [
+            Node(self.network, f"compute{i}", role="compute") for i in range(compute_count)
+        ]
+        self.login: Node | None = (
+            Node(self.network, "login", role="login") if login_node else None
+        )
+        #: Cluster-shared stable storage (used by the active/standby model).
+        self.shared_storage = SharedStorage()
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[Node]:
+        extra = [self.login] if self.login is not None else []
+        return self.heads + self.computes + extra
+
+    def node(self, name: str) -> Node:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise ClusterError(f"no node named {name!r}")
+
+    def live_heads(self) -> list[Node]:
+        return [n for n in self.heads if n.is_up]
+
+    # -- convenience -------------------------------------------------------------
+
+    def run(self, until=None):
+        """Forward to :meth:`Kernel.run`."""
+        return self.kernel.run(until=until)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Cluster heads={len(self.heads)} computes={len(self.computes)}"
+            f" t={self.kernel.now:.3f}>"
+        )

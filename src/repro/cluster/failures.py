@@ -1,0 +1,196 @@
+"""Failure injection: deterministic schedules and MTTF/MTTR processes.
+
+Reproduces both of the paper's fault sources:
+
+* §5: "Failures were simulated by unplugging network cables and by forcibly
+  shutting down individual processes" → :class:`FailureSchedule` entries of
+  kind ``crash``, ``restart``, ``cut``, ``restore``, ``partition``, ``heal``,
+  ``stop_daemon``.
+* Figure 12's availability analysis (MTTF 5000 h, MTTR 72 h) → the
+  :meth:`FailureInjector.exponential_lifecycle` process, which alternates
+  exponentially distributed up-times and repair-times per node and records
+  the intervals for empirical availability estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.util.errors import ClusterError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.node import Node
+
+__all__ = ["FailureEvent", "FailureSchedule", "FailureInjector", "UpDownLog"]
+
+_KINDS = {"crash", "restart", "cut", "restore", "partition", "heal", "stop_daemon"}
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled fault.
+
+    ``kind`` ∈ ``crash restart cut restore partition heal stop_daemon``;
+    ``target`` names a node (crash/restart/stop_daemon), a ``(a, b)`` pair
+    (cut/restore), or a list of node groups (partition). ``detail`` holds the
+    daemon name for ``stop_daemon``.
+    """
+
+    time: float
+    kind: str
+    target: object = None
+    detail: str | None = None
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ClusterError(f"unknown failure kind {self.kind!r}")
+        if self.time < 0:
+            raise ClusterError("failure time must be non-negative")
+
+
+@dataclass
+class FailureSchedule:
+    """An ordered list of :class:`FailureEvent`; builder-style helpers."""
+
+    events: list[FailureEvent] = field(default_factory=list)
+
+    def crash(self, time: float, node: str) -> "FailureSchedule":
+        self.events.append(FailureEvent(time, "crash", node))
+        return self
+
+    def restart(self, time: float, node: str) -> "FailureSchedule":
+        self.events.append(FailureEvent(time, "restart", node))
+        return self
+
+    def cut(self, time: float, a: str, b: str) -> "FailureSchedule":
+        self.events.append(FailureEvent(time, "cut", (a, b)))
+        return self
+
+    def restore(self, time: float, a: str, b: str) -> "FailureSchedule":
+        self.events.append(FailureEvent(time, "restore", (a, b)))
+        return self
+
+    def partition(self, time: float, groups: list[list[str]]) -> "FailureSchedule":
+        self.events.append(FailureEvent(time, "partition", groups))
+        return self
+
+    def heal(self, time: float) -> "FailureSchedule":
+        self.events.append(FailureEvent(time, "heal"))
+        return self
+
+    def stop_daemon(self, time: float, node: str, daemon: str) -> "FailureSchedule":
+        self.events.append(FailureEvent(time, "stop_daemon", node, daemon))
+        return self
+
+    def sorted_events(self) -> list[FailureEvent]:
+        return sorted(self.events, key=lambda e: e.time)
+
+
+@dataclass
+class UpDownLog:
+    """Recorded up/down intervals of one node (for empirical availability)."""
+
+    node: str
+    transitions: list[tuple[float, str]] = field(default_factory=list)
+
+    def record(self, time: float, state: str) -> None:
+        self.transitions.append((time, state))
+
+    def downtime(self, horizon: float) -> float:
+        """Total seconds down in ``[0, horizon]`` (assumes initially up)."""
+        down_total = 0.0
+        down_since: float | None = None
+        for time, state in self.transitions:
+            if time > horizon:
+                break
+            if state == "down" and down_since is None:
+                down_since = time
+            elif state == "up" and down_since is not None:
+                down_total += time - down_since
+                down_since = None
+        if down_since is not None:
+            down_total += horizon - down_since
+        return down_total
+
+    def availability(self, horizon: float) -> float:
+        return 1.0 - self.downtime(horizon) / horizon
+
+
+class FailureInjector:
+    """Applies fault schedules and runs stochastic failure processes."""
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.kernel = cluster.kernel
+        self.logs: dict[str, UpDownLog] = {}
+
+    # -- deterministic schedules ------------------------------------------------
+
+    def apply(self, schedule: FailureSchedule) -> None:
+        """Spawn a driver process that executes *schedule*."""
+        self.kernel.spawn(self._drive(schedule.sorted_events()), name="failure-injector")
+
+    def _drive(self, events: list[FailureEvent]):
+        for event in events:
+            delay = event.time - self.kernel.now
+            if delay > 0:
+                yield self.kernel.timeout(delay)
+            self._execute(event)
+
+    def _execute(self, event: FailureEvent) -> None:
+        network = self.cluster.network
+        if event.kind == "crash":
+            self.cluster.node(str(event.target)).crash()
+        elif event.kind == "restart":
+            self.cluster.node(str(event.target)).restart()
+        elif event.kind == "cut":
+            a, b = event.target  # type: ignore[misc]
+            network.partitions.cut_link(a, b)
+        elif event.kind == "restore":
+            a, b = event.target  # type: ignore[misc]
+            network.partitions.restore_link(a, b)
+        elif event.kind == "partition":
+            network.partitions.set_partitions(event.target)  # type: ignore[arg-type]
+        elif event.kind == "heal":
+            network.partitions.heal_partitions()
+        elif event.kind == "stop_daemon":
+            self.cluster.node(str(event.target)).stop_daemon(event.detail or "")
+
+    # -- stochastic lifecycle -------------------------------------------------------
+
+    def exponential_lifecycle(
+        self,
+        node: "Node",
+        *,
+        mttf: float,
+        mttr: float,
+        restart_daemons: bool = True,
+    ) -> UpDownLog:
+        """Run crash/repair cycles with exponential up/repair times.
+
+        Starts a process that crashes *node* after ``Exp(mttf)`` up-time and
+        restarts it after ``Exp(mttr)`` repair time, forever. Returns the
+        :class:`UpDownLog` the process appends to; pair with
+        ``kernel.run(until=horizon)`` to estimate availability empirically
+        (cross-checking Equation 1 and Figure 12).
+        """
+        if mttf <= 0 or mttr <= 0:
+            raise ClusterError("mttf and mttr must be positive")
+        log = self.logs.setdefault(node.name, UpDownLog(node.name))
+        rng = self.kernel.streams.get(f"failures.{node.name}")
+
+        def lifecycle():
+            while True:
+                yield self.kernel.timeout(float(rng.exponential(mttf)))
+                if node.is_up:
+                    node.crash()
+                    log.record(self.kernel.now, "down")
+                yield self.kernel.timeout(float(rng.exponential(mttr)))
+                if not node.is_up:
+                    node.restart(daemons=restart_daemons)
+                    log.record(self.kernel.now, "up")
+
+        self.kernel.spawn(lifecycle(), name=f"lifecycle-{node.name}")
+        return log

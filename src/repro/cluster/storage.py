@@ -1,0 +1,70 @@
+"""Persistent storage that survives node crashes.
+
+Two flavours, both simple key/value namespaces with deep-copy semantics so a
+daemon can never accidentally share a live object with "disk":
+
+* :class:`Disk` — a node's local disk. Survives the node's crash/restart
+  cycle (TORQUE persists its job queue this way).
+* :class:`SharedStorage` — cluster-shared stable storage, the substrate of
+  the active/standby baseline ("service state is saved regularly to some
+  shared stable storage", §2 of the paper).
+
+Writes take effect immediately (the simulated fsync cost is folded into the
+service-time constants of the daemons that use them).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+__all__ = ["Disk", "SharedStorage"]
+
+
+class Disk:
+    """A node-local persistent key/value store."""
+
+    def __init__(self, node_name: str):
+        self.node_name = node_name
+        self._data: dict[str, Any] = {}
+
+    def write(self, key: str, value: Any) -> None:
+        """Persist a deep copy of *value* under *key*."""
+        self._data[key] = copy.deepcopy(value)
+
+    def read(self, key: str, default: Any = None) -> Any:
+        """Return a deep copy of the stored value (or *default*)."""
+        if key not in self._data:
+            return default
+        return copy.deepcopy(self._data[key])
+
+    def delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def keys(self) -> list[str]:
+        return sorted(self._data)
+
+    def wipe(self) -> None:
+        """Destroy all contents (disk replacement, not crash)."""
+        self._data.clear()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Disk {self.node_name} keys={len(self._data)}>"
+
+
+class SharedStorage(Disk):
+    """Cluster-wide stable storage (e.g. an NFS filer or SAN).
+
+    Identical semantics to :class:`Disk`; kept as its own type so call sites
+    document whether state survives only a node or the whole cluster. The
+    active/standby baseline checkpoints here; note the paper's observation
+    that such a filer is itself a single point of failure unless replicated —
+    we model it as never failing, which *favours* the baseline and makes the
+    symmetric active/active comparison conservative.
+    """
+
+    def __init__(self, name: str = "shared"):
+        super().__init__(name)

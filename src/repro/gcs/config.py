@@ -1,0 +1,92 @@
+"""Tunable parameters of the group communication system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import GroupCommError
+
+__all__ = ["GroupConfig"]
+
+
+@dataclass(frozen=True)
+class GroupConfig:
+    """Protocol timing and algorithm selection.
+
+    Parameters
+    ----------
+    heartbeat_interval:
+        Seconds between heartbeats to every peer.
+    suspect_timeout:
+        Silence (seconds) after which a peer is suspected failed. Must
+        comfortably exceed the heartbeat interval; 3x is conventional.
+    flush_timeout:
+        How long a member stalled in a view change waits before restarting
+        the membership protocol itself (covers coordinator death).
+    retransmit_interval:
+        Transport-level retransmission sweep period.
+    ordering:
+        ``"sequencer"`` (default) or ``"token"`` — the within-view total
+        order engine (the token ring is the ablation alternative).
+    primary_partition:
+        If true, a view is only *primary* (allowed to deliver SAFE messages
+        and thus to win mutexes) when it contains a strict majority of the
+        previous primary view. The paper assumes fail-stop rather than
+        partition faults and ran without this rule; it is provided as an
+        extension for split-brain experiments.
+    sequencer_batch_delay:
+        Seconds the sequencer waits to batch ORDER assignments (0 = order
+        immediately). Ablation knob for latency/throughput trade-offs.
+    processing_delay:
+        CPU time a member charges for each inbound protocol message, 0 to
+        handle instantaneously. This models the group-communication stack's
+        per-message cost on the paper's 450 MHz head nodes — the dominant
+        term behind JOSHUA's latency overhead growing with head-node count
+        (each added head adds DATA/ORDER/STABLE traffic every member must
+        chew through).
+    """
+
+    heartbeat_interval: float = 0.25
+    suspect_timeout: float = 0.75
+    flush_timeout: float = 1.0
+    retransmit_interval: float = 0.05
+    ordering: str = "sequencer"
+    primary_partition: bool = False
+    sequencer_batch_delay: float = 0.0
+    processing_delay: float = 0.0
+    #: Deferred-acknowledgement model for SAFE stability: a member of rank r
+    #: (r = 0 for the lowest-ranked) waits ``stable_ack_base + r *
+    #: stable_ack_slot`` before broadcasting its cumulative STABLE ack, when
+    #: the view has more than one member. Transis-era stacks deferred and
+    #: staggered acknowledgements rather than blasting them instantly; the
+    #: effect is that SAFE delivery waits ~one slot per member — the linear
+    #: per-head latency growth Figure 10 measures. Defaults 0 (immediate).
+    stable_ack_base: float = 0.0
+    stable_ack_slot: float = 0.0
+    #: Seconds between payload garbage-collection sweeps (0 disables).
+    #: Releases payloads that are globally stable and locally delivered,
+    #: bounding a long-lived view's memory by its unstable window — the
+    #: hygiene whose absence the paper suspects crashed Transis after
+    #: "3-5 days of excessive operation".
+    gc_interval: float = 5.0
+
+    def __post_init__(self):
+        if self.heartbeat_interval <= 0:
+            raise GroupCommError("heartbeat_interval must be positive")
+        if self.suspect_timeout <= self.heartbeat_interval:
+            raise GroupCommError(
+                "suspect_timeout must exceed heartbeat_interval "
+                f"({self.suspect_timeout} <= {self.heartbeat_interval})"
+            )
+        if self.flush_timeout <= 0 or self.retransmit_interval <= 0:
+            raise GroupCommError("timeouts must be positive")
+        if self.ordering not in ("sequencer", "token"):
+            raise GroupCommError(f"unknown ordering engine {self.ordering!r}")
+        if self.sequencer_batch_delay < 0:
+            raise GroupCommError("sequencer_batch_delay must be non-negative")
+        if self.processing_delay < 0:
+            raise GroupCommError("processing_delay must be non-negative")
+        if self.stable_ack_base < 0 or self.stable_ack_slot < 0:
+            raise GroupCommError("stable ack delays must be non-negative")
+        if self.gc_interval < 0:
+            raise GroupCommError("gc_interval must be non-negative")

@@ -1,0 +1,119 @@
+"""Heartbeat failure detector.
+
+Each member beacons an unreliable :class:`~repro.gcs.messages.Heartbeat` to
+every monitored peer each ``heartbeat_interval`` and suspects any peer silent
+for longer than ``suspect_timeout``. Suspicion is *sticky* per incarnation:
+once suspected, a peer stays suspected until explicitly forgiven (the
+membership layer forgives on view change or when the peer re-joins), which
+prevents flapping from repeatedly aborting flush rounds.
+
+This is an eventually-perfect-style detector under the fail-stop model: a
+crashed peer is eventually suspected by every live peer (completeness), and
+a live, connected peer is not suspected once message delays stabilise below
+the timeout (accuracy). Both properties are exercised in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.gcs.messages import Heartbeat
+from repro.net.address import Address
+from repro.net.transport import Transport
+
+__all__ = ["FailureDetector"]
+
+
+class FailureDetector:
+    """Monitors a set of peers over an existing transport.
+
+    Parameters
+    ----------
+    transport:
+        The member's transport (heartbeats use its raw datagram path).
+    heartbeat_interval / suspect_timeout:
+        Timing; see :class:`~repro.gcs.config.GroupConfig`.
+    on_suspect:
+        ``callback(peer: Address)`` invoked once per new suspicion.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        *,
+        heartbeat_interval: float,
+        suspect_timeout: float,
+        on_suspect: Callable[[Address], None] | None = None,
+    ):
+        self.transport = transport
+        self.kernel = transport.kernel
+        self.heartbeat_interval = heartbeat_interval
+        self.suspect_timeout = suspect_timeout
+        self.on_suspect = on_suspect
+        self._peers: set[Address] = set()
+        self._last_heard: dict[Address, float] = {}
+        self._suspected: set[Address] = set()
+        self._stopped = False
+        self._loop = self.kernel.spawn(self._run(), name=f"fd@{transport.address}")
+
+    # -- peer management -----------------------------------------------------
+
+    def monitor(self, peers) -> None:
+        """Replace the monitored peer set (self is filtered out)."""
+        new_peers = {p for p in peers if p != self.transport.address}
+        now = self.kernel.now
+        for peer in new_peers - self._peers:
+            self._last_heard[peer] = now
+        for peer in self._peers - new_peers:
+            self._last_heard.pop(peer, None)
+            self._suspected.discard(peer)
+        self._peers = new_peers
+
+    def forgive(self, peer: Address) -> None:
+        """Clear a suspicion (peer re-admitted by the membership layer)."""
+        self._suspected.discard(peer)
+        self._last_heard[peer] = self.kernel.now
+
+    @property
+    def suspected(self) -> set[Address]:
+        return set(self._suspected)
+
+    def is_suspected(self, peer: Address) -> bool:
+        return peer in self._suspected
+
+    def heard_from(self, peer: Address) -> None:
+        """Record liveness evidence (heartbeat *or* any protocol message)."""
+        if peer in self._peers:
+            self._last_heard[peer] = self.kernel.now
+
+    def handle_heartbeat(self, src: Address, hb: Heartbeat) -> None:
+        self.heard_from(src)
+
+    def stop(self) -> None:
+        if not self._stopped:
+            self._stopped = True
+            self._loop.interrupt("failure detector stopped")
+
+    # -- main loop ----------------------------------------------------------------
+
+    def _run(self):
+        while True:
+            yield self.kernel.timeout(self.heartbeat_interval)
+            if self._stopped or self.transport.endpoint.closed:
+                return
+            if not self.transport.endpoint.network.node_is_up(self.transport.address.node):
+                return
+            beat = Heartbeat(sent_at=self.kernel.now)
+            for peer in self._peers:
+                self.transport.send_raw(peer, beat)
+            now = self.kernel.now
+            for peer in self._peers:
+                if peer in self._suspected:
+                    continue
+                if now - self._last_heard.get(peer, now) > self.suspect_timeout:
+                    self._suspected.add(peer)
+                    self.kernel.log.info(
+                        f"fd@{self.transport.address}", f"suspecting {peer}"
+                    )
+                    if self.on_suspect is not None:
+                        self.on_suspect(peer)

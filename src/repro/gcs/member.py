@@ -1,0 +1,784 @@
+"""The group member: virtual synchrony tying ordering, delivery, membership.
+
+One :class:`GroupMember` is one process's presence in the group. It owns a
+reliable transport, a failure detector, an ordering engine and a delivery
+queue, and runs the membership protocol that keeps them consistent across
+failures, joins and leaves.
+
+Protocol summary
+----------------
+**Normal operation.** ``multicast`` assigns the payload a globally unique
+``MessageId``, fans the DATA out to every view member over reliable FIFO
+channels, and the ordering engine (sequencer or token ring) broadcasts
+sequence assignments. The delivery queue releases messages to the
+application in gap-free sequence order; SAFE messages additionally wait
+until every view member has acknowledged (cumulative ``StableMsg``) holding
+everything up to them.
+
+**Membership change (flush).** On a suspicion, join request or leave
+request, the *initiator* — the lowest-ranked unsuspected member of the
+current view — broadcasts ``FlushReq(epoch, proposed)``. Members stop
+transmitting application DATA, and answer ``FlushOk`` with everything they
+know about the current view's traffic. The initiator unions those reports
+into a *closing list*: every message known to any survivor and not yet
+delivered by all old members, ordered by the most-advanced member's sequence
+assignments (ties: deterministic message-id order). ``NewView`` carries the
+closing list (with payloads, so members missing a DATA can still deliver
+it); receivers install the new view with the closing list pre-ordered as
+sequences ``0..k-1``, which makes every closing message part of the *new*
+view's totally ordered prefix — survivors deliver exactly the same set, in
+the same order, before any new-view traffic. Undelivered messages whose
+sender survived are re-multicast by that sender in the new view (same
+message id; duplicate suppression makes this exactly-once).
+
+**Competing flushes.** Epochs ``(new_view_id, attempt, initiator)`` are
+totally ordered; members only honour the highest epoch they have seen and
+reject ``NewView`` from any lower epoch. An initiator that learns of a
+higher epoch abandons its own attempt. A member stuck mid-flush (its
+initiator died) re-evaluates initiator candidacy on a watchdog timer. This
+resolves every fail-stop schedule in which faults pause long enough for one
+flush round-trip to complete — the same stabilisation assumption Transis
+makes; adversarial timing beyond that is out of scope (and out of the
+paper's, whose failures were unplugged cables minutes apart).
+
+**Exclusion recovery.** A member that was falsely suspected (e.g. its cable
+was unplugged and re-plugged) keeps receiving traffic tagged with view ids
+above its own; after a flush-timeout of that it declares itself excluded and
+re-joins through whoever is sending that traffic (state transfer is the
+application's job, as in JOSHUA).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.gcs.config import GroupConfig
+from repro.gcs.delivery import DeliveryQueue
+from repro.gcs.failure_detector import FailureDetector
+from repro.gcs.messages import (
+    AGREED,
+    SAFE,
+    DataMsg,
+    DeliveredMessage,
+    FlushOk,
+    FlushReq,
+    Heartbeat,
+    JoinReq,
+    LeaveReq,
+    MessageId,
+    NewView,
+    OrderMsg,
+    Probe,
+    StableMsg,
+    TokenMsg,
+)
+from repro.gcs.ordering import make_engine
+from repro.gcs.view import View
+from repro.net.address import Address
+from repro.net.network import Endpoint
+from repro.net.transport import Transport
+from repro.util.errors import GroupCommError, NotInView
+
+__all__ = ["GroupMember", "boot_static_group"]
+
+# Member lifecycle states.
+IDLE = "idle"          # constructed, not yet booted or joining
+JOINING = "joining"    # join requested, waiting for a view that includes us
+NORMAL = "normal"      # in a view, full service
+FLUSHING = "flushing"  # membership change in progress, DATA transmission held
+STOPPED = "stopped"
+
+
+class _FlushAttempt:
+    """Initiator-side bookkeeping for one flush epoch."""
+
+    def __init__(self, epoch: tuple, proposed: tuple[Address, ...], started_at: float):
+        self.epoch = epoch
+        self.proposed = proposed
+        self.replies: dict[Address, FlushOk] = {}
+        self.started_at = started_at
+
+    @property
+    def complete(self) -> bool:
+        return set(self.replies) >= set(self.proposed)
+
+
+class GroupMember:
+    """One member of one process group.
+
+    Parameters
+    ----------
+    endpoint:
+        A bound network endpoint dedicated to this member.
+    config:
+        Protocol tuning; see :class:`~repro.gcs.config.GroupConfig`.
+    on_deliver:
+        ``callback(msg: DeliveredMessage)`` — the totally ordered stream.
+    on_view:
+        ``callback(view: View)`` — called at each view installation, before
+        the view's transitional deliveries.
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        config: GroupConfig = GroupConfig(),
+        *,
+        on_deliver: Callable[[DeliveredMessage], None] | None = None,
+        on_view: Callable[[View], None] | None = None,
+    ):
+        self.config = config
+        self.kernel = endpoint.network.kernel
+        self.address = endpoint.address
+        self.on_deliver = on_deliver
+        self.on_view = on_view
+
+        self._cpu_queue = None
+        self._cpu_worker = None
+        if config.processing_delay > 0:
+            # Model per-message CPU cost: inbound protocol traffic funnels
+            # through a serial worker that charges processing_delay each.
+            from repro.sim.resources import Store
+
+            self._cpu_queue = Store(self.kernel)
+            self._cpu_worker = self.kernel.spawn(
+                self._cpu_loop(), name=f"gcs-cpu@{endpoint.address}"
+            )
+        self.transport = Transport(
+            endpoint,
+            retransmit_interval=config.retransmit_interval,
+            on_message=self._enqueue_protocol,
+        )
+        self.transport.on_raw(self._on_raw)
+        self.detector = FailureDetector(
+            self.transport,
+            heartbeat_interval=config.heartbeat_interval,
+            suspect_timeout=config.suspect_timeout,
+            on_suspect=self._on_suspect,
+        )
+        self.queue = DeliveryQueue(self.address)
+        self.engine = make_engine(
+            config.ordering,
+            self.kernel,
+            self.address,
+            self._bcast,
+            self.transport.send,
+            batch_delay=config.sequencer_batch_delay,
+        )
+
+        self.state = IDLE
+        self.view: View | None = None
+        self._msg_counter = 0
+        #: Own multicasts not yet delivered: msg_id -> (service, payload).
+        self._own_pending: dict[MessageId, tuple[str, Any]] = {}
+        self._pending_joiners: set[Address] = set()
+        self._pending_leavers: set[Address] = set()
+        #: Current-view addresses that announced a fresh incarnation (a
+        #: restarted process re-using its address); they need a view change
+        #: to be re-admitted with clean protocol state.
+        self._rejoining: set[Address] = set()
+        #: Non-responders manually suspected by a timed-out flush attempt.
+        self._extra_suspects: set[Address] = set()
+        self._max_epoch: tuple | None = None
+        self._attempt = 0
+        self._flush: _FlushAttempt | None = None
+        self._flush_entered_at = 0.0
+        #: Buffered protocol traffic for views we have not installed yet.
+        self._future: dict[int, list[tuple[Address, Any]]] = {}
+        self._future_first_seen: float | None = None
+        self._join_contacts: list[Address] = []
+        self._last_stable_sent = -1
+        #: Every address we ever shared a view with (anti-entropy targets).
+        self._known_addresses: set[Address] = set()
+
+        self._watchdog = self.kernel.spawn(
+            self._watchdog_loop(), name=f"gcs-watchdog@{self.address}"
+        )
+        self._gc_task = None
+        if config.gc_interval > 0:
+            self._gc_task = self.kernel.spawn(
+                self._gc_loop(), name=f"gcs-gc@{self.address}"
+            )
+        # Observability counters.
+        self.stats = {
+            "multicasts": 0,
+            "delivered": 0,
+            "view_changes": 0,
+            "flushes_started": 0,
+            "rejoins": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def boot(self, initial_members: Iterable[Address]) -> None:
+        """Install a static initial view (all founding members call this
+        with the same list — the standard bootstrap, no protocol needed)."""
+        if self.state != IDLE:
+            raise GroupCommError(f"boot() in state {self.state}")
+        members = tuple(sorted(set(initial_members)))
+        if self.address not in members:
+            raise GroupCommError("boot list must include this member")
+        self._install_view(View(1, members, True), closing=())
+
+    def join(self, contacts: Iterable[Address]) -> None:
+        """Ask current members to merge us into the group."""
+        if self.state != IDLE:
+            raise GroupCommError(f"join() in state {self.state}")
+        self._join_contacts = [c for c in contacts if c != self.address]
+        if not self._join_contacts:
+            raise GroupCommError("join() needs at least one contact")
+        self.state = JOINING
+        self._send_join_requests()
+
+    def leave(self) -> None:
+        """Voluntarily depart. Mirrors JOSHUA semantics: a leave is handled
+        as a forced failure — we announce it, then stop."""
+        if self.state in (NORMAL, FLUSHING) and self.view is not None:
+            for member in self.view.members:
+                if member != self.address:
+                    self.transport.send(member, LeaveReq(self.address))
+        self.stop()
+
+    def stop(self) -> None:
+        """Halt all activity (process kill / node crash path)."""
+        if self.state == STOPPED:
+            return
+        self.state = STOPPED
+        self.detector.stop()
+        self.engine.stop()
+        self._watchdog.interrupt("member stopped")
+        if self._cpu_worker is not None:
+            self._cpu_worker.interrupt("member stopped")
+        if self._gc_task is not None:
+            self._gc_task.interrupt("member stopped")
+        self.transport.close()
+        if not self.transport.endpoint.closed:
+            self.transport.endpoint.close()
+
+    def multicast(self, payload: Any, service: str = AGREED) -> MessageId:
+        """Reliably, totally-ordered multicast *payload* to the group.
+
+        During a membership change the message is held and (re)transmitted
+        in the next view; if we survive, it is delivered exactly once.
+        """
+        if service not in (AGREED, SAFE):
+            raise GroupCommError(f"unknown service {service!r}")
+        if self.state not in (NORMAL, FLUSHING) or self.view is None:
+            raise NotInView(f"multicast in state {self.state}")
+        msg_id = MessageId(self.address, self._msg_counter)
+        self._msg_counter += 1
+        self._own_pending[msg_id] = (service, payload)
+        self.stats["multicasts"] += 1
+        if self.state == NORMAL:
+            self._send_data(msg_id, service, payload)
+        return msg_id
+
+    @property
+    def is_primary(self) -> bool:
+        """Whether we are in a primary view (always true unless the
+        primary-partition extension is enabled and we lost the majority)."""
+        return self.view is not None and self.view.primary
+
+    # ------------------------------------------------------------------
+    # outbound helpers
+    # ------------------------------------------------------------------
+
+    def _bcast(self, msg: Any) -> None:
+        if self.view is None:
+            return
+        for member in self.view.members:
+            self.transport.send(member, msg)
+
+    def _send_data(self, msg_id: MessageId, service: str, payload: Any) -> None:
+        data = DataMsg(msg_id, self.view.view_id, service, payload)
+        self._bcast(data)
+
+    def _send_join_requests(self) -> None:
+        for contact in self._join_contacts:
+            self.transport.send(contact, JoinReq(self.address))
+
+    def _broadcast_stable(self) -> None:
+        ready = self.queue.agreed_ready_through()
+        if ready <= self._last_stable_sent:
+            return
+        self._last_stable_sent = ready
+        delay = 0.0
+        if self.view.size > 1:
+            delay = self.config.stable_ack_base + (
+                self.config.stable_ack_slot * self.view.rank_of(self.address)
+            )
+        if delay <= 0:
+            self._bcast(StableMsg(self.view.view_id, ready))
+            return
+        view = self.view
+
+        def deferred():
+            yield self.kernel.timeout(delay)
+            if self.state == STOPPED or self.view is not view:
+                return
+            # Ack whatever is contiguously ready *now* (may exceed `ready`).
+            self._bcast(StableMsg(view.view_id, self.queue.agreed_ready_through()))
+
+        self.kernel.spawn(deferred(), name=f"gcs-stable@{self.address}")
+
+    # ------------------------------------------------------------------
+    # inbound dispatch
+    # ------------------------------------------------------------------
+
+    def _enqueue_protocol(self, src: Address, msg: Any) -> None:
+        if self._cpu_queue is None:
+            self._on_protocol(src, msg)
+        else:
+            self._cpu_queue.put_nowait((src, msg))
+
+    def _cpu_loop(self):
+        while True:
+            src, msg = yield self._cpu_queue.get()
+            yield self.kernel.timeout(self.config.processing_delay)
+            if self.state == STOPPED:
+                return
+            self._on_protocol(src, msg)
+
+    def _on_raw(self, src: Address, payload: Any) -> None:
+        if isinstance(payload, Heartbeat):
+            self.detector.handle_heartbeat(src, payload)
+        elif isinstance(payload, Probe):
+            self._handle_probe(src, payload)
+
+    def _handle_probe(self, src: Address, probe: Probe) -> None:
+        """A foreign group announced itself (partition merge discovery)."""
+        if self.state != NORMAL or self.view is None:
+            return
+        if src in self.view.members or src in self._pending_joiners:
+            return
+        self._known_addresses.add(src)
+        join_them = probe.size > self.view.size or (
+            probe.size == self.view.size and probe.coordinator < self.view.coordinator
+        )
+        if join_them:
+            self.kernel.log.warning(
+                f"gcs@{self.address}",
+                f"foreign group via {src} wins merge; dissolving to rejoin",
+            )
+            self.stats["rejoins"] += 1
+            self._become_joiner([src])
+
+    def _on_protocol(self, src: Address, msg: Any) -> None:
+        if self.state == STOPPED:
+            return
+        self.detector.heard_from(src)
+        if isinstance(msg, DataMsg):
+            self._gate_by_view(src, msg, msg.view_id, self._handle_data)
+        elif isinstance(msg, OrderMsg):
+            self._gate_by_view(src, msg, msg.view_id, self._handle_order)
+        elif isinstance(msg, StableMsg):
+            self._gate_by_view(src, msg, msg.view_id, self._handle_stable)
+        elif isinstance(msg, TokenMsg):
+            self._gate_by_view(src, msg, msg.view_id, self._handle_token)
+        elif isinstance(msg, JoinReq):
+            self._handle_join_req(src, msg)
+        elif isinstance(msg, LeaveReq):
+            self._handle_leave_req(src, msg)
+        elif isinstance(msg, FlushReq):
+            self._handle_flush_req(src, msg)
+        elif isinstance(msg, FlushOk):
+            self._handle_flush_ok(src, msg)
+        elif isinstance(msg, NewView):
+            self._handle_new_view(src, msg)
+
+    def _gate_by_view(self, src: Address, msg: Any, view_id: int, handler) -> None:
+        """Route ordinary traffic by view: current -> handle, future ->
+        buffer until installed, past -> drop as stale."""
+        current = self.view.view_id if self.view is not None else -1
+        if view_id == current:
+            handler(src, msg)
+        elif view_id > current:
+            self._future.setdefault(view_id, []).append((src, msg))
+            if self._future_first_seen is None:
+                self._future_first_seen = self.kernel.now
+        # else: stale view, drop silently
+
+    # -- ordinary traffic ------------------------------------------------
+
+    def _handle_data(self, src: Address, data: DataMsg) -> None:
+        if self.queue.add_data(data):
+            self.engine.on_data(data.msg_id, own=data.msg_id.sender == self.address)
+            self._broadcast_stable()
+            self._deliver_ready()
+
+    def _handle_order(self, src: Address, order: OrderMsg) -> None:
+        self.queue.add_assignments(order.assignments)
+        self._broadcast_stable()
+        self._deliver_ready()
+
+    def _handle_stable(self, src: Address, stable: StableMsg) -> None:
+        self.queue.record_stable(src, stable.acked_through)
+        self._deliver_ready()
+
+    def _handle_token(self, src: Address, token: TokenMsg) -> None:
+        self.engine.on_token(src, token)
+
+    def _deliver_ready(self) -> None:
+        for msg in self.queue.pop_deliverable():
+            self._own_pending.pop(msg.msg_id, None)
+            self.stats["delivered"] += 1
+            if self.on_deliver is not None:
+                self.on_deliver(msg)
+
+    # -- membership triggers ------------------------------------------------
+
+    def _on_suspect(self, peer: Address) -> None:
+        self._maybe_initiate_flush()
+
+    def _handle_join_req(self, src: Address, req: JoinReq) -> None:
+        if self.state not in (NORMAL, FLUSHING) or self.view is None:
+            return
+        if req.joiner in self.view.members:
+            # A previous incarnation of this address is still in the view;
+            # its protocol state died with it. Re-admit the new incarnation
+            # through a view change.
+            self._rejoining.add(req.joiner)
+        # The join request itself is proof of life.
+        self.detector.forgive(req.joiner)
+        self._pending_joiners.add(req.joiner)
+        # Make sure the member who will actually coordinate hears about it.
+        candidate = self._initiator_candidate()
+        if candidate is not None and candidate != self.address:
+            self.transport.send(candidate, req)
+        self._maybe_initiate_flush()
+
+    def _handle_leave_req(self, src: Address, req: LeaveReq) -> None:
+        if self.state not in (NORMAL, FLUSHING) or self.view is None:
+            return
+        if req.leaver in self.view.members:
+            self._pending_leavers.add(req.leaver)
+            self._maybe_initiate_flush()
+
+    def _membership_dirty(self) -> bool:
+        if self.view is None:
+            return False
+        members = set(self.view.members)
+        suspects = (self.detector.suspected | self._extra_suspects) & members
+        joiners = self._pending_joiners - members
+        rejoining = self._rejoining & members
+        leavers = self._pending_leavers & members
+        return bool(suspects or joiners or rejoining or leavers)
+
+    def _initiator_candidate(self) -> Address | None:
+        if self.view is None:
+            return None
+        bad = (
+            self.detector.suspected
+            | self._extra_suspects
+            | self._pending_leavers
+            | self._rejoining  # a fresh incarnation has no view history
+        )
+        live = [m for m in self.view.members if m not in bad]
+        return min(live) if live else None
+
+    def _maybe_initiate_flush(self) -> None:
+        if self.state not in (NORMAL, FLUSHING) or self.view is None:
+            return
+        if not self._membership_dirty():
+            return
+        if self._initiator_candidate() != self.address:
+            if self.state == NORMAL:
+                # Remember when we started waiting for someone else's flush,
+                # so the watchdog can take over if they never deliver one.
+                self.state = FLUSHING
+                self._flush_entered_at = self.kernel.now
+            return
+        self._start_flush_attempt()
+
+    def _start_flush_attempt(self) -> None:
+        self._attempt += 1
+        epoch = (self.view.view_id + 1, self._attempt, self.address)
+        bad = self.detector.suspected | self._extra_suspects | self._pending_leavers
+        proposed = (set(self.view.members) - bad - self._rejoining) | (
+            self._pending_joiners - self.detector.suspected - self._extra_suspects
+        )
+        proposed.add(self.address)
+        proposed_tuple = tuple(sorted(proposed))
+        self._flush = _FlushAttempt(epoch, proposed_tuple, self.kernel.now)
+        self.state = FLUSHING
+        self._flush_entered_at = self.kernel.now
+        self.stats["flushes_started"] += 1
+        self.kernel.log.info(
+            f"gcs@{self.address}", f"flush epoch={epoch} proposed={proposed_tuple}"
+        )
+        req = FlushReq(epoch, proposed_tuple)
+        for member in proposed_tuple:
+            if member == self.address:
+                self._handle_flush_req(self.address, req)
+            else:
+                self.transport.send(member, req)
+
+    # -- flush protocol ------------------------------------------------------
+
+    def _handle_flush_req(self, src: Address, req: FlushReq) -> None:
+        if self._max_epoch is not None and req.epoch < self._max_epoch:
+            return  # stale attempt
+        if self.view is not None and req.epoch[0] <= self.view.view_id:
+            return  # requester is behind us; it will recover via rejoin
+        coordinator = req.epoch[2]
+        if self._max_epoch is None or req.epoch > self._max_epoch:
+            self._max_epoch = req.epoch
+            if self._flush is not None and self._flush.epoch < req.epoch:
+                self._flush = None  # our attempt was superseded
+        if self.state in (NORMAL, FLUSHING):
+            self.state = FLUSHING
+            self._flush_entered_at = self.kernel.now
+        known, orderings, delivered = self.queue.flush_report()
+        my_view = self.view.view_id if self.view is not None else -1
+        ok = FlushOk(req.epoch, self.address, known, orderings, delivered, my_view)
+        if coordinator == self.address:
+            self._handle_flush_ok(self.address, ok)
+        else:
+            self.transport.send(coordinator, ok)
+
+    def _handle_flush_ok(self, src: Address, ok: FlushOk) -> None:
+        flush = self._flush
+        if flush is None or ok.epoch != flush.epoch:
+            return
+        if ok.sender not in flush.proposed:
+            return
+        if ok.view_id >= flush.epoch[0]:
+            # A responder already installed the view id we were about to
+            # create: we missed a view entirely. Abort; the exclusion
+            # recovery (future-traffic rejoin) will bring us back in sync.
+            self._flush = None
+            return
+        flush.replies[ok.sender] = ok
+        if flush.complete:
+            self._finalize_flush(flush)
+
+    def _finalize_flush(self, flush: _FlushAttempt) -> None:
+        old_members = set(self.view.members) if self.view is not None else set()
+        # Union of payloads anyone still holds.
+        known: dict[MessageId, tuple[str, Any]] = {}
+        for ok in flush.replies.values():
+            for msg_id, (service, payload) in ok.known:
+                known.setdefault(msg_id, (service, payload))
+        # Sequence assignments from the most-advanced responders (highest
+        # installed view): their order extends every other survivor's prefix.
+        best_vid = max(ok.view_id for ok in flush.replies.values())
+        orderings: dict[int, MessageId] = {}
+        for ok in flush.replies.values():
+            if ok.view_id != best_vid:
+                continue
+            for seq, msg_id in ok.orderings:
+                existing = orderings.get(seq)
+                if existing is not None and existing != msg_id:
+                    raise GroupCommError(
+                        f"flush found conflicting assignment at seq {seq}: "
+                        f"{existing} vs {msg_id}"
+                    )
+                orderings[seq] = msg_id
+        # Messages every surviving *old* member already delivered need not
+        # (must not) be redelivered; fresh joiners (view_id == -1) get state
+        # transfer at the application layer instead and are excluded from
+        # the intersection. Members lagging a view behind deliver the
+        # difference from the closing list (duplicate suppression protects
+        # the advanced members).
+        old_responders = [
+            ok for a, ok in flush.replies.items()
+            if a in old_members and ok.view_id >= 0
+        ]
+        if old_responders:
+            delivered_by_all = set.intersection(
+                *[set(ok.delivered) for ok in old_responders]
+            )
+        else:
+            delivered_by_all = set()
+        ordered_ids = [m for _s, m in sorted(orderings.items())]
+        unordered = sorted(set(known) - set(ordered_ids))
+        closing = tuple(
+            (mid, known[mid][0], known[mid][1])
+            for mid in [*ordered_ids, *unordered]
+            if mid in known and mid not in delivered_by_all
+        )
+        primary = True
+        if self.config.primary_partition and self.view is not None:
+            survivors = set(flush.proposed) & old_members
+            primary = self.view.primary and len(survivors) * 2 > len(old_members)
+        new_view = NewView(
+            flush.epoch, flush.epoch[0], flush.proposed, closing, primary
+        )
+        self.kernel.log.info(
+            f"gcs@{self.address}",
+            f"installing view {flush.epoch[0]} members={flush.proposed} "
+            f"closing={len(closing)}",
+        )
+        for member in flush.proposed:
+            if member == self.address:
+                self._handle_new_view(self.address, new_view)
+            else:
+                self.transport.send(member, new_view)
+
+    def _handle_new_view(self, src: Address, nv: NewView) -> None:
+        if self._max_epoch is not None and nv.epoch < self._max_epoch:
+            return  # superseded by a newer flush we already promised
+        if self.view is not None and nv.view_id <= self.view.view_id:
+            return
+        if self.address not in nv.members:
+            return  # shouldn't happen (coordinator only sends to members)
+        self._max_epoch = max(self._max_epoch or nv.epoch, nv.epoch)
+        view = View(nv.view_id, tuple(sorted(nv.members)), nv.primary)
+        self._install_view(view, nv.closing)
+
+    # -- view installation ------------------------------------------------------
+
+    def _install_view(self, view: View, closing: tuple) -> None:
+        departed = (
+            set(self.view.members) - set(view.members) if self.view is not None else set()
+        )
+        for gone in departed:
+            self.transport.forget_peer(gone)
+        self.view = view
+        self._known_addresses |= set(view.members)
+        self._known_addresses.discard(self.address)
+        self.queue.start_view(view, closing)
+        self.engine.start_view(view, len(closing))
+        self.detector.monitor(view.members)
+        for member in view.members:
+            self.detector.forgive(member)
+        members = set(view.members)
+        self._extra_suspects -= members
+        self._pending_joiners -= members
+        # Any rejoin concern is resolved by this installation one way or the
+        # other; a racing rejoin will resend its JoinReq on its watchdog.
+        self._rejoining.clear()
+        self._pending_leavers &= members
+        self._flush = None
+        self._attempt = 0
+        self.state = NORMAL
+        self._last_stable_sent = -1
+        self._future_first_seen = None
+        self.stats["view_changes"] += 1
+        if self.on_view is not None:
+            self.on_view(view)
+        # Transitional deliveries: the agreed part of the closing list is
+        # deliverable immediately; SAFE entries wait for new-view stability.
+        self._broadcast_stable()
+        self._deliver_ready()
+        # Re-multicast own undelivered messages the closing did not carry.
+        closing_ids = {mid for mid, _s, _p in closing}
+        for msg_id, (service, payload) in sorted(self._own_pending.items()):
+            if msg_id not in closing_ids and not self.queue.was_delivered(msg_id):
+                self._send_data(msg_id, service, payload)
+        # Replay buffered traffic for this view; drop older buffers.
+        buffered = self._future.pop(view.view_id, [])
+        self._future = {v: msgs for v, msgs in self._future.items() if v > view.view_id}
+        for src, msg in buffered:
+            self._on_protocol(src, msg)
+        # Residual membership work (e.g. joiners queued during the change)?
+        self._maybe_initiate_flush()
+
+    # ------------------------------------------------------------------
+    # watchdog
+    # ------------------------------------------------------------------
+
+    def _watchdog_loop(self):
+        period = self.config.flush_timeout / 2
+        while True:
+            yield self.kernel.timeout(period)
+            if self.state == STOPPED:
+                return
+            now = self.kernel.now
+            if self.state == JOINING:
+                self._send_join_requests()
+            elif self.state == FLUSHING:
+                if now - self._flush_entered_at >= self.config.flush_timeout:
+                    self._flush_entered_at = now
+                    if self._flush is not None:
+                        # Our own attempt stalled: suspect the non-responders
+                        # and retry without them.
+                        missing = set(self._flush.proposed) - set(self._flush.replies)
+                        missing.discard(self.address)
+                        self._extra_suspects |= missing
+                        self._pending_joiners -= missing
+                        self._rejoining -= missing
+                        self._flush = None
+                    self._maybe_initiate_flush()
+                    # If after re-evaluation we are not the initiator and
+                    # nothing is dirty anymore, fall back to normal.
+                    if not self._membership_dirty() and self._flush is None:
+                        self.state = NORMAL
+            elif self.state == NORMAL:
+                if self._membership_dirty():
+                    self._maybe_initiate_flush()
+                elif (
+                    self._future
+                    and self._future_first_seen is not None
+                    and now - self._future_first_seen >= self.config.flush_timeout
+                ):
+                    self._rejoin_after_exclusion()
+                else:
+                    self._send_probes()
+
+    def _gc_loop(self):
+        while True:
+            yield self.kernel.timeout(self.config.gc_interval)
+            if self.state == STOPPED:
+                return
+            if self.state == NORMAL:
+                self.stats["gc_released"] = self.stats.get("gc_released", 0) + self.queue.gc()
+
+    def _send_probes(self) -> None:
+        """Anti-entropy: announce our view to known-but-foreign addresses."""
+        if self.view is None:
+            return
+        foreign = self._known_addresses - set(self.view.members)
+        if not foreign:
+            return
+        probe = Probe(self.view.view_id, self.view.size, self.view.coordinator)
+        for address in foreign:
+            self.transport.send_raw(address, probe)
+
+    def _rejoin_after_exclusion(self) -> None:
+        """We keep hearing traffic from views beyond ours: the group moved
+        on without us (false suspicion). Re-enter through whoever is
+        talking."""
+        contacts = sorted({src for msgs in self._future.values() for src, _m in msgs})
+        if not contacts:
+            return
+        self.kernel.log.warning(
+            f"gcs@{self.address}", f"excluded from group; rejoining via {contacts}"
+        )
+        self.stats["rejoins"] += 1
+        self._become_joiner(contacts)
+
+    def _become_joiner(self, contacts: list[Address]) -> None:
+        """Dissolve our current membership and re-enter as a fresh joiner.
+
+        Delivered-message ids are retained (duplicate suppression must span
+        the rejoin); everything view-scoped is discarded.
+        """
+        self.state = JOINING
+        self.view = None
+        self.engine.stop()
+        self._flush = None
+        self._max_epoch = None
+        self._attempt = 0
+        self._pending_joiners.clear()
+        self._pending_leavers.clear()
+        self._rejoining.clear()
+        self._extra_suspects.clear()
+        self._future.clear()
+        self._future_first_seen = None
+        self.detector.monitor(())
+        self._join_contacts = [c for c in contacts if c != self.address]
+        self._send_join_requests()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GroupMember {self.address} {self.state} view={self.view}>"
+
+
+def boot_static_group(members: list[GroupMember]) -> View:
+    """Boot several members into one initial view (test/startup helper)."""
+    addresses = [m.address for m in members]
+    for member in members:
+        member.boot(addresses)
+    return members[0].view

@@ -1,0 +1,197 @@
+"""Wire messages and delivery records of the group communication protocol.
+
+All protocol traffic is dataclasses tagged by type; the transport carries
+them opaquely. ``MessageId`` is the globally unique identity of one
+application multicast: ``(sender address, sender-local counter)`` — the
+counter never resets within a member's lifetime, and a restarted member is a
+new transport epoch whose traffic cannot be confused with its past life.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, NamedTuple
+
+from repro.net.address import Address
+
+__all__ = [
+    "MessageId",
+    "AGREED",
+    "SAFE",
+    "DataMsg",
+    "OrderMsg",
+    "StableMsg",
+    "Heartbeat",
+    "Probe",
+    "JoinReq",
+    "LeaveReq",
+    "FlushReq",
+    "FlushOk",
+    "NewView",
+    "TokenMsg",
+    "DeliveredMessage",
+]
+
+#: Delivery services (paper §3: totally ordered vs. safe/stable delivery).
+AGREED = "agreed"
+SAFE = "safe"
+
+
+class MessageId(NamedTuple):
+    """Globally unique multicast identity: (sender, per-sender counter)."""
+
+    sender: Address
+    counter: int
+
+    def __str__(self) -> str:
+        return f"{self.sender}#{self.counter}"
+
+
+@dataclass(frozen=True)
+class DataMsg:
+    """An application multicast's payload, fanned out to every member."""
+
+    msg_id: MessageId
+    view_id: int
+    service: str  # AGREED or SAFE
+    payload: Any
+
+
+@dataclass(frozen=True)
+class OrderMsg:
+    """Sequencer/token assignment of global sequence numbers to messages.
+
+    ``assignments`` maps global sequence number -> message id; a single
+    OrderMsg may batch several assignments.
+    """
+
+    view_id: int
+    assignments: tuple[tuple[int, MessageId], ...]
+
+
+@dataclass(frozen=True)
+class StableMsg:
+    """Member acknowledgement used for SAFE delivery.
+
+    ``acked_through`` is cumulative: the sender has agreed-ready copies of
+    every sequence number <= acked_through in this view.
+    """
+
+    view_id: int
+    acked_through: int
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Liveness beacon (sent unreliably)."""
+
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class Probe:
+    """Anti-entropy beacon to addresses outside the current view.
+
+    After a partition heals, the two sides hold disjoint views (possibly
+    with the same numeric view id) and exchange no group traffic, so neither
+    would ever notice the other. Members therefore periodically probe every
+    address they have ever shared a view with; a member receiving a probe
+    from a *foreign* group compares view identities and the losing side
+    (fewer members; tie broken toward the larger coordinator address)
+    dissolves member-by-member and rejoins the winner.
+    """
+
+    view_id: int
+    size: int
+    coordinator: Address
+
+
+@dataclass(frozen=True)
+class JoinReq:
+    """A new process asks a current member to bring it into the group."""
+
+    joiner: Address
+
+
+@dataclass(frozen=True)
+class LeaveReq:
+    """A member announces voluntary departure (handled as a failure, like
+    JOSHUA's shutdown-by-signal leave semantics)."""
+
+    leaver: Address
+
+
+@dataclass(frozen=True)
+class FlushReq:
+    """Coordinator starts a membership change.
+
+    ``epoch`` totally orders competing flush attempts:
+    ``(new_view_id, attempt, coordinator)`` compared lexicographically.
+    """
+
+    epoch: tuple
+    proposed_members: tuple[Address, ...]
+
+
+@dataclass(frozen=True)
+class FlushOk:
+    """A member's flush contribution: everything it knows about the current
+    view's traffic, so the coordinator can compute the union."""
+
+    epoch: tuple
+    sender: Address
+    #: message id -> (service, payload) for every DATA this member holds.
+    known: tuple[tuple[MessageId, tuple], ...]
+    #: global seq -> message id orderings this member has seen.
+    orderings: tuple[tuple[int, MessageId], ...]
+    #: message ids this member has already delivered (any view).
+    delivered: tuple[MessageId, ...]
+    #: view id this member has installed (-1 for joiners with no view); the
+    #: coordinator merges orderings only from the most advanced responders
+    #: and computes the globally-delivered set only over responders that
+    #: held a view at all.
+    view_id: int = -1
+
+
+@dataclass(frozen=True)
+class NewView:
+    """Coordinator's final decision ending a membership change."""
+
+    epoch: tuple
+    view_id: int
+    members: tuple[Address, ...]
+    #: The agreed closing sequence of the old view: messages every survivor
+    #: must deliver (in list order) before installing the new view. Each
+    #: entry carries full payload so members missing the DATA can recover.
+    closing: tuple[tuple[MessageId, str, Any], ...]
+    primary: bool = True
+
+
+@dataclass(frozen=True)
+class TokenMsg:
+    """Rotating-token ordering engine: the token itself.
+
+    ``next_seq`` is the next unassigned global sequence number.
+    """
+
+    view_id: int
+    next_seq: int
+
+
+@dataclass(frozen=True)
+class DeliveredMessage:
+    """What the application's ``on_deliver`` callback receives."""
+
+    msg_id: MessageId
+    sender: Address
+    payload: Any
+    service: str
+    view_id: int
+    #: Global sequence number within the view; -1 for messages delivered
+    #: from a view-change closing list (transitional delivery).
+    seq: int = -1
+    #: True when delivered while closing a view (extended virtual synchrony's
+    #: transitional configuration): total order still holds, but a SAFE
+    #: message delivered transitionally may not have reached members that
+    #: failed — exactly the EVS caveat.
+    transitional: bool = False

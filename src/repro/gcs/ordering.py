@@ -1,0 +1,188 @@
+"""Within-view total-order engines.
+
+Two interchangeable algorithms assign global sequence numbers to DATA
+messages inside one view; both produce a unique ``seq -> msg_id`` map and
+broadcast it in :class:`~repro.gcs.messages.OrderMsg` frames. A view change
+resets either engine — recovery of messages whose ordering was lost with a
+failed sequencer/token is the membership layer's job.
+
+**Sequencer** (default; paper-era systems like ISIS/Amoeba used this shape):
+the lowest-ranked view member assigns sequence numbers to every DATA it
+learns of, in arrival order, optionally batching assignments for
+``sequencer_batch_delay`` seconds. One broadcast per multicast; latency is
+one hop to the sequencer plus one ordering broadcast.
+
+**Token ring** (ablation; Totem/Transis lineage): a token carrying
+``next_seq`` circulates the ring; the holder orders *its own* pending
+messages, broadcasts the assignments, and forwards the token. Latency
+depends on token position (up to a full rotation), but ordering load is
+spread across members — the classic latency-vs-fairness trade-off the
+ablation bench quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.gcs.messages import MessageId, OrderMsg, TokenMsg
+from repro.gcs.view import View
+from repro.net.address import Address
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel
+
+__all__ = ["SequencerEngine", "TokenRingEngine", "make_engine"]
+
+
+class _EngineBase:
+    """Shared plumbing: who we are, current view, outbound hooks.
+
+    ``broadcast(msg)`` sends a protocol message to every view member
+    (including ourselves); ``send(dst, msg)`` is point-to-point. Both are
+    provided by the owning :class:`~repro.gcs.member.GroupMember`.
+    """
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        owner: Address,
+        broadcast: Callable[[object], None],
+        send: Callable[[Address, object], None],
+    ):
+        self.kernel = kernel
+        self.owner = owner
+        self.broadcast = broadcast
+        self.send = send
+        self.view: View | None = None
+        self.next_seq = 0
+
+    def start_view(self, view: View, next_seq: int) -> None:
+        self.view = view
+        self.next_seq = next_seq
+
+    def stop(self) -> None:
+        self.view = None
+
+    # Hooks a concrete engine may implement:
+    def on_data(self, msg_id: MessageId, *, own: bool) -> None:
+        """A DATA message became known locally (own=True if we sent it)."""
+
+    def on_token(self, src: Address, token: TokenMsg) -> None:
+        """Token engine only."""
+
+
+class SequencerEngine(_EngineBase):
+    """Lowest-ranked member assigns sequence numbers for everyone."""
+
+    def __init__(self, kernel, owner, broadcast, send, *, batch_delay: float = 0.0):
+        super().__init__(kernel, owner, broadcast, send)
+        self.batch_delay = batch_delay
+        self._assigned: set[MessageId] = set()
+        self._batch: list[tuple[int, MessageId]] = []
+        self._flusher = None
+
+    @property
+    def is_sequencer(self) -> bool:
+        return self.view is not None and self.view.coordinator == self.owner
+
+    def start_view(self, view: View, next_seq: int) -> None:
+        super().start_view(view, next_seq)
+        self._assigned.clear()
+        self._batch.clear()
+        self._flusher = None
+
+    def on_data(self, msg_id: MessageId, *, own: bool) -> None:
+        if not self.is_sequencer or msg_id in self._assigned:
+            return
+        self._assigned.add(msg_id)
+        assignment = (self.next_seq, msg_id)
+        self.next_seq += 1
+        if self.batch_delay <= 0:
+            self.broadcast(OrderMsg(self.view.view_id, (assignment,)))
+            return
+        self._batch.append(assignment)
+        if self._flusher is None or not self._flusher.is_alive:
+            self._flusher = self.kernel.spawn(self._flush_later(self.view.view_id))
+
+    def _flush_later(self, view_id: int):
+        yield self.kernel.timeout(self.batch_delay)
+        if self.view is None or self.view.view_id != view_id or not self._batch:
+            return
+        batch, self._batch = self._batch, []
+        self.broadcast(OrderMsg(view_id, tuple(batch)))
+
+
+class TokenRingEngine(_EngineBase):
+    """Token holder orders its own pending messages, then forwards the token.
+
+    The coordinator regenerates the token at every view installation with
+    the view's starting sequence number, so a token lost with a crashed
+    holder is recovered by the view change itself.
+    """
+
+    def __init__(self, kernel, owner, broadcast, send, *, idle_delay: float = 0.01):
+        super().__init__(kernel, owner, broadcast, send)
+        self.idle_delay = idle_delay
+        self._pending: list[MessageId] = []
+        self._generation = 0  # invalidates in-flight pass timers on view change
+
+    def start_view(self, view: View, next_seq: int) -> None:
+        super().start_view(view, next_seq)
+        self._generation += 1
+        # Own messages carried across a view change are re-announced via
+        # on_data by the member; start with an empty pending list.
+        self._pending = []
+        if view.coordinator == self.owner:
+            # Regenerate the token; we are its first holder.
+            self.on_token(self.owner, TokenMsg(view.view_id, next_seq))
+
+    def on_data(self, msg_id: MessageId, *, own: bool) -> None:
+        if own:
+            self._pending.append(msg_id)
+
+    def on_token(self, src: Address, token: TokenMsg) -> None:
+        if self.view is None or token.view_id != self.view.view_id:
+            return  # stale token from a previous view
+        seq = token.next_seq
+        if self._pending:
+            assignments = tuple((seq + i, m) for i, m in enumerate(self._pending))
+            seq += len(self._pending)
+            self._pending = []
+            self.broadcast(OrderMsg(self.view.view_id, assignments))
+            self._forward(TokenMsg(self.view.view_id, seq), delay=0.0)
+        else:
+            # Idle: keep circulating, but slowly, so an idle group does not
+            # saturate the simulated wire.
+            self._forward(TokenMsg(self.view.view_id, seq), delay=self.idle_delay)
+
+    def _forward(self, token: TokenMsg, *, delay: float) -> None:
+        view = self.view
+        generation = self._generation
+        successor = view.members[(view.rank_of(self.owner) + 1) % view.size]
+
+        if delay <= 0:
+            if successor == self.owner:
+                self.on_token(self.owner, token)
+            else:
+                self.send(successor, token)
+            return
+
+        def later():
+            yield self.kernel.timeout(delay)
+            if self.view is not view or self._generation != generation:
+                return
+            if successor == self.owner:
+                self.on_token(self.owner, token)
+            else:
+                self.send(successor, token)
+
+        self.kernel.spawn(later(), name=f"token-pass@{self.owner}")
+
+
+def make_engine(kind: str, kernel, owner, broadcast, send, *, batch_delay: float = 0.0):
+    """Factory selecting the ordering engine by config name."""
+    if kind == "sequencer":
+        return SequencerEngine(kernel, owner, broadcast, send, batch_delay=batch_delay)
+    if kind == "token":
+        return TokenRingEngine(kernel, owner, broadcast, send)
+    raise ValueError(f"unknown ordering engine {kind!r}")

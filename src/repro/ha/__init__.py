@@ -1,0 +1,66 @@
+"""High-availability models and availability analysis.
+
+The paper positions symmetric active/active replication against the other
+service-level HA models (§2, Figures 1-4). This package implements all of
+them on the same PBS substrate, under one measurement interface, so the
+comparison benches can run identical workloads and fault schedules through
+each:
+
+* :mod:`repro.ha.single` — the traditional Beowulf single head node
+  (Figure 1): the single point of failure and control.
+* :mod:`repro.ha.active_standby` — warm standby with periodic checkpoints
+  to shared storage and a failover monitor (Figure 2; HA-OSCAR/SLURM
+  style): a failover interrupts service for seconds, rolls back to the
+  last checkpoint, and restarts running applications.
+* :mod:`repro.ha.asymmetric` — multiple uncoordinated active heads
+  (Figure 3): throughput scales, but each head's state is still singular.
+* symmetric active/active — JOSHUA itself (:mod:`repro.joshua`), wrapped
+  by the same probe/report machinery via :mod:`repro.ha.probe`.
+* :mod:`repro.ha.availability` — the paper's Equations 1-3, the Figure 12
+  table, and a Monte-Carlo cross-check that simulates MTTF/MTTR failure
+  processes and measures empirical service availability.
+"""
+
+from repro.ha.availability import (
+    node_availability,
+    service_availability,
+    downtime_seconds_per_year,
+    nines,
+    format_duration,
+    figure12_row,
+    figure12_table,
+    monte_carlo_availability,
+)
+from repro.ha.correlated import (
+    correlated_service_availability,
+    correlated_table,
+    diminishing_returns,
+    monte_carlo_correlated,
+)
+from repro.ha.probe import ServiceProbe, WorkloadReport
+from repro.ha.raslog import RASCollector, RASEvent
+from repro.ha.single import SingleHeadSystem
+from repro.ha.active_standby import ActiveStandbySystem
+from repro.ha.asymmetric import AsymmetricSystem
+
+__all__ = [
+    "node_availability",
+    "service_availability",
+    "downtime_seconds_per_year",
+    "nines",
+    "format_duration",
+    "figure12_row",
+    "figure12_table",
+    "monte_carlo_availability",
+    "correlated_service_availability",
+    "correlated_table",
+    "diminishing_returns",
+    "monte_carlo_correlated",
+    "RASCollector",
+    "RASEvent",
+    "ServiceProbe",
+    "WorkloadReport",
+    "SingleHeadSystem",
+    "ActiveStandbySystem",
+    "AsymmetricSystem",
+]

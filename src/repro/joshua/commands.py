@@ -1,0 +1,144 @@
+"""The JOSHUA control commands: ``jsub``, ``jdel``, ``jstat``.
+
+PBS-interface-compliant replacements for ``qsub``/``qdel``/``qstat`` (the
+paper suggests ``alias qsub=jsub`` for 100 % interface compliance). Each
+invocation:
+
+1. charges the same client-binary startup cost as the q-commands,
+2. contacts a head node's joshua server (preferring a configured or
+   caller-chosen head),
+3. fails over to the next head on timeout or while a head is still joining,
+4. is exactly-once end to end: the command carries a UUID, so a retry after
+   a half-processed attempt returns the original result instead of
+   re-executing.
+
+Commands may run from any node — a head node, a compute node, or a login
+node (paper: "The JOSHUA control commands may be invoked on any of the
+active head nodes or from a separate login node").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator
+
+from repro.joshua.wire import JDelReq, JStatReq, JSubReq
+from repro.net.address import Address
+from repro.net.network import Network
+from repro.pbs.job import JobSpec
+from repro.pbs.service_times import ERA_2006, ServiceTimes
+from repro.pbs.wire import RpcTimeout, rpc_call
+from repro.util.errors import NoActiveHeadError, PBSError
+
+__all__ = ["JoshuaClient"]
+
+_UUID_COUNTER = itertools.count(1)
+_JOSHUA_PORT = 4412
+
+
+class JoshuaClient:
+    """jsub/jdel/jstat runner on one node, aware of every head node."""
+
+    def __init__(
+        self,
+        network: Network,
+        node: str,
+        heads: list[str],
+        *,
+        service_times: ServiceTimes = ERA_2006,
+        timeout: float = 5.0,
+        prefer: str | None = None,
+    ):
+        if not heads:
+            raise NoActiveHeadError("no head nodes configured")
+        self.network = network
+        self.node = node
+        self.heads = list(heads)
+        self.times = service_times
+        self.timeout = timeout
+        self.prefer = prefer
+        self.stats = {"failovers": 0}
+
+    def _uuid(self, kind: str) -> str:
+        return f"{kind}-{self.node}-{next(_UUID_COUNTER)}"
+
+    def _ordered_heads(self) -> list[str]:
+        heads = list(self.heads)
+        if self.prefer in heads:
+            heads.remove(self.prefer)
+            heads.insert(0, self.prefer)
+        return heads
+
+    def _call(self, payload) -> Generator:
+        yield self.network.kernel.timeout(self.times.client_startup)
+        last_error: Exception | None = None
+        for head in self._ordered_heads():
+            if not self.network.node_is_up(head):
+                # Models the instant connection-refused a dead node's TCP
+                # stack (or ARP failure) produces, vs. a full RPC timeout.
+                self.stats["failovers"] += 1
+                continue
+            try:
+                response = yield from rpc_call(
+                    self.network, self.node, Address(head, _JOSHUA_PORT),
+                    payload, timeout=self.timeout, retries=0,
+                )
+                return response
+            except RpcTimeout as exc:
+                last_error = exc
+                self.stats["failovers"] += 1
+                continue
+            except PBSError as exc:
+                if "joining" in str(exc):
+                    last_error = exc
+                    self.stats["failovers"] += 1
+                    continue
+                raise
+        raise NoActiveHeadError(
+            f"no active head answered {type(payload).__name__}: {last_error}"
+        )
+
+    def jsub(self, spec: JobSpec | None = None, **spec_kwargs) -> Generator:
+        """Submit a job to the replicated service; returns the job id."""
+        spec = spec or JobSpec(**spec_kwargs)
+        response = yield from self._call(JSubReq(self._uuid("jsub"), spec))
+        return response.job_id
+
+    def jdel(self, job_id: str) -> Generator:
+        """Delete a job on every active head."""
+        response = yield from self._call(JDelReq(self._uuid("jdel"), job_id))
+        return response.job_id
+
+    def jstat(self, job_id: str | None = None) -> Generator:
+        """Totally-ordered status query; rows from the answering head."""
+        response = yield from self._call(JStatReq(self._uuid("jstat"), job_id))
+        return list(response.rows)
+
+    def jsig(self, job_id: str, signal: str = "SIGTERM") -> Generator:
+        """Signal a running job — the qsig passthrough.
+
+        The paper deliberately provides no replicated jsig "as this
+        operation does not appear to change the state of the HPC job and
+        resource management service. The original PBS command may be
+        executed independently of JOSHUA." We do exactly that: a plain
+        qsig against the first live head's local PBS server, bypassing the
+        group entirely.
+        """
+        from repro.pbs.wire import SignalReq, rpc_call
+        from repro.pbs.server import PBS_SERVER_PORT
+
+        yield self.network.kernel.timeout(self.times.client_startup)
+        last: Exception | None = None
+        for head in self._ordered_heads():
+            if not self.network.node_is_up(head):
+                continue
+            try:
+                response = yield from rpc_call(
+                    self.network, self.node, Address(head, PBS_SERVER_PORT),
+                    SignalReq(job_id, signal), timeout=self.timeout,
+                )
+                return response.detail
+            except RpcTimeout as exc:
+                last = exc
+                continue
+        raise NoActiveHeadError(f"no head answered qsig: {last}")

@@ -1,0 +1,87 @@
+"""``jmutex`` / ``jdone``: the distributed mutual exclusion in the mom's
+job-start prologue.
+
+Paper §4: "The JOSHUA scripts are part of the job start prologue and
+perform a distributed mutual exclusion using the Transis group
+communication system to ensure that the job gets started only once, and to
+emulate the job start for all other attempts for this particular job. Once
+the job has finished, the distributed mutual exclusion is released."
+
+:func:`install_jmutex` wires a :class:`~repro.pbs.mom.PBSMom` with:
+
+* a prologue hook that asks the attempting head's joshua server for the
+  launch decision (the joshua servers arbitrate via SAFE-multicast claims;
+  first claim in the total order wins). A silent joshua (its head just
+  died) yields ``"emulate"`` — the launch-mutex revocation at the next view
+  change requeues the job if the winner never actually launched it;
+* an ``on_job_start`` notifier (the winning attempt confirms the launch
+  really happened — this is what protects against revoking a job that *is*
+  running);
+* an ``on_job_done`` notifier (``jdone``: release the mutex so a recovered
+  or re-run job id can be re-arbitrated).
+
+Both notifiers try every known head until one accepts, so the records
+survive the death of the head that happened to win.
+"""
+
+from __future__ import annotations
+
+from repro.joshua.wire import JDoneReq, JMutexReq, JStartedReq
+from repro.net.address import Address
+from repro.pbs.mom import PBSMom
+from repro.pbs.wire import JobStartReq, JobObit, RpcTimeout, rpc_call
+from repro.util.errors import PBSError
+
+__all__ = ["install_jmutex"]
+
+#: Must match repro.joshua.server.JOSHUA_PORT (redeclared to avoid an
+#: import cycle; asserted equal in tests).
+_JOSHUA_PORT = 4412
+
+
+def install_jmutex(mom: PBSMom, *, timeout: float = 2.0) -> None:
+    """Attach the jmutex prologue hook and jdone epilogue to *mom*."""
+
+    def jmutex_hook(mom_: PBSMom, req: JobStartReq):
+        if req.server is None:
+            return "run"  # not a server-driven attempt; nothing to arbitrate
+        joshua = Address(req.server.node, _JOSHUA_PORT)
+        try:
+            response = yield from rpc_call(
+                mom_.node.network, mom_.node.name, joshua,
+                JMutexReq(req.job_id, req.server.node),
+                timeout=timeout,
+            )
+            return response.decision
+        except (RpcTimeout, PBSError):
+            # The attempting head died mid-prologue. Emulating is the safe
+            # answer: if the real winner also never launches, the view
+            # change revokes the claim and the job is re-dispatched.
+            return "emulate"
+
+    def _notify_all_heads(request) -> None:
+        """Fire-and-forget to the first head that answers."""
+
+        def notifier():
+            heads = sorted({s.node for s in mom.servers})
+            for head in heads:
+                try:
+                    yield from rpc_call(
+                        mom.node.network, mom.node.name,
+                        Address(head, _JOSHUA_PORT), request, timeout=timeout,
+                    )
+                    return
+                except (RpcTimeout, PBSError):
+                    continue
+
+        mom.spawn(notifier(), name=f"{mom.tag}-jnotify")
+
+    def on_start(req: JobStartReq) -> None:
+        _notify_all_heads(JStartedReq(req.job_id))
+
+    def on_done(obit: JobObit) -> None:
+        _notify_all_heads(JDoneReq(obit.job_id))
+
+    mom.prologue_hooks.append(jmutex_hook)
+    mom.on_job_start = on_start
+    mom.on_job_done = on_done

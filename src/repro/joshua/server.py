@@ -1,0 +1,564 @@
+"""The ``joshua`` server daemon: one per active head node.
+
+Replication model (paper §4): the daemon accepts ``jsub``/``jdel``/``jstat``
+from clients, multicasts each command through the group communication
+system with SAFE service (totally ordered *and* stable — the delivered-once
+output guarantee rides on stability), and a strictly serial executor applies
+delivered commands to the **local** TORQUE server through the ordinary PBS
+wire protocol. Identical command order + deterministic server/scheduler =
+identical replica state; the head that took the client connection relays
+its local output back — exactly once, because commands are deduplicated by
+UUID across client retries and head failovers.
+
+Launch mutual exclusion (``jmutex``/``jdone``): every head's scheduler
+independently dispatches each job, so the mom receives one start attempt
+per head. Each attempt's prologue asks its head's joshua server, which
+multicasts a SAFE :class:`~repro.joshua.wire.Claim`; the first claim in the
+total order wins and only that head's attempt replies ``"run"`` — the rest
+emulate. ``jdone`` (from the mom's epilogue) releases the mutex. If a
+winner head dies *before* its launch actually happened, every surviving
+server notices at the next view change (claim present, no
+:class:`~repro.joshua.wire.Started`, winner not in view) and issues a local
+``qrerun``, so the job is re-dispatched and re-arbitrated rather than
+stranded in an emulated RUNNING state.
+
+Join protocol: a joining server enters the group, multicasts an
+:class:`~repro.joshua.wire.XferMarker` to pin a cut in the command stream,
+discards deliveries ordered before its own marker, and asks the *sponsor*
+(lowest-ranked other member) for the state as of the marker. The sponsor
+captures its local queue exactly when its serial executor reaches the
+marker, so joiner state + post-marker commands ≡ sponsor state. Two
+transfer modes: ``"replay"`` re-submits live jobs through the PBS interface
+(the prototype's approach; held jobs cannot be transferred — reproduced
+limitation), ``"snapshot"`` bulk-loads job records (the future-work mode).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.cluster.daemon import Daemon
+from repro.gcs.config import GroupConfig
+from repro.gcs.member import GroupMember
+from repro.gcs.messages import SAFE, DeliveredMessage
+from repro.gcs.view import View
+from repro.joshua.config import ERA_2006_JOSHUA, JOSHUA_GROUP_CONFIG, JoshuaTimes
+from repro.joshua.wire import (
+    Claim,
+    Command,
+    Done,
+    JDelReq,
+    JDoneReq,
+    JMutexReq,
+    JMutexResp,
+    JStartedReq,
+    JStatReq,
+    JSubReq,
+    Started,
+    StateXferReq,
+    StateXferResp,
+    XferMarker,
+)
+from repro.net.address import Address
+from repro.pbs.job import JobSpec
+from repro.pbs.server import PBS_SERVER_PORT
+from repro.pbs.wire import (
+    DeleteReq,
+    ErrorResp,
+    LoadStateReq,
+    PurgeReq,
+    RerunReq,
+    RpcTimeout,
+    StatReq,
+    SubmitReq,
+    rpc_call,
+)
+from repro.pbs.job import Job, JobState
+from repro.sim.resources import Store
+from repro.util.errors import JoshuaError, PBSError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+
+__all__ = ["JoshuaServer", "JOSHUA_PORT", "JOSHUA_GCS_PORT"]
+
+JOSHUA_PORT = 4412
+JOSHUA_GCS_PORT = 4413
+
+_MARKER_COUNTER = itertools.count(1)
+
+
+class _MutexEntry:
+    __slots__ = ("winner", "started")
+
+    def __init__(self, winner: str, started: bool = False):
+        self.winner = winner
+        self.started = started
+
+
+class JoshuaServer(Daemon):
+    """The joshua daemon on one head node.
+
+    Parameters
+    ----------
+    node:
+        Hosting head node (must also run a PBS server + scheduler).
+    initial_heads:
+        Names of the founding head nodes (including this one) — the static
+        bootstrap group. Mutually exclusive with *contacts*.
+    contacts:
+        For a later-joining head: names of head nodes to join through.
+    group_config / times:
+        Protocol calibration.
+    state_transfer:
+        ``"replay"`` (paper-faithful) or ``"snapshot"`` (extension).
+    moms:
+        Mom addresses, for post-view-change server-list announcements.
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        *,
+        initial_heads: list[str] | None = None,
+        contacts: list[str] | None = None,
+        group_config: GroupConfig = JOSHUA_GROUP_CONFIG,
+        times: JoshuaTimes = ERA_2006_JOSHUA,
+        state_transfer: str = "replay",
+        moms: list[Address] | None = None,
+    ):
+        super().__init__(node, "joshua", JOSHUA_PORT)
+        if (initial_heads is None) == (contacts is None):
+            raise JoshuaError("exactly one of initial_heads/contacts required")
+        if state_transfer not in ("replay", "snapshot"):
+            raise JoshuaError(f"unknown state_transfer mode {state_transfer!r}")
+        self.initial_heads = list(initial_heads or [])
+        self.contacts = list(contacts or [])
+        self.times = times
+        self.state_transfer = state_transfer
+        self.moms = list(moms or [])
+        self.local_pbs = Address(node.name, PBS_SERVER_PORT)
+
+        self.group = GroupMember(
+            node.network.bind(node.name, JOSHUA_GCS_PORT),
+            group_config,
+            on_deliver=self._on_deliver,
+            on_view=self._on_view,
+        )
+
+        #: Fully in service (joined + state transferred).
+        self.active = False
+        #: While syncing: drop deliveries ordered before our own marker.
+        self._syncing_marker: str | None = None
+        self._marker_seen = False
+        self._xfer_responses: dict[str, StateXferResp] = {}
+        self._xfer_waiters: dict[str, object] = {}
+        self._applied_markers: set[str] = set()
+
+        #: uuid -> cached local result (output dedup across retries).
+        self.results: dict[str, object] = {}
+        #: uuid -> [(client src, rpc id)] awaiting the result.
+        self._pending_replies: dict[str, list[tuple[Address, int]]] = {}
+        #: uuids this server has multicast (avoid re-multicast on retry).
+        self._multicast_uuids: set[str] = set()
+
+        #: Launch mutual exclusion state: job_id -> entry.
+        self.mutex: dict[str, _MutexEntry] = {}
+        self._claimed: set[str] = set()  # job_ids we have claimed ourselves
+        self._mutex_waiters: dict[str, list[tuple[Address, int]]] = {}
+
+        #: Replicated command log (delivered order) — used by tests and by
+        #: replay-mode diagnostics; state transfer itself snapshots the
+        #: local queue rather than replaying from time zero.
+        self.command_log: list[Command] = []
+
+        self._executor_queue: Store = Store(self.kernel)
+        self.stats = {"commands": 0, "executed": 0, "claims": 0, "revocations": 0,
+                      "state_transfers_served": 0}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.spawn(self._executor(), name=f"{self.tag}-executor")
+        if self.initial_heads:
+            self.group.boot(
+                [Address(h, JOSHUA_GCS_PORT) for h in self.initial_heads]
+            )
+            self.active = True
+        else:
+            self.group.join([Address(h, JOSHUA_GCS_PORT) for h in self.contacts])
+
+    def on_stop(self, *, crashed: bool) -> None:
+        self.group.stop()
+
+    def leave(self) -> None:
+        """Voluntary departure — handled as a forced failure (paper §4:
+        the JOSHUA server shuts down via a signal)."""
+        self.group.leave()
+        self.stop()
+
+    @property
+    def head_name(self) -> str:
+        return self.node.name
+
+    # ------------------------------------------------------------------
+    # client / mom RPC handling
+    # ------------------------------------------------------------------
+
+    def run(self):
+        while True:
+            delivery = yield self.endpoint.recv()
+            frame = delivery.payload
+            if not isinstance(frame, tuple) or not frame:
+                continue
+            if frame[0] == "RPC":
+                _tag, request_id, payload = frame
+                self.spawn(
+                    self._handle_rpc(delivery.src, request_id, payload),
+                    name=f"{self.tag}-rpc{request_id}",
+                )
+            elif frame[0] == "XFER":
+                self._handle_xfer_response(frame[1])
+
+    def _reply(self, dst: Address, request_id: int, response) -> None:
+        if self.running and not self.endpoint.closed:
+            self.endpoint.send(dst, ("RPC-R", request_id, response))
+
+    def _handle_rpc(self, src: Address, request_id: int, payload):
+        if isinstance(payload, (JSubReq, JDelReq, JStatReq)):
+            yield self.kernel.timeout(self.times.cmd_receive)
+            self._handle_command(src, request_id, payload)
+        elif isinstance(payload, JMutexReq):
+            yield self.kernel.timeout(self.times.mutex_process)
+            self._handle_jmutex(src, request_id, payload)
+        elif isinstance(payload, JStartedReq):
+            yield self.kernel.timeout(self.times.mutex_process)
+            if self.group.view is not None and self.active:
+                self.group.multicast(Started(payload.job_id))
+            self._reply(src, request_id, JMutexResp("ok"))
+        elif isinstance(payload, JDoneReq):
+            yield self.kernel.timeout(self.times.mutex_process)
+            if self.group.view is not None and self.active:
+                self.group.multicast(Done(payload.job_id))
+            self._reply(src, request_id, JMutexResp("ok"))
+        elif isinstance(payload, StateXferReq):
+            yield self.kernel.timeout(self.times.cmd_receive)
+            # Served from the executor when it reaches the marker; a direct
+            # request here means the joiner retried — re-serve if captured.
+            self._reply(src, request_id, ErrorResp("retry", "marker not reached"))
+        else:
+            self._reply(src, request_id, ErrorResp("bad-request", str(type(payload))))
+
+    def _handle_command(self, src: Address, request_id: int, payload) -> None:
+        if not self.active:
+            self._reply(src, request_id, ErrorResp("joining", "head is joining; retry another"))
+            return
+        uuid = payload.uuid
+        if uuid in self.results:
+            self._reply(src, request_id, self.results[uuid])
+            return
+        self._pending_replies.setdefault(uuid, []).append((src, request_id))
+        if uuid in self._multicast_uuids:
+            return  # already in flight; the delivery will answer
+        self._multicast_uuids.add(uuid)
+        if isinstance(payload, JSubReq):
+            command = Command(uuid, "jsub", payload.spec)
+        elif isinstance(payload, JDelReq):
+            command = Command(uuid, "jdel", payload.job_id)
+        else:
+            command = Command(uuid, "jstat", payload.job_id)
+        self.stats["commands"] += 1
+        self.group.multicast(command, service=SAFE)
+
+    # ------------------------------------------------------------------
+    # jmutex
+    # ------------------------------------------------------------------
+
+    def _handle_jmutex(self, src: Address, request_id: int, req: JMutexReq) -> None:
+        entry = self.mutex.get(req.job_id)
+        if entry is not None:
+            decision = "run" if entry.winner == req.head else "emulate"
+            self._reply(src, request_id, JMutexResp(decision, entry.winner))
+            return
+        self._mutex_waiters.setdefault(req.job_id, []).append((src, request_id))
+        if req.job_id not in self._claimed and self.group.view is not None:
+            self._claimed.add(req.job_id)
+            self.stats["claims"] += 1
+            self.group.multicast(Claim(req.job_id, self.head_name), service=SAFE)
+
+    def _flush_mutex_waiters(self, job_id: str) -> None:
+        entry = self.mutex.get(job_id)
+        if entry is None:
+            return
+        for src, request_id in self._mutex_waiters.pop(job_id, []):
+            decision = "run" if entry.winner == self.head_name else "emulate"
+            self._reply(src, request_id, JMutexResp(decision, entry.winner))
+
+    # ------------------------------------------------------------------
+    # group delivery
+    # ------------------------------------------------------------------
+
+    def _on_deliver(self, msg: DeliveredMessage) -> None:
+        payload = msg.payload
+        if self._syncing_marker is not None and not self._marker_seen:
+            # Everything ordered before our own marker is covered by the
+            # state transfer; drop it.
+            if not (
+                isinstance(payload, XferMarker)
+                and payload.marker_uuid == self._syncing_marker
+            ):
+                return
+        if isinstance(payload, (Command, XferMarker)):
+            self._executor_queue.put_nowait(msg)
+            if isinstance(payload, XferMarker) and payload.marker_uuid == self._syncing_marker:
+                self._marker_seen = True
+        elif isinstance(payload, Claim):
+            if payload.job_id not in self.mutex:
+                self.mutex[payload.job_id] = _MutexEntry(payload.head)
+            self._flush_mutex_waiters(payload.job_id)
+        elif isinstance(payload, Started):
+            entry = self.mutex.get(payload.job_id)
+            if entry is not None:
+                entry.started = True
+        elif isinstance(payload, Done):
+            self.mutex.pop(payload.job_id, None)
+            self._claimed.discard(payload.job_id)
+
+    def _on_view(self, view: View) -> None:
+        if self._syncing_marker is None and not self.active and self.contacts:
+            # First view containing us after a join: pin the transfer cut.
+            marker = XferMarker(
+                f"xfer-{self.node.name}-{next(_MARKER_COUNTER)}",
+                self.address,
+            )
+            self._syncing_marker = marker.marker_uuid
+            self._marker_seen = False
+            self.group.multicast(marker)
+        # Launch-mutex revocation: claims whose winner left the view without
+        # the job having started will never launch; requeue deterministically.
+        member_nodes = {m.node for m in view.members}
+        doomed = sorted(
+            job_id
+            for job_id, entry in self.mutex.items()
+            if entry.winner not in member_nodes and not entry.started
+        )
+        for job_id in doomed:
+            self.mutex.pop(job_id, None)
+            self._claimed.discard(job_id)
+            self.stats["revocations"] += 1
+            self._executor_queue.put_nowait(("revoke", job_id))
+        # Tell every mom the current server set, so obituaries (and future
+        # start attempts) reach exactly the live heads.
+        if view.members and view.coordinator == self.group.address:
+            servers = sorted(Address(m.node, PBS_SERVER_PORT) for m in view.members)
+            for mom in self.moms:
+                if not self.endpoint.closed:
+                    self.endpoint.send(mom, ("ADMIN-SERVERS", servers))
+
+    # ------------------------------------------------------------------
+    # serial executor
+    # ------------------------------------------------------------------
+
+    def _executor(self):
+        while True:
+            item = yield self._executor_queue.get()
+            if isinstance(item, tuple) and item and item[0] == "revoke":
+                yield from self._execute_revoke(item[1])
+                continue
+            payload = item.payload
+            if isinstance(payload, XferMarker):
+                yield from self._execute_marker(payload)
+            elif isinstance(payload, Command):
+                if not self.active and self._syncing_marker is not None:
+                    # Commands queued between an abandoned marker and its
+                    # replacement are covered by the fresh capture.
+                    continue
+                yield from self._execute_command(payload)
+
+    def _local_rpc(self, payload, *, timeout: float = 3.0, retries: int = 2):
+        response = yield from rpc_call(
+            self.node.network, self.node.name, self.local_pbs, payload,
+            timeout=timeout, retries=retries,
+        )
+        return response
+
+    def _execute_command(self, command: Command):
+        if command.uuid in self.results:
+            self._answer(command.uuid)
+            return
+        self.command_log.append(command)
+        try:
+            if command.kind == "jsub":
+                response = yield from self._local_rpc(SubmitReq(command.payload))
+                result = response
+            elif command.kind == "jdel":
+                response = yield from self._local_rpc(DeleteReq(command.payload))
+                result = response
+            elif command.kind == "jstat":
+                response = yield from self._local_rpc(StatReq(command.payload))
+                result = response
+            else:  # pragma: no cover - protocol guard
+                result = ErrorResp("bad-command", command.kind)
+        except PBSError as exc:
+            result = ErrorResp("pbs-error", str(exc))
+        self.results[command.uuid] = result
+        self.stats["executed"] += 1
+        yield self.kernel.timeout(self.times.cmd_reply)
+        self._answer(command.uuid)
+
+    def _answer(self, uuid: str) -> None:
+        result = self.results.get(uuid)
+        for src, request_id in self._pending_replies.pop(uuid, []):
+            self._reply(src, request_id, result)
+
+    def _execute_revoke(self, job_id: str):
+        try:
+            yield from self._local_rpc(RerunReq(job_id), retries=1)
+            self.log.warning(self.tag, f"requeued {job_id}: launch winner died pre-start")
+        except PBSError:
+            pass  # job not running locally (already finished or unknown)
+
+    # ------------------------------------------------------------------
+    # state transfer
+    # ------------------------------------------------------------------
+
+    def _execute_marker(self, marker: XferMarker):
+        if marker.joiner == self.address:
+            yield from self._receive_state(marker)
+        else:
+            yield from self._serve_state(marker)
+
+    def _serve_state(self, marker: XferMarker):
+        # Sponsor = lowest-ranked member other than the joiner. Everyone
+        # else just passes the marker (their executor position is the same).
+        view = self.group.view
+        if view is None or not self.active:
+            return
+        # marker.joiner is the joiner's *joshua* endpoint; members are GCS
+        # endpoints — compare by node.
+        others = [m for m in view.members if m.node != marker.joiner.node]
+        if not others or min(others) != self.group.address:
+            return
+        response = yield from self._capture_state(marker)
+        self.stats["state_transfers_served"] += 1
+        if not self.endpoint.closed:
+            self.endpoint.send(marker.joiner, ("XFER", response))
+
+    def _capture_state(self, marker: XferMarker):
+        stat = yield from self._local_rpc(StatReq(None))
+        rows = list(stat.rows)
+        next_seq = 1 + max((int(r["job_id"].split(".")[0]) for r in rows), default=0)
+        live = [r for r in rows if r["state"] in ("Q", "R", "E", "H", "W")]
+        skipped: list[str] = []
+        items: list = []
+        if self.state_transfer == "replay":
+            for row in live:
+                if row["state"] == "H":
+                    # The paper's documented limitation: command replay
+                    # cannot reconstruct held jobs consistently.
+                    skipped.append(row["job_id"])
+                    continue
+                items.append(("submit", self._spec_from_row(row), row["job_id"]))
+        else:
+            for row in live:
+                items.append(self._job_from_row(row))
+        mutex = tuple(
+            (job_id, entry.winner, entry.started)
+            for job_id, entry in sorted(self.mutex.items())
+        )
+        return StateXferResp(
+            marker.marker_uuid,
+            self.state_transfer,
+            tuple(items),
+            next_seq,
+            mutex,
+            tuple(skipped),
+        )
+
+    @staticmethod
+    def _spec_from_row(row: dict) -> JobSpec:
+        return JobSpec(
+            name=row["name"],
+            owner=row["owner"],
+            nodes=row["nodes"],
+            walltime=row["walltime"],
+            queue=row["queue"],
+        )
+
+    def _job_from_row(self, row: dict) -> Job:
+        state = JobState(row["state"])
+        job = Job(
+            row["job_id"],
+            self._spec_from_row(row),
+            submit_time=self.kernel.now,
+            comment="state transfer",
+        )
+        if state in (JobState.RUNNING, JobState.EXITING):
+            job = job.transition(
+                JobState.RUNNING,
+                start_time=self.kernel.now,
+                exec_nodes=tuple(row["exec_nodes"]),
+                run_count=1,
+            )
+        elif state is JobState.HELD:
+            job = job.transition(JobState.HELD)
+        elif state is JobState.WAITING:
+            job = job.transition(JobState.WAITING)
+        return job
+
+    def _handle_xfer_response(self, response: StateXferResp) -> None:
+        self._xfer_responses[response.marker_uuid] = response
+        waiter = self._xfer_waiters.pop(response.marker_uuid, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(response)
+
+    def _receive_state(self, marker: XferMarker):
+        uuid = marker.marker_uuid
+        if uuid in self._applied_markers or uuid != self._syncing_marker:
+            return  # stale marker; we moved on to a fresh cut
+        if uuid not in self._xfer_responses:
+            waiter = self.kernel.event()
+            self._xfer_waiters[uuid] = waiter
+            deadline = self.kernel.timeout(self.group.config.flush_timeout * 4)
+            yield self.kernel.any_of([waiter, deadline])
+            if not waiter.triggered:
+                # Sponsor silent (likely died mid-capture): pin a fresh cut.
+                self._xfer_waiters.pop(uuid, None)
+                fresh = XferMarker(
+                    f"xfer-{self.node.name}-{next(_MARKER_COUNTER)}", self.address
+                )
+                self._syncing_marker = fresh.marker_uuid
+                self._marker_seen = False
+                self.group.multicast(fresh)
+                return  # the fresh marker's delivery re-enters here
+        response = self._xfer_responses[uuid]
+        self._applied_markers.add(uuid)
+        # Discard any stale local state (a rejoining head recovered its old
+        # queue from disk; the transferred state supersedes it).
+        yield from self._local_rpc(PurgeReq())
+        if response.mode == "replay":
+            # "Configuration file modification": align the id counter first,
+            # then replay the live jobs through the ordinary PBS interface.
+            yield from self._local_rpc(LoadStateReq((), response.next_seq))
+            for _kind, spec, job_id in response.items:
+                try:
+                    yield from self._local_rpc(SubmitReq(spec, force_job_id=job_id))
+                except PBSError as exc:  # pragma: no cover - replay guard
+                    self.log.error(self.tag, f"replay of {job_id} failed: {exc}")
+            if response.skipped:
+                self.log.warning(
+                    self.tag,
+                    f"replay could not transfer held jobs: {list(response.skipped)}",
+                )
+        else:
+            yield from self._local_rpc(
+                LoadStateReq(tuple(response.items), response.next_seq)
+            )
+        for job_id, winner, started in response.mutex:
+            self.mutex.setdefault(job_id, _MutexEntry(winner, started))
+        self._syncing_marker = None
+        self.active = True
+        self.log.info(self.tag, f"state transfer complete ({response.mode}), now active")

@@ -1,0 +1,139 @@
+"""JOSHUA wire messages: client commands, mutex traffic, state transfer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.net.address import Address
+from repro.pbs.job import JobSpec
+
+__all__ = [
+    "JSubReq", "JDelReq", "JStatReq",
+    "JMutexReq", "JMutexResp", "JStartedReq", "JDoneReq",
+    "StateXferReq", "StateXferResp",
+    "Command", "Claim", "Started", "Done", "XferMarker",
+]
+
+
+# -- client -> joshua server ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JSubReq:
+    """``jsub``: replicated job submission."""
+
+    uuid: str
+    spec: JobSpec
+
+
+@dataclass(frozen=True)
+class JDelReq:
+    """``jdel``: replicated job deletion."""
+
+    uuid: str
+    job_id: str
+
+
+@dataclass(frozen=True)
+class JStatReq:
+    """``jstat``: status query, ordered with the state changes so every
+    user sees a queue consistent with the command order."""
+
+    uuid: str
+    job_id: str | None = None
+
+
+# -- mom prologue/epilogue -> joshua server ----------------------------------------
+
+
+@dataclass(frozen=True)
+class JMutexReq:
+    """``jmutex``: may this head's start attempt actually launch the job?"""
+
+    job_id: str
+    head: str  # head-node name of the attempting server
+
+
+@dataclass(frozen=True)
+class JMutexResp:
+    decision: str  # "run" | "emulate"
+    winner: str | None = None
+
+
+@dataclass(frozen=True)
+class JStartedReq:
+    """The winning attempt really did start the job on the mom."""
+
+    job_id: str
+
+
+@dataclass(frozen=True)
+class JDoneReq:
+    """``jdone``: the job finished; release the launch mutex."""
+
+    job_id: str
+
+
+# -- state transfer ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StateXferReq:
+    """Joiner -> sponsor: send me the state as of my marker."""
+
+    marker_uuid: str
+    joiner: Address
+
+
+@dataclass(frozen=True)
+class StateXferResp:
+    marker_uuid: str
+    mode: str  # "replay" | "snapshot"
+    #: replay: tuple of (kind, payload) commands to re-execute;
+    #: snapshot: tuple of Job records.
+    items: tuple
+    next_seq: int
+    #: job_id -> (winner head, started) launch-mutex entries.
+    mutex: tuple
+    #: Job ids the sponsor could not transfer (held jobs in replay mode —
+    #: the paper's documented limitation).
+    skipped: tuple = ()
+
+
+# -- group multicast payloads --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Command:
+    """A totally ordered user command, executed at every head."""
+
+    uuid: str
+    kind: str  # "jsub" | "jdel" | "jstat"
+    payload: Any
+
+
+@dataclass(frozen=True)
+class Claim:
+    """SAFE-delivered launch-mutex claim; first claim per job wins."""
+
+    job_id: str
+    head: str
+
+
+@dataclass(frozen=True)
+class Started:
+    job_id: str
+
+
+@dataclass(frozen=True)
+class Done:
+    job_id: str
+
+
+@dataclass(frozen=True)
+class XferMarker:
+    """Joiner's cut point in the command stream for state transfer."""
+
+    marker_uuid: str
+    joiner: Address

@@ -1,0 +1,48 @@
+"""Simulated network substrate.
+
+Models the paper's testbed LAN — a single Fast Ethernet (100 Mbit/s) segment
+connecting head nodes and compute nodes — plus the fault injection the paper
+performed by unplugging network cables.
+
+Layers
+------
+:mod:`repro.net.address`
+    ``Address = (node, port)`` endpoints and delivered-message records.
+:mod:`repro.net.link`
+    Latency/bandwidth/jitter/loss models for a message on the wire.
+:mod:`repro.net.network`
+    The :class:`Network` fabric: endpoint registry, datagram delivery with
+    node-down/partition/loss semantics, optional shared-medium contention.
+:mod:`repro.net.partition`
+    Named partition/link-cut bookkeeping used by :class:`Network`.
+:mod:`repro.net.transport`
+    :class:`ReliableChannel` — per-peer FIFO channels with sequence numbers,
+    positive acks, retransmission and duplicate suppression, built on the
+    lossy datagram layer. The group communication system uses these for its
+    point-to-point traffic.
+
+Semantics
+---------
+* Messages to a crashed node, an unbound port, or across a partition are
+  silently dropped (fail-stop network, like the paper's unplugged cables).
+* All randomness (jitter, loss) draws from dedicated
+  :class:`~repro.util.rng.RandomStreams` streams, so network noise never
+  perturbs failure schedules or workloads.
+"""
+
+from repro.net.address import Address, Delivery
+from repro.net.link import LinkModel
+from repro.net.network import Endpoint, Network
+from repro.net.partition import PartitionState
+from repro.net.transport import ReliableChannel, Transport
+
+__all__ = [
+    "Address",
+    "Delivery",
+    "LinkModel",
+    "Endpoint",
+    "Network",
+    "PartitionState",
+    "ReliableChannel",
+    "Transport",
+]

@@ -1,0 +1,42 @@
+"""Network addresses and delivered-message records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, NamedTuple
+
+__all__ = ["Address", "Delivery"]
+
+
+class Address(NamedTuple):
+    """A network endpoint: a named node plus a port number.
+
+    Comparable and hashable, so addresses can key routing tables and be
+    totally ordered (used by the GCS to pick coordinators/sequencers
+    deterministically).
+    """
+
+    node: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.node}:{self.port}"
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """A message as handed to the receiving endpoint's mailbox."""
+
+    src: Address
+    dst: Address
+    payload: Any
+    #: Simulated send timestamp (seconds).
+    sent_at: float
+    #: Simulated delivery timestamp (seconds).
+    delivered_at: float
+    #: Estimated wire size in bytes (drives the bandwidth model).
+    size: int = field(default=0)
+
+    @property
+    def latency(self) -> float:
+        return self.delivered_at - self.sent_at

@@ -1,0 +1,225 @@
+"""The network fabric: endpoints, datagram delivery, fault semantics.
+
+:class:`Network` is the single shared LAN of the simulated cluster. Daemons
+:meth:`~Network.bind` an :class:`Endpoint` (a ``(node, port)`` address plus a
+mailbox) and exchange *datagrams*: unreliable, unordered-between-pairs
+point-to-point messages. Reliability and FIFO ordering are layered on top by
+:mod:`repro.net.transport`, mirroring how real stacks separate IP from TCP.
+
+Fault semantics (all fail-stop, like the paper's):
+
+* destination node down → message silently dropped;
+* destination port unbound → dropped (connection refused is invisible to a
+  datagram sender);
+* sender's node down → :class:`~repro.util.errors.NodeDown` is raised — a
+  crashed daemon must not transmit;
+* pair unreachable per :class:`~repro.net.partition.PartitionState` → dropped;
+* random loss per the link model → dropped.
+
+Contention: with ``shared_medium=True`` (the default, matching the paper's
+hub) all *off-node* transmissions serialise through a single token process —
+each occupies the wire for its serialisation time before propagating. With a
+switched model, messages only experience their own delay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.net.address import Address, Delivery
+from repro.net.link import FAST_ETHERNET, LOOPBACK, LinkModel
+from repro.net.partition import PartitionState
+from repro.sim.kernel import Kernel
+from repro.sim.resources import Store
+from repro.util.errors import AddressInUse, NetworkError, NodeDown
+from repro.util.records import wire_size
+
+__all__ = ["Endpoint", "Network"]
+
+
+class Endpoint:
+    """A bound ``(node, port)`` with a mailbox of :class:`Delivery` records.
+
+    Obtained from :meth:`Network.bind`. Receiving daemons either block on
+    :meth:`recv` or register an :meth:`on_delivery` callback (used by
+    daemons that multiplex many conversations).
+    """
+
+    def __init__(self, network: "Network", address: Address):
+        self.network = network
+        self.address = address
+        self.mailbox: Store = Store(network.kernel)
+        self._callback: Callable[[Delivery], None] | None = None
+        self.closed = False
+
+    def send(self, dst: Address, payload: Any, *, size: int | None = None):
+        """Transmit a datagram; returns immediately (fire and forget)."""
+        self.network.send(self.address, dst, payload, size=size)
+
+    def recv(self):
+        """Event that succeeds with the next :class:`Delivery`."""
+        return self.mailbox.get()
+
+    def on_delivery(self, callback: Callable[[Delivery], None] | None) -> None:
+        """Route future deliveries to *callback* instead of the mailbox."""
+        self._callback = callback
+
+    def close(self) -> None:
+        """Unbind; subsequent messages to this address are dropped."""
+        if not self.closed:
+            self.network._unbind(self)
+            self.closed = True
+            self.mailbox.cancel_all(NetworkError(f"endpoint {self.address} closed"))
+
+    def _deliver(self, delivery: Delivery) -> None:
+        if self._callback is not None:
+            self._callback(delivery)
+        else:
+            self.mailbox.put_nowait(delivery)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return f"<Endpoint {self.address} {state}>"
+
+
+class Network:
+    """The cluster's shared LAN.
+
+    Parameters
+    ----------
+    kernel:
+        Simulation kernel.
+    lan:
+        Link model for off-node messages (default: the paper's Fast
+        Ethernet).
+    loopback:
+        Link model for same-node messages.
+    shared_medium:
+        Serialise off-node transmissions through a single shared wire (hub
+        behaviour). Switched behaviour (no cross-message contention) when
+        false.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        *,
+        lan: LinkModel = FAST_ETHERNET,
+        loopback: LinkModel = LOOPBACK,
+        shared_medium: bool = True,
+    ):
+        self.kernel = kernel
+        self.lan = lan
+        self.loopback = loopback
+        self.shared_medium = shared_medium
+        self.partitions = PartitionState()
+        self._nodes_up: dict[str, bool] = {}
+        self._endpoints: dict[Address, Endpoint] = {}
+        self._rng = kernel.streams.get("net")
+        #: Simulated time at which the shared wire next becomes free.
+        self._wire_free_at = 0.0
+        # Delivery statistics (observability for tests and benches).
+        self.stats = {"sent": 0, "delivered": 0, "dropped_down": 0,
+                      "dropped_unreachable": 0, "dropped_loss": 0,
+                      "dropped_unbound": 0, "bytes": 0}
+
+    # -- node lifecycle ------------------------------------------------------
+
+    def register_node(self, name: str) -> None:
+        """Make *name* known to the fabric (initially up)."""
+        if name in self._nodes_up:
+            raise NetworkError(f"node {name!r} already registered")
+        self._nodes_up[name] = True
+
+    def node_is_up(self, name: str) -> bool:
+        if name not in self._nodes_up:
+            raise NetworkError(f"unknown node {name!r}")
+        return self._nodes_up[name]
+
+    def set_node_up(self, name: str, up: bool) -> None:
+        if name not in self._nodes_up:
+            raise NetworkError(f"unknown node {name!r}")
+        self._nodes_up[name] = up
+        if not up:
+            # A crashed node's endpoints vanish with it.
+            for address in [a for a in self._endpoints if a.node == name]:
+                self._endpoints[address].close()
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes_up)
+
+    # -- endpoints -------------------------------------------------------------
+
+    def bind(self, node: str, port: int) -> Endpoint:
+        """Bind and return an endpoint at ``(node, port)``."""
+        if node not in self._nodes_up:
+            raise NetworkError(f"unknown node {node!r}")
+        if not self._nodes_up[node]:
+            raise NodeDown(f"cannot bind on crashed node {node!r}")
+        address = Address(node, port)
+        if address in self._endpoints:
+            raise AddressInUse(f"{address} already bound")
+        endpoint = Endpoint(self, address)
+        self._endpoints[address] = endpoint
+        return endpoint
+
+    def _unbind(self, endpoint: Endpoint) -> None:
+        self._endpoints.pop(endpoint.address, None)
+
+    def endpoint_at(self, address: Address) -> Endpoint | None:
+        return self._endpoints.get(address)
+
+    # -- datagram delivery --------------------------------------------------------
+
+    def send(self, src: Address, dst: Address, payload: Any, *, size: int | None = None) -> None:
+        """Send one datagram from *src* to *dst*; drops are silent."""
+        if not self.node_is_up(src.node):
+            raise NodeDown(f"send from crashed node {src.node!r}")
+        self.stats["sent"] += 1
+        if size is None:
+            size = wire_size(payload) + 28  # IP+UDP-ish header overhead
+        self.stats["bytes"] += size
+
+        if not self.node_is_up(dst.node):
+            self.stats["dropped_down"] += 1
+            return
+        if not self.partitions.reachable(src.node, dst.node):
+            self.stats["dropped_unreachable"] += 1
+            return
+
+        local = src.node == dst.node
+        model = self.loopback if local else self.lan
+        if model.dropped(self._rng):
+            self.stats["dropped_loss"] += 1
+            return
+
+        now = self.kernel.now
+        if local or not self.shared_medium:
+            delay = model.delay(size, self._rng)
+        else:
+            # Hub: wait for the wire, occupy it for the serialisation time,
+            # then propagate. Contention shows up as queueing delay.
+            serialisation = size / model.bandwidth
+            start = max(now, self._wire_free_at)
+            self._wire_free_at = start + serialisation
+            delay = (start - now) + model.delay(size, self._rng)
+
+        sent_at = now
+        def deliver(_event) -> None:
+            # Re-check at delivery time: the destination may have crashed or
+            # become unreachable while the message was in flight.
+            if not self.node_is_up(dst.node):
+                self.stats["dropped_down"] += 1
+                return
+            endpoint = self._endpoints.get(dst)
+            if endpoint is None or endpoint.closed:
+                self.stats["dropped_unbound"] += 1
+                return
+            self.stats["delivered"] += 1
+            endpoint._deliver(
+                Delivery(src, dst, payload, sent_at, self.kernel.now, size)
+            )
+
+        timer = self.kernel.timeout(delay)
+        timer.callbacks.append(deliver)

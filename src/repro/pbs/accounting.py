@@ -1,0 +1,57 @@
+"""PBS accounting log.
+
+Mirrors TORQUE's ``server_priv/accounting`` records: one line per lifecycle
+event, queryable by tests and by the RAS metric collectors in
+:mod:`repro.ha.raslog`. Event codes follow PBS: ``Q`` queued, ``S`` started,
+``E`` ended, ``D`` deleted, ``H`` held, ``R`` released (requeued/recovered
+jobs log an extra ``Q``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AccountingRecord", "AccountingLog"]
+
+
+@dataclass(frozen=True)
+class AccountingRecord:
+    time: float
+    event: str  # Q S E D H R
+    job_id: str
+    info: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in sorted(self.info.items()))
+        return f"{self.time:.6f};{self.event};{self.job_id};{extras}"
+
+
+class AccountingLog:
+    """Append-only event log with small query helpers."""
+
+    EVENTS = {"Q", "S", "E", "D", "H", "R"}
+
+    def __init__(self):
+        self.records: list[AccountingRecord] = []
+
+    def record(self, time: float, event: str, job_id: str, **info) -> None:
+        if event not in self.EVENTS:
+            raise ValueError(f"unknown accounting event {event!r}")
+        self.records.append(AccountingRecord(time, event, job_id, info))
+
+    def for_job(self, job_id: str) -> list[AccountingRecord]:
+        return [r for r in self.records if r.job_id == job_id]
+
+    def events(self, event: str) -> list[AccountingRecord]:
+        return [r for r in self.records if r.event == event]
+
+    def job_turnaround(self, job_id: str) -> float | None:
+        """Seconds from first Q to E; None if the job has not ended."""
+        queued = [r.time for r in self.for_job(job_id) if r.event == "Q"]
+        ended = [r.time for r in self.for_job(job_id) if r.event == "E"]
+        if not queued or not ended:
+            return None
+        return ended[-1] - queued[0]
+
+    def dump(self) -> str:
+        return "\n".join(r.format() for r in self.records)

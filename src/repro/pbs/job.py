@@ -1,0 +1,113 @@
+"""PBS job model: specifications, states, lifecycle records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.util.errors import PBSError
+
+__all__ = ["JobState", "JobSpec", "Job"]
+
+
+class JobState(enum.Enum):
+    """PBS job states (the single-letter codes ``qstat`` prints)."""
+
+    QUEUED = "Q"
+    RUNNING = "R"
+    EXITING = "E"
+    COMPLETE = "C"
+    HELD = "H"
+    WAITING = "W"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self is JobState.COMPLETE
+
+
+#: Exit status PBS reports for a job killed by the server (SIGTERM + 256..).
+KILLED_EXIT_STATUS = 271
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What the user submits (the interesting subset of ``qsub`` options).
+
+    ``walltime`` doubles as the simulated execution duration — the "script"
+    of a simulated job is simply how long it runs and what exit status it
+    returns.
+    """
+
+    name: str = "STDIN"
+    owner: str = "user"
+    nodes: int = 1
+    walltime: float = 60.0
+    queue: str = "batch"
+    exit_status: int = 0
+    #: Declared priority; unused by the FIFO policy (Maui default in the
+    #: paper) but kept for schedulers an extension might add.
+    priority: int = 0
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise PBSError(f"job needs at least one node, got {self.nodes}")
+        if self.walltime <= 0:
+            raise PBSError(f"walltime must be positive, got {self.walltime}")
+
+
+@dataclass(frozen=True)
+class Job:
+    """A job as tracked by a PBS server. Immutable; transitions produce a
+    new record (making accidental shared mutation across 'the wire'
+    impossible — important when several replicated servers track the same
+    job)."""
+
+    job_id: str
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    submit_time: float = 0.0
+    start_time: float | None = None
+    end_time: float | None = None
+    exit_status: int | None = None
+    exec_nodes: tuple[str, ...] = field(default=())
+    comment: str = ""
+    #: How many times the job has been (re)started; >1 after a recovery
+    #: requeue, which is how "applications have to be restarted" shows up.
+    run_count: int = 0
+
+    _LEGAL = {
+        JobState.QUEUED: {JobState.RUNNING, JobState.COMPLETE, JobState.HELD, JobState.WAITING},
+        JobState.HELD: {JobState.QUEUED, JobState.COMPLETE},
+        JobState.WAITING: {JobState.QUEUED, JobState.COMPLETE},
+        JobState.RUNNING: {JobState.EXITING, JobState.COMPLETE, JobState.QUEUED},
+        JobState.EXITING: {JobState.COMPLETE},
+        JobState.COMPLETE: set(),
+    }
+
+    def transition(self, new_state: JobState, **updates) -> "Job":
+        """Return a copy in *new_state*, validating the PBS state machine."""
+        if new_state not in self._LEGAL[self.state]:
+            raise PBSError(
+                f"illegal transition {self.state.value} -> {new_state.value} for {self.job_id}"
+            )
+        return replace(self, state=new_state, **updates)
+
+    @property
+    def sequence(self) -> int:
+        """Numeric part of the job id (``'42.torque'`` -> 42)."""
+        return int(self.job_id.split(".", 1)[0])
+
+    def stat_row(self) -> dict:
+        """One ``qstat`` output row."""
+        return {
+            "job_id": self.job_id,
+            "name": self.spec.name,
+            "owner": self.spec.owner,
+            "state": self.state.value,
+            "queue": self.spec.queue,
+            "nodes": self.spec.nodes,
+            "walltime": self.spec.walltime,
+            "exec_nodes": list(self.exec_nodes),
+            "exit_status": self.exit_status,
+            "comment": self.comment,
+        }

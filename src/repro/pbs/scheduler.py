@@ -1,0 +1,108 @@
+"""The Maui scheduler stand-in.
+
+Configured exactly as the paper configured Maui for the prototype (§4):
+
+* **FIFO policy** (Maui's default) — "to produce deterministic scheduling
+  behavior on all active head nodes";
+* **exclusive access** — "Maui is configured to give each job exclusive
+  access to our test cluster to produce deterministic allocation behavior":
+  at most one job runs on the cluster at a time, and it gets whichever nodes
+  it asked for, chosen deterministically (lexicographically first free).
+
+Determinism is the load-bearing property: every replicated server must make
+identical scheduling decisions from identical queues, otherwise the
+replicas' states diverge. The ``exclusive`` flag can be turned off (an
+extension the paper mentions lifting in the future); allocation then packs
+jobs onto free nodes, still deterministically.
+
+The scheduler runs as its own daemon and talks to its server over the wire
+(Maui is a separate process speaking the PBS scheduler API), polling every
+``sched_poll_interval``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.daemon import Daemon
+from repro.net.address import Address
+from repro.pbs.service_times import ERA_2006, ServiceTimes
+from repro.pbs.wire import RpcTimeout, RunJobReq, SchedPollReq, rpc_call
+from repro.util.errors import PBSError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+
+__all__ = ["MauiScheduler", "fifo_decide"]
+
+
+def fifo_decide(rows: list[dict], node_free: list[tuple[str, bool]], *, exclusive: bool) -> tuple[str, tuple[str, ...]] | None:
+    """Pure scheduling decision: which job to start where, or ``None``.
+
+    Exposed as a function so tests (and the replicated-state argument) can
+    check determinism directly: same inputs, same decision, no hidden state.
+    """
+    running = [r for r in rows if r["state"] in ("R", "E")]
+    if exclusive and running:
+        return None
+    free_nodes = [name for name, free in node_free if free]
+    candidates = [r for r in rows if r["state"] == "Q"]
+    if not candidates:
+        return None
+    # Strict FIFO: only the head of the queue is considered. A large job
+    # that does not fit blocks everything behind it — no backfill, which is
+    # part of what keeps replicated schedulers deterministic.
+    row = candidates[0]
+    if row["nodes"] <= len(free_nodes):
+        return row["job_id"], tuple(sorted(free_nodes)[: row["nodes"]])
+    return None
+
+
+class MauiScheduler(Daemon):
+    """Polling FIFO scheduler bound to one PBS server."""
+
+    def __init__(
+        self,
+        node: "Node",
+        *,
+        server: Address,
+        port: int = 15004,
+        service_times: ServiceTimes = ERA_2006,
+        exclusive: bool = True,
+    ):
+        super().__init__(node, "maui", port)
+        self.server = server
+        self.times = service_times
+        self.exclusive = exclusive
+        self.stats = {"cycles": 0, "dispatches": 0, "dispatch_failures": 0}
+
+    def run(self):
+        while True:
+            yield self.kernel.timeout(self.times.sched_poll_interval)
+            self.stats["cycles"] += 1
+            try:
+                poll = yield from rpc_call(
+                    self.node.network, self.node.name, self.server, SchedPollReq(),
+                    timeout=1.0,
+                )
+            except (RpcTimeout, PBSError):
+                continue  # server briefly unavailable; poll again
+            yield self.kernel.timeout(self.times.sched_cycle)
+            decision = fifo_decide(
+                list(poll.rows), list(poll.node_free), exclusive=self.exclusive
+            )
+            if decision is None:
+                continue
+            job_id, exec_nodes = decision
+            try:
+                response = yield from rpc_call(
+                    self.node.network, self.node.name, self.server,
+                    RunJobReq(job_id, exec_nodes), timeout=4.0,
+                )
+            except (RpcTimeout, PBSError):
+                self.stats["dispatch_failures"] += 1
+                continue
+            if response.ok:
+                self.stats["dispatches"] += 1
+            else:
+                self.stats["dispatch_failures"] += 1

@@ -1,0 +1,434 @@
+"""The PBS server daemon (TORQUE ``pbs_server`` stand-in).
+
+Responsibilities, mirroring the real thing where the experiments can tell:
+
+* accept user commands (submit/stat/delete/hold/release/signal) over the
+  wire, charging calibrated processing time per request and writing the job
+  queue synchronously to the node's disk on every mutation;
+* accept ``RunJobReq`` from the scheduler, dispatch the job to the mom on
+  its first allocated node (the "mother superior"), track node allocation;
+* accept obituaries from moms — including obituaries for jobs *this* server
+  only ever saw started in emulation, which is how a replicated server
+  learns its jobs finished (TORQUE v2.0p1 multi-server behaviour);
+* recover its queue from disk on restart; running jobs found during
+  recovery are requeued — "applications have to be restarted" (paper §1).
+
+Request handling is idempotent per RPC id (a cached response is replayed on
+client retry), so client-side retransmission cannot double-submit a job.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.daemon import Daemon
+from repro.net.address import Address
+from repro.pbs.accounting import AccountingLog
+from repro.pbs.job import Job, JobSpec, JobState, KILLED_EXIT_STATUS
+from repro.pbs.queue import JobQueue
+from repro.pbs.service_times import ERA_2006, ServiceTimes
+from repro.pbs.wire import (
+    DeleteReq,
+    DeleteResp,
+    ErrorResp,
+    HoldReq,
+    JobObit,
+    JobStartReq,
+    KillJobReq,
+    LoadStateReq,
+    PurgeReq,
+    ReleaseReq,
+    RerunReq,
+    RunJobReq,
+    RunJobResp,
+    SchedPollReq,
+    SchedPollResp,
+    SignalReq,
+    SimpleResp,
+    StatReq,
+    StatResp,
+    SubmitReq,
+    SubmitResp,
+    rpc_call,
+)
+from repro.util.errors import InvalidJobStateError, PBSError, UnknownJobError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+
+__all__ = ["PBSServer", "PBS_SERVER_PORT", "PBS_MOM_PORT"]
+
+PBS_SERVER_PORT = 15001
+PBS_MOM_PORT = 15002
+
+
+class PBSServer(Daemon):
+    """One PBS server instance on a head node.
+
+    Parameters
+    ----------
+    node:
+        Hosting head node.
+    moms:
+        Addresses of the PBS mom on every compute node.
+    server_name:
+        Suffix of generated job ids (``"7.torque"``). Replicated JOSHUA
+        deployments give every server the same logical name so replayed
+        submissions produce identical ids on every head — this reproduction's
+        concession to the paper's observation that host-specific state makes
+        replica construction painful.
+    service_times:
+        Calibrated processing costs.
+    requeue_on_recovery:
+        Jobs found RUNNING in the recovered queue are requeued (default,
+        the paper's restart semantics) instead of marked complete-lost.
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        *,
+        moms: list[Address],
+        server_name: str = "torque",
+        port: int = PBS_SERVER_PORT,
+        service_times: ServiceTimes = ERA_2006,
+        requeue_on_recovery: bool = True,
+    ):
+        super().__init__(node, "pbs_server", port)
+        self.moms = list(moms)
+        self.server_name = server_name
+        self.times = service_times
+        self.requeue_on_recovery = requeue_on_recovery
+        self.jobs = JobQueue()
+        self.accounting = AccountingLog()
+        self.next_seq = 1
+        #: compute node name -> currently-allocated job id (None = free).
+        self.allocations: dict[str, str | None] = {
+            mom.node: None for mom in self.moms
+        }
+        self._rpc_cache: dict[int, object] = {}
+        #: Observers of job lifecycle events: callback(event, job).
+        self._observers = []
+        self.stats = {"submitted": 0, "completed": 0, "deleted": 0, "recovered": 0}
+        self._recover()
+
+    # -- persistence -------------------------------------------------------
+
+    def _disk_key(self) -> str:
+        return f"pbs.{self.server_name}"
+
+    def _persist(self) -> None:
+        self.node.disk.write(
+            self._disk_key(),
+            {"jobs": self.jobs.snapshot(), "next_seq": self.next_seq},
+        )
+
+    def _recover(self) -> None:
+        saved = self.node.disk.read(self._disk_key())
+        if not saved:
+            return
+        self.next_seq = saved["next_seq"]
+        for job in saved["jobs"]:
+            if job.state in (JobState.RUNNING, JobState.EXITING):
+                if self.requeue_on_recovery:
+                    job = job.transition(
+                        JobState.QUEUED,
+                        start_time=None,
+                        exec_nodes=(),
+                        comment="requeued after server recovery",
+                    )
+                    self.stats["recovered"] += 1
+                else:
+                    job = job.transition(
+                        JobState.COMPLETE,
+                        end_time=self.kernel.now,
+                        exit_status=-1,
+                        comment="lost in server failure",
+                    )
+            self.jobs.add(job)
+
+    # -- observability -------------------------------------------------------
+
+    def observe(self, callback) -> None:
+        """Register ``callback(event: str, job: Job)`` for Q/S/E/D events."""
+        self._observers.append(callback)
+
+    def _notify(self, event: str, job: Job) -> None:
+        self.accounting.record(self.kernel.now, event, job.job_id)
+        for observer in list(self._observers):
+            observer(event, job)
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self):
+        while True:
+            delivery = yield self.endpoint.recv()
+            frame = delivery.payload
+            if not isinstance(frame, tuple) or not frame:
+                continue
+            if frame[0] == "RPC":
+                _tag, request_id, payload = frame
+                self.spawn(
+                    self._handle_rpc(delivery.src, request_id, payload),
+                    name=f"{self.tag}-rpc{request_id}",
+                )
+            elif frame[0] == "OBIT":
+                self._handle_obit(delivery.src, frame[1])
+
+    def _reply(self, dst: Address, request_id: int, response) -> None:
+        self._rpc_cache[request_id] = response
+        if len(self._rpc_cache) > 4096:
+            for key in list(self._rpc_cache)[:2048]:
+                del self._rpc_cache[key]
+        if self.running and not self.endpoint.closed:
+            self.endpoint.send(dst, ("RPC-R", request_id, response))
+
+    def _handle_rpc(self, src: Address, request_id: int, payload):
+        if request_id in self._rpc_cache:
+            self.endpoint.send(src, ("RPC-R", request_id, self._rpc_cache[request_id]))
+            return
+        try:
+            if isinstance(payload, SubmitReq):
+                yield self.kernel.timeout(self.times.qsub_process + self.times.disk_write)
+                response = self._do_submit(payload)
+            elif isinstance(payload, StatReq):
+                yield self.kernel.timeout(self.times.qstat_process)
+                response = self._do_stat(payload)
+            elif isinstance(payload, DeleteReq):
+                yield self.kernel.timeout(self.times.qdel_process + self.times.disk_write)
+                response = yield from self._do_delete(payload)
+            elif isinstance(payload, HoldReq):
+                yield self.kernel.timeout(self.times.qdel_process + self.times.disk_write)
+                response = self._do_hold(payload)
+            elif isinstance(payload, ReleaseReq):
+                yield self.kernel.timeout(self.times.qdel_process + self.times.disk_write)
+                response = self._do_release(payload)
+            elif isinstance(payload, SignalReq):
+                yield self.kernel.timeout(self.times.qdel_process)
+                response = self._do_signal(payload)
+            elif isinstance(payload, RerunReq):
+                yield self.kernel.timeout(self.times.qdel_process + self.times.disk_write)
+                response = self._do_rerun(payload)
+            elif isinstance(payload, LoadStateReq):
+                yield self.kernel.timeout(self.times.disk_write)
+                response = self._do_load_state(payload)
+            elif isinstance(payload, PurgeReq):
+                yield self.kernel.timeout(self.times.disk_write)
+                response = self._do_purge()
+            elif isinstance(payload, SchedPollReq):
+                yield self.kernel.timeout(self.times.qstat_process)
+                response = self._do_sched_poll()
+            elif isinstance(payload, RunJobReq):
+                yield self.kernel.timeout(self.times.run_process)
+                response = yield from self._do_run(payload)
+            else:
+                response = ErrorResp("bad-request", f"unknown request {type(payload).__name__}")
+        except UnknownJobError as exc:
+            response = ErrorResp("unknown-job", str(exc))
+        except InvalidJobStateError as exc:
+            response = ErrorResp("bad-state", str(exc))
+        except PBSError as exc:
+            response = ErrorResp("pbs-error", str(exc))
+        self._reply(src, request_id, response)
+
+    # -- command implementations ---------------------------------------------------
+
+    def _do_submit(self, req: SubmitReq) -> SubmitResp:
+        if req.force_job_id is not None:
+            job_id = req.force_job_id
+            forced_seq = int(job_id.split(".", 1)[0])
+            self.next_seq = max(self.next_seq, forced_seq + 1)
+        else:
+            job_id = f"{self.next_seq}.{self.server_name}"
+            self.next_seq += 1
+        job = Job(job_id, req.spec, submit_time=self.kernel.now)
+        self.jobs.add(job)
+        self._persist()
+        self.stats["submitted"] += 1
+        self._notify("Q", job)
+        return SubmitResp(job_id)
+
+    def _do_stat(self, req: StatReq) -> StatResp:
+        if req.job_id is None:
+            return StatResp(tuple(self.jobs.to_wire()))
+        return StatResp((self.jobs.get(req.job_id).stat_row(),))
+
+    def _do_delete(self, req: DeleteReq):
+        job = self.jobs.get(req.job_id)
+        if job.state is JobState.COMPLETE:
+            raise InvalidJobStateError(job.job_id, job.state.value, "delete")
+        if job.state in (JobState.RUNNING, JobState.EXITING):
+            # Ask the mother superior to kill it; completion arrives as an
+            # ordinary obituary with the killed exit status.
+            mom = self._mom_for(job.exec_nodes[0])
+            job = job.transition(JobState.EXITING, comment="qdel")
+            self.jobs.update(job)
+            self._persist()
+            yield from rpc_call(
+                self.node.network, self.node.name, mom, KillJobReq(job.job_id),
+                timeout=1.0,
+            )
+        else:
+            job = job.transition(
+                JobState.COMPLETE,
+                end_time=self.kernel.now,
+                exit_status=None,
+                comment="deleted by user",
+            )
+            self.jobs.update(job)
+            self._persist()
+            self.stats["deleted"] += 1
+            self._notify("D", job)
+        return DeleteResp(job.job_id)
+
+    def _do_hold(self, req: HoldReq) -> SimpleResp:
+        job = self.jobs.get(req.job_id)
+        job = job.transition(JobState.HELD, comment="user hold")
+        self.jobs.update(job)
+        self._persist()
+        self._notify("H", job)
+        return SimpleResp()
+
+    def _do_release(self, req: ReleaseReq) -> SimpleResp:
+        job = self.jobs.get(req.job_id)
+        job = job.transition(JobState.QUEUED, comment="released")
+        self.jobs.update(job)
+        self._persist()
+        self._notify("R", job)
+        return SimpleResp()
+
+    def _do_signal(self, req: SignalReq) -> SimpleResp:
+        # The paper notes qsig does not change managed state; JOSHUA leaves
+        # it to plain PBS. We acknowledge without simulating process-level
+        # signal effects.
+        job = self.jobs.get(req.job_id)
+        if job.state is not JobState.RUNNING:
+            raise InvalidJobStateError(job.job_id, job.state.value, "signal")
+        return SimpleResp(detail=f"signal {req.signal} delivered")
+
+    def _do_rerun(self, req: RerunReq) -> SimpleResp:
+        job = self.jobs.get(req.job_id)
+        if job.state not in (JobState.RUNNING, JobState.EXITING):
+            raise InvalidJobStateError(job.job_id, job.state.value, "rerun")
+        for node_name in job.exec_nodes:
+            if self.allocations.get(node_name) == job.job_id:
+                self.allocations[node_name] = None
+        job = job.transition(
+            JobState.QUEUED,
+            start_time=None,
+            exec_nodes=(),
+            comment="requeued by qrerun",
+        )
+        self.jobs.update(job)
+        self._persist()
+        self._notify("R", job)
+        return SimpleResp()
+
+    def _do_purge(self) -> SimpleResp:
+        count = len(self.jobs)
+        self.jobs = JobQueue()
+        self.next_seq = 1
+        for node_name in self.allocations:
+            self.allocations[node_name] = None
+        self._persist()
+        return SimpleResp(detail=f"purged {count} jobs")
+
+    def _do_load_state(self, req: LoadStateReq) -> SimpleResp:
+        if len(self.jobs):
+            raise PBSError("load-state requires an empty server")
+        for job in req.jobs:
+            self.jobs.add(job)
+            if job.state in (JobState.RUNNING, JobState.EXITING):
+                for node_name in job.exec_nodes:
+                    if node_name in self.allocations:
+                        self.allocations[node_name] = job.job_id
+        self.next_seq = req.next_seq
+        self._persist()
+        return SimpleResp(detail=f"loaded {len(req.jobs)} jobs")
+
+    def _do_sched_poll(self) -> SchedPollResp:
+        node_free = tuple(
+            (name, allocated is None) for name, allocated in sorted(self.allocations.items())
+        )
+        return SchedPollResp(tuple(self.jobs.to_wire()), node_free)
+
+    def _do_run(self, req: RunJobReq):
+        job = self.jobs.get(req.job_id)
+        if job.state is not JobState.QUEUED:
+            return RunJobResp(False, f"job state is {job.state.value}")
+        for node_name in req.exec_nodes:
+            if node_name not in self.allocations:
+                return RunJobResp(False, f"unknown node {node_name}")
+            if self.allocations[node_name] is not None:
+                return RunJobResp(False, f"node {node_name} busy")
+        for node_name in req.exec_nodes:
+            self.allocations[node_name] = job.job_id
+        mom = self._mom_for(req.exec_nodes[0])
+        start = JobStartReq(job.job_id, job.spec, tuple(req.exec_nodes), self.address)
+        try:
+            response = yield from rpc_call(
+                self.node.network, self.node.name, mom, start, timeout=2.0, retries=1
+            )
+        except PBSError as exc:
+            for node_name in req.exec_nodes:
+                self.allocations[node_name] = None
+            return RunJobResp(False, f"mom unreachable: {exc}")
+        if not response.ok:
+            for node_name in req.exec_nodes:
+                self.allocations[node_name] = None
+            return RunJobResp(False, response.detail)
+        job = self.jobs.get(req.job_id)
+        job = job.transition(
+            JobState.RUNNING,
+            start_time=self.kernel.now,
+            exec_nodes=tuple(req.exec_nodes),
+            run_count=job.run_count + 1,
+            comment=f"started ({response.mode})",
+        )
+        self.jobs.update(job)
+        self._persist()
+        self._notify("S", job)
+        return RunJobResp(True, response.mode)
+
+    def _mom_for(self, node_name: str) -> Address:
+        for mom in self.moms:
+            if mom.node == node_name:
+                return mom
+        raise PBSError(f"no mom registered for node {node_name}")
+
+    # -- obituaries -----------------------------------------------------------------
+
+    def _handle_obit(self, src: Address, obit: JobObit) -> None:
+        # Always acknowledge: the mom retries until we do.
+        self.endpoint.send(src, ("OBIT-ACK", obit.job_id))
+        if obit.job_id not in self.jobs:
+            return  # e.g. obit for a job deleted from this replica
+        job = self.jobs.get(obit.job_id)
+        if job.state is JobState.COMPLETE:
+            return  # duplicate obit
+        if job.state is JobState.QUEUED:
+            # We never saw it start (recovered server): record the start so
+            # state stays coherent, then complete it.
+            job = job.transition(
+                JobState.RUNNING,
+                start_time=obit.started_at,
+                exec_nodes=tuple(obit.exec_nodes),
+                run_count=job.run_count + 1,
+            )
+        job = job.transition(
+            JobState.COMPLETE,
+            end_time=obit.finished_at,
+            exit_status=obit.exit_status,
+            comment="killed" if obit.exit_status == KILLED_EXIT_STATUS else "finished",
+        )
+        self.jobs.update(job)
+        # Free every local allocation held by this job — not only the
+        # nodes the obituary names: a replicated server whose (emulated)
+        # dispatch chose different nodes than the actual execution must
+        # not leak its own allocation records.
+        for node_name, owner in self.allocations.items():
+            if owner == obit.job_id:
+                self.allocations[node_name] = None
+        self._persist()
+        self.stats["completed"] += 1
+        self._notify("E", job)

@@ -1,0 +1,99 @@
+"""Assembly of a complete single-head PBS stack on a cluster.
+
+This is the paper's Figure 1 system: one head node running the PBS server
+and the Maui scheduler, moms on every compute node, users submitting from
+wherever. The JOSHUA layer (:mod:`repro.joshua`) and the HA baselines
+(:mod:`repro.ha`) build their own assemblies on the same daemons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.net.address import Address
+from repro.pbs.commands import PBSClient
+from repro.pbs.mom import PBSMom
+from repro.pbs.scheduler import MauiScheduler
+from repro.pbs.server import PBS_MOM_PORT, PBS_SERVER_PORT, PBSServer
+from repro.pbs.service_times import ERA_2006, ServiceTimes
+
+__all__ = ["PBSStack", "build_pbs_stack"]
+
+
+@dataclass
+class PBSStack:
+    """Handles to a deployed single-head PBS system."""
+
+    cluster: Cluster
+    head: Node
+    server: PBSServer
+    scheduler: MauiScheduler
+    moms: list[PBSMom]
+
+    @property
+    def server_address(self) -> Address:
+        return Address(self.head.name, PBS_SERVER_PORT)
+
+    def client(self, node: str | None = None, **kwargs) -> PBSClient:
+        """A PBS client on *node* (default: the head node itself)."""
+        return PBSClient(
+            self.cluster.network,
+            node or self.head.name,
+            self.server_address,
+            service_times=self.server.times,
+            **kwargs,
+        )
+
+
+def build_pbs_stack(
+    cluster: Cluster,
+    *,
+    head: Node | None = None,
+    service_times: ServiceTimes = ERA_2006,
+    server_name: str = "torque",
+    exclusive: bool = True,
+    legacy_obit_retry: bool = False,
+) -> PBSStack:
+    """Deploy server+scheduler on *head* and a mom on every compute node.
+
+    Daemon factories are registered on the nodes, so a node crash/restart
+    cycle automatically rebuilds fresh daemon instances (with the server
+    recovering its queue from disk).
+    """
+    head = head or cluster.heads[0]
+    mom_addresses = [Address(c.name, PBS_MOM_PORT) for c in cluster.computes]
+    server_address = Address(head.name, PBS_SERVER_PORT)
+
+    server = head.add_daemon(
+        "pbs_server",
+        lambda node: PBSServer(
+            node,
+            moms=mom_addresses,
+            server_name=server_name,
+            service_times=service_times,
+        ),
+    )
+    scheduler = head.add_daemon(
+        "maui",
+        lambda node: MauiScheduler(
+            node,
+            server=server_address,
+            service_times=service_times,
+            exclusive=exclusive,
+        ),
+    )
+    moms = [
+        compute.add_daemon(
+            "pbs_mom",
+            lambda node: PBSMom(
+                node,
+                servers=[server_address],
+                service_times=service_times,
+                legacy_obit_retry=legacy_obit_retry,
+            ),
+        )
+        for compute in cluster.computes
+    ]
+    return PBSStack(cluster, head, server, scheduler, moms)

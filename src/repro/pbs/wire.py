@@ -1,0 +1,253 @@
+"""PBS wire protocol: request/response frames and the RPC helper.
+
+All client↔server and server↔mom traffic is datagrams of
+``("RPC", request_id, payload)`` / ``("RPC-R", request_id, payload)``
+tuples. :func:`rpc_call` is the client-side coroutine: bind an ephemeral
+port, send, await the matching response, retry on timeout (requests are
+idempotent or deduplicated server-side via the request id).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.net.address import Address
+from repro.net.network import Network
+from repro.pbs.job import JobSpec
+from repro.util.errors import PBSError
+
+__all__ = [
+    "SubmitReq", "SubmitResp",
+    "StatReq", "StatResp",
+    "DeleteReq", "DeleteResp",
+    "HoldReq", "ReleaseReq", "SignalReq", "RerunReq", "LoadStateReq", "PurgeReq",
+    "SimpleResp",
+    "RunJobReq", "RunJobResp",
+    "SchedPollReq", "SchedPollResp",
+    "JobStartReq", "JobStartResp", "KillJobReq", "JobObit",
+    "ErrorResp",
+    "rpc_call", "RpcTimeout",
+]
+
+_RPC_COUNTER = itertools.count(1)
+_EPHEMERAL_PORT = itertools.count(30000)
+
+
+# -- user command requests ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SubmitReq:
+    spec: JobSpec
+    #: Replay-mode state transfer forces the original job id so replicated
+    #: servers stay id-compatible (the stand-in for the prototype's
+    #: configuration-file surgery when cloning a TORQUE server).
+    force_job_id: str | None = None
+
+
+@dataclass(frozen=True)
+class SubmitResp:
+    job_id: str
+
+
+@dataclass(frozen=True)
+class StatReq:
+    job_id: str | None = None  # None = all jobs
+
+
+@dataclass(frozen=True)
+class StatResp:
+    rows: tuple
+
+
+@dataclass(frozen=True)
+class DeleteReq:
+    job_id: str
+
+
+@dataclass(frozen=True)
+class DeleteResp:
+    job_id: str
+
+
+@dataclass(frozen=True)
+class HoldReq:
+    job_id: str
+
+
+@dataclass(frozen=True)
+class ReleaseReq:
+    job_id: str
+
+
+@dataclass(frozen=True)
+class SignalReq:
+    job_id: str
+    signal: str = "SIGTERM"
+
+
+@dataclass(frozen=True)
+class RerunReq:
+    """``qrerun``: force a RUNNING job back to QUEUED (PBS operator command;
+    JOSHUA uses it to recover a job whose launch-mutex winner died before
+    the launch happened)."""
+
+    job_id: str
+
+
+@dataclass(frozen=True)
+class PurgeReq:
+    """Admin wipe of all job state (a rejoining replica discards its stale
+    recovered queue before state transfer — the 'configuration file
+    modification' half of the prototype's replica-cloning procedure)."""
+
+
+@dataclass(frozen=True)
+class LoadStateReq:
+    """Admin bulk-load of job state (snapshot state transfer — the
+    extension mode foreshadowed by the paper's 'unified and location
+    independent state description' future work)."""
+
+    jobs: tuple
+    next_seq: int
+
+
+@dataclass(frozen=True)
+class SimpleResp:
+    ok: bool = True
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ErrorResp:
+    """Server-side error relayed to the client (re-raised as PBSError)."""
+
+    kind: str
+    message: str
+
+
+# -- scheduler <-> server ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchedPollReq:
+    pass
+
+
+@dataclass(frozen=True)
+class SchedPollResp:
+    #: qstat-style rows, submission order.
+    rows: tuple
+    #: compute node name -> free (True) / busy.
+    node_free: tuple
+
+
+@dataclass(frozen=True)
+class RunJobReq:
+    job_id: str
+    exec_nodes: tuple
+
+
+@dataclass(frozen=True)
+class RunJobResp:
+    ok: bool
+    detail: str = ""
+
+
+# -- server <-> mom ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobStartReq:
+    job_id: str
+    spec: JobSpec
+    exec_nodes: tuple
+    #: The requesting server's address — moms report to many servers; this
+    #: identifies which server's start attempt this is (JOSHUA's jmutex
+    #: decides which attempt actually executes).
+    server: Address | None = None
+
+
+@dataclass(frozen=True)
+class JobStartResp:
+    ok: bool
+    #: "run" if this attempt launched the job, "emulate" if the prologue
+    #: decided another server's attempt already had.
+    mode: str = "run"
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class KillJobReq:
+    job_id: str
+
+
+@dataclass(frozen=True)
+class JobObit:
+    """Mom -> every registered server: the job finished."""
+
+    job_id: str
+    exit_status: int
+    exec_nodes: tuple
+    started_at: float
+    finished_at: float
+
+
+class RpcTimeout(PBSError):
+    """No response within the deadline (server down or unreachable)."""
+
+
+@dataclass
+class _Pending:
+    response: Any = None
+    done: bool = False
+
+
+def rpc_call(
+    network: Network,
+    node: str,
+    server: Address,
+    payload: Any,
+    *,
+    timeout: float = 2.0,
+    retries: int = 0,
+) -> Generator:
+    """Coroutine: one request/response against *server* from *node*.
+
+    Yields simulation events; returns the response payload. Raises
+    :class:`RpcTimeout` after ``1 + retries`` unanswered attempts and
+    :class:`PBSError` if the server answered with :class:`ErrorResp`.
+    """
+    kernel = network.kernel
+    endpoint = network.bind(node, next(_EPHEMERAL_PORT))
+    try:
+        request_id = next(_RPC_COUNTER)
+        # One persistent receive event, re-armed after each delivery, so no
+        # stale mailbox getter can swallow a response.
+        recv_ev = endpoint.recv()
+        for _attempt in range(1 + retries):
+            endpoint.send(server, ("RPC", request_id, payload))
+            deadline = kernel.timeout(timeout)
+            while True:
+                yield kernel.any_of([recv_ev, deadline])
+                if recv_ev.processed:
+                    frame = recv_ev.value.payload
+                    recv_ev = endpoint.recv()
+                    if (
+                        isinstance(frame, tuple)
+                        and len(frame) == 3
+                        and frame[0] == "RPC-R"
+                        and frame[1] == request_id
+                    ):
+                        response = frame[2]
+                        if isinstance(response, ErrorResp):
+                            raise PBSError(f"{response.kind}: {response.message}")
+                        return response
+                    continue
+                if deadline.processed:
+                    break  # retry (same request id: server-side idempotent)
+        raise RpcTimeout(f"no response from {server} for {type(payload).__name__}")
+    finally:
+        endpoint.close()

@@ -1,0 +1,54 @@
+"""PVFS metadata operation records (the replicated request payloads)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Mkdir", "Create", "GetAttr", "SetAttr", "ReadDir", "Unlink", "Rmdir", "Rename", "StatFs"]
+
+
+@dataclass(frozen=True)
+class Mkdir:
+    path: str
+
+
+@dataclass(frozen=True)
+class Create:
+    path: str
+
+
+@dataclass(frozen=True)
+class GetAttr:
+    path: str
+
+
+@dataclass(frozen=True)
+class SetAttr:
+    path: str
+    size: int
+
+
+@dataclass(frozen=True)
+class ReadDir:
+    path: str
+
+
+@dataclass(frozen=True)
+class Unlink:
+    path: str
+
+
+@dataclass(frozen=True)
+class Rmdir:
+    path: str
+
+
+@dataclass(frozen=True)
+class Rename:
+    src: str
+    dst: str
+
+
+@dataclass(frozen=True)
+class StatFs:
+    pass

@@ -1,0 +1,184 @@
+"""The discrete-event simulation kernel: clock, event heap, process spawner.
+
+The kernel owns a priority queue of ``(time, priority, sequence, event)``
+entries. :meth:`Kernel.run` repeatedly pops the earliest entry, advances the
+clock to its time, and processes the event (running callbacks, which resume
+processes, which usually schedule more events). Ties at equal time break by
+insertion order, making the whole simulation deterministic.
+
+Time is a ``float`` in **seconds** throughout the library.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.util.errors import SimulationError
+from repro.util.rng import RandomStreams
+from repro.util.simlog import SimLogger
+
+__all__ = ["Kernel"]
+
+#: Priority for ordinary events. Lower runs first at equal time.
+NORMAL = 1
+#: Priority used for urgent bookkeeping (none currently; reserved).
+URGENT = 0
+
+
+class Kernel:
+    """Simulation kernel.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the :class:`~repro.util.rng.RandomStreams` family
+        exposed as :attr:`streams`.
+    strict_errors:
+        If true (default), :meth:`run` raises when a process crashed with an
+        unhandled exception that no other process observed. Turning this off
+        is only sensible in fault-injection experiments that deliberately
+        kill daemons mid-protocol.
+    log_level / log_echo:
+        Configuration for the kernel-wide :class:`SimLogger`.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        strict_errors: bool = True,
+        log_level: str = "WARNING",
+        log_echo: bool = False,
+    ):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self.strict_errors = strict_errors
+        self.streams = RandomStreams(seed)
+        self.log = SimLogger(lambda: self._now, level=log_level, echo=log_echo)
+        self._crashed_processes: list[tuple[Process, BaseException]] = []
+        self._processed_events = 0
+
+    # -- clock & stats ----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Total events processed so far (profiling/regression aid)."""
+        return self._processed_events
+
+    @property
+    def queued_events(self) -> int:
+        return len(self._heap)
+
+    # -- event construction -------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh pending event; trigger it with ``succeed``/``fail``."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def spawn(self, generator: Generator[Event, Any, Any], name: str | None = None) -> Process:
+        """Start a new process running *generator*; returns the process."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling (internal) ---------------------------------------------
+
+    def _enqueue(self, event: Event, *, delay: float = 0.0, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._sequence, event))
+
+    # -- main loop ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one event, advancing the clock to it."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        time, _priority, _seq, event = heapq.heappop(self._heap)
+        if time < self._now:  # pragma: no cover - heap invariant
+            raise SimulationError(f"time ran backwards: {time} < {self._now}")
+        self._now = time
+        self._processed_events += 1
+        event._process()
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until no events remain.
+            ``float``
+                run until the clock reaches that time (events at exactly
+                that time are processed; the clock finishes at ``until``).
+            :class:`Event`
+                run until the given event has been processed; returns its
+                value (raising its exception if it failed).
+        """
+        stop_event: Event | None = None
+        stop_time: float | None = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(f"until={stop_time} is in the past (now={self._now})")
+
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                break
+            if stop_time is not None and self._heap[0][0] > stop_time:
+                break
+            self.step()
+            if stop_event is not None:
+                # A failure of the awaited process is observed by this very
+                # run() call — it is re-raised below, not an orphan crash.
+                self._crashed_processes = [
+                    entry for entry in self._crashed_processes if entry[0] is not stop_event
+                ]
+            self._check_crashes()
+
+        if stop_time is not None and self._now < stop_time:
+            self._now = stop_time
+        self._check_crashes()
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise SimulationError("run() exhausted all events before `until` event triggered")
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        return None
+
+    def _check_crashes(self) -> None:
+        if self.strict_errors and self._crashed_processes:
+            process, exc = self._crashed_processes[0]
+            raise SimulationError(
+                f"process {process.name!r} crashed at t={self._now}: {exc!r}"
+            ) from exc
+
+    def drain_crashes(self) -> list[tuple[Process, BaseException]]:
+        """Return and clear recorded unobserved process crashes."""
+        crashes, self._crashed_processes = self._crashed_processes, []
+        return crashes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Kernel t={self._now} queued={len(self._heap)} processed={self._processed_events}>"

@@ -1,0 +1,431 @@
+"""A *libconfuse*-style configuration parser.
+
+The original JOSHUA prototype parsed ``joshua.conf`` with libconfuse. This
+module implements the subset of that format the reproduction needs, as a
+proper tokenizer + recursive-descent parser with schema validation:
+
+.. code-block:: text
+
+    # comment — both '#' and '//' styles are accepted
+    loglevel = "info"
+    heartbeat-interval = 0.25      /* C-style block comments too */
+    heads = {"head0", "head1", "head2"}
+
+    group "joshua" {
+        port     = 4412
+        safe     = true
+    }
+
+Values are strings (quoted), integers, floats, booleans
+(``true/false/yes/no/on/off``), or brace-delimited lists of those. Sections
+may carry an optional title and nest arbitrarily.
+
+Schema validation is explicit: callers describe expected options with
+:class:`Option` and sections with :class:`ConfigSchema`, mirroring
+libconfuse's ``cfg_opt_t`` tables. Unknown options, type mismatches and
+missing required options raise :class:`~repro.util.errors.ConfigError` with
+line information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.util.errors import ConfigError
+
+__all__ = ["Token", "tokenize", "Option", "ConfigSchema", "ConfigSection", "parse_config"]
+
+
+# --------------------------------------------------------------------------
+# Tokenizer
+# --------------------------------------------------------------------------
+
+_PUNCT = {"=", "{", "}", ",", "(", ")"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: ``kind`` is one of ``IDENT STRING NUMBER PUNCT EOF``."""
+
+    kind: str
+    value: str
+    line: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split *text* into tokens, stripping ``#``, ``//`` and ``/* */`` comments."""
+    tokens: list[Token] = []
+    i, line, n = 0, 1, len(text)
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+        elif c in " \t\r":
+            i += 1
+        elif c == "#" or text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+        elif text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise ConfigError("unterminated block comment", line=line)
+            line += text.count("\n", i, end)
+            i = end + 2
+        elif c == '"':
+            j = i + 1
+            buf: list[str] = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n:
+                    esc = text[j + 1]
+                    buf.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    j += 2
+                elif text[j] == "\n":
+                    raise ConfigError("unterminated string literal", line=line)
+                else:
+                    buf.append(text[j])
+                    j += 1
+            if j >= n:
+                raise ConfigError("unterminated string literal", line=line)
+            tokens.append(Token("STRING", "".join(buf), line))
+            i = j + 1
+        elif c in _PUNCT:
+            tokens.append(Token("PUNCT", c, line))
+            i += 1
+        elif c.isdigit() or (c in "+-." and i + 1 < n and (text[i + 1].isdigit() or text[i + 1] == ".")):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] in ".eE+-"):
+                # stop '+/-' unless part of an exponent
+                if text[j] in "+-" and text[j - 1] not in "eE":
+                    break
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], line))
+            i = j
+        elif c.isalpha() or c == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "_-."):
+                j += 1
+            tokens.append(Token("IDENT", text[i:j], line))
+            i = j
+        else:
+            raise ConfigError(f"unexpected character {c!r}", line=line)
+    tokens.append(Token("EOF", "", line))
+    return tokens
+
+
+# --------------------------------------------------------------------------
+# Schema
+# --------------------------------------------------------------------------
+
+_TYPES = {"str", "int", "float", "bool", "list"}
+
+
+@dataclass(frozen=True)
+class Option:
+    """Schema entry for a single option (libconfuse ``CFG_STR``/``CFG_INT``/...).
+
+    Parameters
+    ----------
+    name:
+        Option name as it appears in the file.
+    type:
+        One of ``str int float bool list``.
+    default:
+        Value used when the option is absent. ``required=True`` options must
+        not supply a default.
+    required:
+        Missing required options raise :class:`ConfigError`.
+    choices:
+        Optional whitelist of accepted values.
+    """
+
+    name: str
+    type: str = "str"
+    default: Any = None
+    required: bool = False
+    choices: tuple | None = None
+
+    def __post_init__(self):
+        if self.type not in _TYPES:
+            raise ValueError(f"unknown option type {self.type!r}; expected one of {sorted(_TYPES)}")
+        if self.required and self.default is not None:
+            raise ValueError(f"option {self.name!r} is required and must not have a default")
+
+    def validate(self, value: Any, line: int) -> Any:
+        checker = {
+            "str": lambda v: isinstance(v, str),
+            "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+            "float": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+            "bool": lambda v: isinstance(v, bool),
+            "list": lambda v: isinstance(v, list),
+        }[self.type]
+        if not checker(value):
+            raise ConfigError(
+                f"expected {self.type}, got {type(value).__name__} ({value!r})",
+                line=line,
+                option=self.name,
+            )
+        if self.type == "float":
+            value = float(value)
+        if self.choices is not None and value not in self.choices:
+            raise ConfigError(
+                f"value {value!r} not in allowed choices {list(self.choices)}",
+                line=line,
+                option=self.name,
+            )
+        return value
+
+
+@dataclass
+class ConfigSchema:
+    """Describes the options and sub-sections a section may contain."""
+
+    options: list[Option] = field(default_factory=list)
+    sections: dict[str, "ConfigSchema"] = field(default_factory=dict)
+    section_titled: dict[str, bool] = field(default_factory=dict)
+
+    def option(self, name: str) -> Option | None:
+        for opt in self.options:
+            if opt.name == name:
+                return opt
+        return None
+
+    def add_section(self, name: str, schema: "ConfigSchema", *, titled: bool = False) -> "ConfigSchema":
+        self.sections[name] = schema
+        self.section_titled[name] = titled
+        return self
+
+
+# --------------------------------------------------------------------------
+# Parsed representation
+# --------------------------------------------------------------------------
+
+
+class ConfigSection:
+    """A parsed section: mapping-style access to options and sub-sections."""
+
+    def __init__(self, name: str, title: str | None = None):
+        self.name = name
+        self.title = title
+        self._values: dict[str, Any] = {}
+        self._subsections: dict[str, list[ConfigSection]] = {}
+
+    def __getitem__(self, key: str) -> Any:
+        if key not in self._values:
+            raise KeyError(f"no option {key!r} in section {self.name!r}")
+        return self._values[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._values.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def keys(self) -> list[str]:
+        return sorted(self._values)
+
+    def set(self, key: str, value: Any) -> None:
+        self._values[key] = value
+
+    def section(self, name: str, title: str | None = None) -> "ConfigSection":
+        """Return the unique sub-section *name* (with *title*, if given)."""
+        matches = [
+            s
+            for s in self._subsections.get(name, [])
+            if title is None or s.title == title
+        ]
+        if not matches:
+            raise KeyError(f"no section {name!r}" + (f" titled {title!r}" if title else ""))
+        if len(matches) > 1:
+            raise KeyError(f"ambiguous section {name!r}: {len(matches)} matches; pass a title")
+        return matches[0]
+
+    def sections(self, name: str | None = None) -> list["ConfigSection"]:
+        if name is None:
+            return [s for group in self._subsections.values() for s in group]
+        return list(self._subsections.get(name, []))
+
+    def add_subsection(self, sub: "ConfigSection") -> None:
+        self._subsections.setdefault(sub.name, []).append(sub)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (sub-sections become lists under their name)."""
+        out: dict[str, Any] = dict(self._values)
+        for name, subs in self._subsections.items():
+            out[name] = [s.as_dict() for s in subs]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        title = f" {self.title!r}" if self.title else ""
+        return f"<ConfigSection {self.name}{title} options={sorted(self._values)}>"
+
+
+# --------------------------------------------------------------------------
+# Parser
+# --------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        tok = self._tokens[self._pos]
+        self._pos += 1
+        return tok
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        tok = self._next()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            want = value if value is not None else kind
+            raise ConfigError(f"expected {want!r}, got {tok.value!r}", line=tok.line)
+        return tok
+
+    def parse_value(self) -> tuple[Any, int]:
+        tok = self._next()
+        if tok.kind == "STRING":
+            return tok.value, tok.line
+        if tok.kind == "NUMBER":
+            text = tok.value
+            try:
+                if any(ch in text for ch in ".eE") and not text.lstrip("+-").isdigit():
+                    return float(text), tok.line
+                return int(text), tok.line
+            except ValueError as exc:
+                raise ConfigError(f"bad number literal {text!r}", line=tok.line) from exc
+        if tok.kind == "IDENT":
+            low = tok.value.lower()
+            if low in ("true", "yes", "on"):
+                return True, tok.line
+            if low in ("false", "no", "off"):
+                return False, tok.line
+            # bare-word string (libconfuse allows unquoted single words)
+            return tok.value, tok.line
+        if tok.kind == "PUNCT" and tok.value == "{":
+            items: list[Any] = []
+            if self._peek().kind == "PUNCT" and self._peek().value == "}":
+                self._next()
+                return items, tok.line
+            while True:
+                value, _ = self.parse_value()
+                items.append(value)
+                nxt = self._next()
+                if nxt.kind == "PUNCT" and nxt.value == ",":
+                    continue
+                if nxt.kind == "PUNCT" and nxt.value == "}":
+                    return items, tok.line
+                raise ConfigError(f"expected ',' or '}}' in list, got {nxt.value!r}", line=nxt.line)
+        raise ConfigError(f"expected a value, got {tok.value!r}", line=tok.line)
+
+    def parse_section_body(self, section: ConfigSection, schema: ConfigSchema | None, *, top: bool) -> None:
+        seen: set[str] = set()
+        while True:
+            tok = self._peek()
+            if tok.kind == "EOF":
+                if not top:
+                    raise ConfigError("unexpected end of file inside section", line=tok.line)
+                break
+            if tok.kind == "PUNCT" and tok.value == "}":
+                if top:
+                    raise ConfigError("unexpected '}' at top level", line=tok.line)
+                self._next()
+                break
+            if tok.kind != "IDENT":
+                raise ConfigError(f"expected option or section name, got {tok.value!r}", line=tok.line)
+            name_tok = self._next()
+            nxt = self._peek()
+            if nxt.kind == "PUNCT" and nxt.value == "=":
+                self._next()
+                value, line = self.parse_value()
+                opt = schema.option(name_tok.value) if schema is not None else None
+                if schema is not None:
+                    if opt is None:
+                        raise ConfigError("unknown option", line=name_tok.line, option=name_tok.value)
+                    value = opt.validate(value, line)
+                if name_tok.value in seen:
+                    raise ConfigError("duplicate option", line=name_tok.line, option=name_tok.value)
+                seen.add(name_tok.value)
+                section.set(name_tok.value, value)
+            else:
+                # section: NAME [TITLE] '{' ... '}'
+                title = None
+                if nxt.kind in ("STRING", "IDENT"):
+                    title = self._next().value
+                self._expect("PUNCT", "{")
+                sub_schema = None
+                if schema is not None:
+                    if name_tok.value not in schema.sections:
+                        raise ConfigError("unknown section", line=name_tok.line, option=name_tok.value)
+                    sub_schema = schema.sections[name_tok.value]
+                    if schema.section_titled.get(name_tok.value) and title is None:
+                        raise ConfigError("section requires a title", line=name_tok.line, option=name_tok.value)
+                sub = ConfigSection(name_tok.value, title)
+                self.parse_section_body(sub, sub_schema, top=False)
+                _apply_defaults(sub, sub_schema)
+                section.add_subsection(sub)
+
+
+def _apply_defaults(section: ConfigSection, schema: ConfigSchema | None) -> None:
+    if schema is None:
+        return
+    for opt in schema.options:
+        if opt.name in section:
+            continue
+        if opt.required:
+            raise ConfigError("missing required option", option=opt.name)
+        if opt.default is not None or opt.type != "str":
+            section.set(opt.name, opt.default)
+        else:
+            section.set(opt.name, None)
+
+
+def parse_config(text: str, schema: ConfigSchema | None = None) -> ConfigSection:
+    """Parse configuration *text*, optionally validating against *schema*.
+
+    Returns the root :class:`ConfigSection` (named ``"root"``). Without a
+    schema the parser accepts any well-formed input; with one, unknown
+    options/sections, duplicates, type errors and missing required options
+    all raise :class:`~repro.util.errors.ConfigError`.
+    """
+    parser = _Parser(tokenize(text))
+    root = ConfigSection("root")
+    parser.parse_section_body(root, schema, top=True)
+    _apply_defaults(root, schema)
+    return root
+
+
+def joshua_config_schema() -> ConfigSchema:
+    """The schema of ``joshua.conf`` used by :mod:`repro.joshua`.
+
+    Mirrors the knobs the JOSHUA prototype exposed through libconfuse plus
+    the reproduction's simulation-calibration options.
+    """
+    gcs = ConfigSchema(
+        options=[
+            Option("heartbeat-interval", "float", default=0.25),
+            Option("suspect-timeout", "float", default=0.75),
+            Option("ordering", "str", default="sequencer", choices=("sequencer", "token")),
+        ]
+    )
+    pbs = ConfigSchema(
+        options=[
+            Option("scheduler-poll-interval", "float", default=0.05),
+            Option("exclusive-allocation", "bool", default=True),
+        ]
+    )
+    root = ConfigSchema(
+        options=[
+            Option("loglevel", "str", default="INFO", choices=("DEBUG", "INFO", "WARNING", "ERROR")),
+            Option("port", "int", default=4412),
+            Option("heads", "list", default=None),
+            Option("safe-output", "bool", default=True),
+        ]
+    )
+    root.add_section("gcs", gcs)
+    root.add_section("pbs", pbs)
+    return root

@@ -1,0 +1,92 @@
+"""Serialisation helpers for dataclass message/record types.
+
+Simulated "wire" messages are dataclasses. To keep the simulation honest
+about what crosses the network — and to let tests snapshot protocol traffic —
+these helpers convert records to/from plain dicts (JSON-able), recursively.
+
+This is intentionally *not* pickle: restricting payloads to plain data keeps
+daemons from accidentally sharing live object references across "the wire",
+which would hide replication bugs the paper's external-replication design is
+all about catching.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Type, TypeVar
+
+__all__ = ["to_wire", "from_wire", "wire_size"]
+
+T = TypeVar("T")
+
+
+def to_wire(obj: Any) -> Any:
+    """Recursively convert dataclasses/enums/containers to plain data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__type__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = to_wire(getattr(obj, f.name))
+        return out
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {k: to_wire(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        converted = [to_wire(v) for v in obj]
+        return converted if isinstance(obj, list) else tuple(converted)
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot serialise {type(obj).__name__} to wire format")
+
+
+def from_wire(data: Any, cls: Type[T]) -> T:
+    """Rebuild a dataclass of type *cls* from :func:`to_wire` output.
+
+    Nested dataclass fields are reconstructed using the field's declared
+    type when it is itself a dataclass; containers are passed through.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass type")
+    if not isinstance(data, dict):
+        raise TypeError(f"expected dict for {cls.__name__}, got {type(data).__name__}")
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        ftype = f.type if isinstance(f.type, type) else None
+        if ftype is not None and dataclasses.is_dataclass(ftype) and isinstance(value, dict):
+            value = from_wire(value, ftype)
+        elif ftype is not None and isinstance(ftype, type) and issubclass(ftype, enum.Enum):
+            value = ftype(value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
+
+
+def wire_size(obj: Any) -> int:
+    """Approximate serialised size in bytes, used by the bandwidth model.
+
+    A cheap structural estimate (no actual JSON encoding in the hot path):
+    strings count their UTF-8 length, numbers 8 bytes, containers the sum of
+    their items plus small per-item overhead.
+    """
+    if obj is None or isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float)):
+        return 8
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8", errors="replace")) + 2
+    if isinstance(obj, bytes):
+        return len(obj)
+    if isinstance(obj, enum.Enum):
+        return wire_size(obj.value)
+    if isinstance(obj, dict):
+        return 2 + sum(wire_size(k) + wire_size(v) + 2 for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 2 + sum(wire_size(v) + 1 for v in obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return 2 + sum(
+            wire_size(f.name) + wire_size(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        )
+    return 16

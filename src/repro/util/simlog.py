@@ -1,0 +1,118 @@
+"""Simulation-time-aware logging.
+
+Standard :mod:`logging` stamps wall-clock time, which is meaningless inside a
+discrete-event simulation: what matters is *when in simulated time* a daemon
+acted. :class:`SimLogger` timestamps records with a caller-supplied clock
+callable (usually ``kernel.now``) and keeps records in memory so tests can
+assert on them; it can also mirror to stderr for interactive debugging.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+__all__ = ["LogRecord", "SimLogger", "LEVELS"]
+
+LEVELS = {"DEBUG": 10, "INFO": 20, "WARNING": 30, "ERROR": 40}
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One log entry, stamped with simulated time."""
+
+    time: float
+    level: str
+    source: str
+    message: str
+    fields: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Render as ``[   12.345s] INFO  source: message k=v``."""
+        extra = "".join(f" {k}={v!r}" for k, v in sorted(self.fields.items()))
+        return f"[{self.time:>10.4f}s] {self.level:<7} {self.source}: {self.message}{extra}"
+
+
+class SimLogger:
+    """In-memory logger driven by a simulated clock.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current simulated time.
+    level:
+        Minimum level name to retain (``DEBUG``/``INFO``/``WARNING``/``ERROR``).
+    echo:
+        If true, every retained record is also printed to stderr.
+    capacity:
+        Maximum records kept; older records are dropped FIFO. ``None`` keeps
+        everything (fine for tests, avoid in week-long availability runs).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        *,
+        level: str = "INFO",
+        echo: bool = False,
+        capacity: int | None = 100_000,
+    ):
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}; expected one of {sorted(LEVELS)}")
+        self._clock = clock
+        self._threshold = LEVELS[level]
+        self._echo = echo
+        self._capacity = capacity
+        self.records: list[LogRecord] = []
+
+    def set_level(self, level: str) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        self._threshold = LEVELS[level]
+
+    def log(self, level: str, source: str, message: str, **fields) -> None:
+        if LEVELS.get(level, 0) < self._threshold:
+            return
+        record = LogRecord(self._clock(), level, source, message, fields)
+        self.records.append(record)
+        if self._capacity is not None and len(self.records) > self._capacity:
+            del self.records[: len(self.records) - self._capacity]
+        if self._echo:
+            print(record.format(), file=sys.stderr)
+
+    def debug(self, source: str, message: str, **fields) -> None:
+        self.log("DEBUG", source, message, **fields)
+
+    def info(self, source: str, message: str, **fields) -> None:
+        self.log("INFO", source, message, **fields)
+
+    def warning(self, source: str, message: str, **fields) -> None:
+        self.log("WARNING", source, message, **fields)
+
+    def error(self, source: str, message: str, **fields) -> None:
+        self.log("ERROR", source, message, **fields)
+
+    def select(
+        self,
+        *,
+        source: str | None = None,
+        level: str | None = None,
+        contains: str | None = None,
+    ) -> list[LogRecord]:
+        """Filter retained records; handy in tests."""
+
+        def keep(r: LogRecord) -> bool:
+            if source is not None and r.source != source:
+                return False
+            if level is not None and r.level != level:
+                return False
+            if contains is not None and contains not in r.message:
+                return False
+            return True
+
+        return [r for r in self.records if keep(r)]
+
+    def dump(self, records: Iterable[LogRecord] | None = None) -> str:
+        """Render records (default: all) one per line."""
+        return "\n".join(r.format() for r in (self.records if records is None else records))

@@ -1,0 +1,191 @@
+"""Property-based tests of the GCS invariants.
+
+Hypothesis drives randomized workloads (who multicasts what, when, with
+which service) and randomized single-failure schedules through the full
+simulated stack, then checks the paper-relevant guarantees:
+
+* total order (pairwise prefix-consistent delivery sequences),
+* agreement (live members deliver the same set),
+* sender FIFO,
+* exactly-once for surviving senders,
+* SAFE copies exist at all members of the delivery view.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.gcs import GroupConfig, GroupMember, boot_static_group
+from repro.gcs.messages import AGREED, SAFE
+from repro.net import Address, Network
+from repro.net.link import FAST_ETHERNET
+from repro.sim import Kernel
+
+GCS_PORT = 9
+FAST = GroupConfig(
+    heartbeat_interval=0.05,
+    suspect_timeout=0.16,
+    flush_timeout=0.3,
+    retransmit_interval=0.02,
+)
+
+
+def build_group(n, seed, loss=0.0, ordering="sequencer"):
+    kernel = Kernel(seed=seed)
+    lan = FAST_ETHERNET.with_loss(loss) if loss else FAST_ETHERNET
+    net = Network(kernel, lan=lan, shared_medium=False)
+    config = GroupConfig(
+        heartbeat_interval=FAST.heartbeat_interval,
+        suspect_timeout=FAST.suspect_timeout,
+        flush_timeout=FAST.flush_timeout,
+        retransmit_interval=FAST.retransmit_interval,
+        ordering=ordering,
+    )
+    delivered = {}
+    members = {}
+    for i in range(n):
+        name = f"n{i}"
+        net.register_node(name)
+        delivered[name] = []
+        members[name] = GroupMember(
+            net.bind(name, GCS_PORT),
+            config,
+            on_deliver=lambda m, nm=name: delivered[nm].append(m),
+        )
+    boot_static_group(list(members.values()))
+    return kernel, net, members, delivered
+
+
+def assert_prefix_consistent(sequences):
+    for i in range(len(sequences)):
+        for j in range(i + 1, len(sequences)):
+            a, b = sequences[i], sequences[j]
+            short = min(len(a), len(b))
+            assert a[:short] == b[:short]
+
+
+# One "script" step: (sender index, service, delay before sending).
+script_step = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.sampled_from([AGREED, SAFE]),
+    st.floats(min_value=0.0, max_value=0.02),
+)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.integers(min_value=2, max_value=4),
+    script=st.lists(script_step, min_size=1, max_size=12),
+    seed=st.integers(min_value=0, max_value=2**16),
+    ordering=st.sampled_from(["sequencer", "token"]),
+)
+def test_total_order_and_agreement_no_faults(n, script, seed, ordering):
+    kernel, net, members, delivered = build_group(n, seed, ordering=ordering)
+    names = sorted(members)
+
+    def driver():
+        sent = 0
+        for sender_ix, service, delay in script:
+            if delay:
+                yield kernel.timeout(delay)
+            members[names[sender_ix % n]].multicast(f"m{sent}", service=service)
+            sent += 1
+
+    kernel.spawn(driver())
+    kernel.run(until=5.0)
+
+    sequences = [[m.msg_id for m in delivered[name]] for name in names]
+    assert_prefix_consistent(sequences)
+    # No faults: everyone delivers everything.
+    assert all(len(seq) == len(script) for seq in sequences)
+    # Exactly-once.
+    for seq in sequences:
+        assert len(set(seq)) == len(seq)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    script=st.lists(script_step, min_size=1, max_size=10),
+    crash_victim=st.integers(min_value=0, max_value=2),
+    crash_after=st.integers(min_value=0, max_value=9),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_invariants_with_one_crash(script, crash_victim, crash_after, seed):
+    n = 3
+    kernel, net, members, delivered = build_group(n, seed)
+    names = sorted(members)
+    victim = names[crash_victim]
+
+    def driver():
+        for index, (sender_ix, service, delay) in enumerate(script):
+            if index == min(crash_after, len(script) - 1):
+                members[victim].stop()
+                net.set_node_up(victim, False)
+            if delay:
+                yield kernel.timeout(delay)
+            sender = names[sender_ix % n]
+            if members[sender].state != "stopped":
+                members[sender].multicast(f"m{index}", service=service)
+
+    kernel.spawn(driver())
+    kernel.run(until=8.0)
+
+    survivors = [name for name in names if name != victim]
+    sequences = [[m.msg_id for m in delivered[name]] for name in survivors]
+    assert_prefix_consistent(sequences)
+    # Survivors agree on the delivered set.
+    assert set(sequences[0]) == set(sequences[1])
+    # Exactly-once everywhere.
+    for seq in sequences:
+        assert len(set(seq)) == len(seq)
+    # Messages multicast by a *surviving* sender are delivered by survivors.
+    for name in survivors:
+        own = {m.msg_id for m in delivered[name] if m.sender == Address(name, GCS_PORT)}
+        assert len(own) == members[name].stats["multicasts"]
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    script=st.lists(script_step, min_size=1, max_size=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+    loss=st.floats(min_value=0.0, max_value=0.2),
+)
+def test_total_order_under_loss(script, seed, loss):
+    n = 3
+    kernel, net, members, delivered = build_group(n, seed, loss=loss)
+    names = sorted(members)
+
+    def driver():
+        for index, (sender_ix, service, delay) in enumerate(script):
+            if delay:
+                yield kernel.timeout(delay)
+            members[names[sender_ix % n]].multicast(index, service=service)
+
+    kernel.spawn(driver())
+    kernel.run(until=10.0)
+
+    sequences = [[m.msg_id for m in delivered[name]] for name in names]
+    assert_prefix_consistent(sequences)
+    assert all(len(seq) == len(script) for seq in sequences)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    safe_count=st.integers(min_value=1, max_value=6),
+)
+def test_safe_delivery_implies_all_members_hold_copy(seed, safe_count):
+    n = 3
+    kernel, net, members, delivered = build_group(n, seed)
+    names = sorted(members)
+    held_at_delivery = []
+
+    def check(msg):
+        held_at_delivery.append(
+            all(members[name].queue.has_data(msg.msg_id) for name in names)
+        )
+
+    members["n0"].on_deliver = check
+    for k in range(safe_count):
+        members["n1"].multicast(k, service=SAFE)
+    kernel.run(until=3.0)
+    assert held_at_delivery and all(held_at_delivery)

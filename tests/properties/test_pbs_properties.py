@@ -1,0 +1,146 @@
+"""Property-based tests of the PBS substrate and JOSHUA replication.
+
+* the Job state machine never reaches an illegal state through any legal
+  transition path, and illegal jumps always raise;
+* the queue's FIFO selection matches a reference model under arbitrary
+  add/hold/release/complete interleavings;
+* JOSHUA replicas end bit-identical (same job ids, same states) for random
+  jsub/jdel scripts — with and without a head crash mid-script.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.pbs.job import Job, JobSpec, JobState
+from repro.pbs.queue import JobQueue
+from repro.util.errors import PBSError
+
+
+TRANSITIONS = {
+    JobState.QUEUED: [JobState.RUNNING, JobState.COMPLETE, JobState.HELD, JobState.WAITING],
+    JobState.HELD: [JobState.QUEUED, JobState.COMPLETE],
+    JobState.WAITING: [JobState.QUEUED, JobState.COMPLETE],
+    JobState.RUNNING: [JobState.EXITING, JobState.COMPLETE, JobState.QUEUED],
+    JobState.EXITING: [JobState.COMPLETE],
+    JobState.COMPLETE: [],
+}
+
+
+@settings(max_examples=100, deadline=None)
+@given(choices=st.lists(st.integers(min_value=0, max_value=3), max_size=12))
+def test_job_state_machine_closed_under_legal_transitions(choices):
+    job = Job("1.t", JobSpec())
+    for choice in choices:
+        legal = TRANSITIONS[job.state]
+        if not legal:
+            break
+        target = legal[choice % len(legal)]
+        kwargs = {}
+        if target is JobState.RUNNING:
+            kwargs = {"start_time": 0.0}
+        job = job.transition(target, **kwargs)
+        assert job.state is target
+    # From wherever we ended, every non-legal target raises.
+    for target in JobState:
+        if target not in TRANSITIONS[job.state]:
+            with pytest.raises(PBSError):
+                job.transition(target)
+
+
+queue_action = st.one_of(
+    st.tuples(st.just("add"), st.integers(0, 9)),
+    st.tuples(st.just("hold"), st.integers(0, 9)),
+    st.tuples(st.just("release"), st.integers(0, 9)),
+    st.tuples(st.just("complete"), st.integers(0, 9)),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(actions=st.lists(queue_action, max_size=25))
+def test_queue_fifo_matches_reference_model(actions):
+    queue = JobQueue()
+    # Reference: insertion-ordered list of (id, state) with the same rules.
+    model: list[list] = []
+
+    def model_find(job_id):
+        for entry in model:
+            if entry[0] == job_id:
+                return entry
+        return None
+
+    next_seq = 1
+    for kind, key in actions:
+        job_id = f"{key}.t"
+        entry = model_find(job_id)
+        if kind == "add":
+            if entry is None:
+                queue.add(Job(job_id, JobSpec()))
+                model.append([job_id, "Q"])
+        elif entry is not None:
+            job = queue.get(job_id)
+            try:
+                if kind == "hold" and entry[1] == "Q":
+                    queue.update(job.transition(JobState.HELD))
+                    entry[1] = "H"
+                elif kind == "release" and entry[1] == "H":
+                    queue.update(job.transition(JobState.QUEUED))
+                    entry[1] = "Q"
+                elif kind == "complete" and entry[1] in ("Q", "H"):
+                    queue.update(job.transition(JobState.COMPLETE))
+                    entry[1] = "C"
+            except PBSError:
+                pass
+    expected = next((j for j, s in model if s == "Q"), None)
+    actual = queue.first_eligible()
+    assert (actual.job_id if actual else None) == expected
+
+
+# -- replicated determinism through the whole JOSHUA stack ----------------------
+
+joshua_op = st.one_of(
+    st.tuples(st.just("jsub"), st.integers(1, 4)),
+    st.tuples(st.just("jdel"), st.integers(1, 6)),
+)
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    script=st.lists(joshua_op, min_size=1, max_size=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+    crash=st.booleans(),
+    crash_point=st.integers(min_value=0, max_value=7),
+)
+def test_joshua_replicas_identical_for_random_scripts(script, seed, crash, crash_point):
+    from repro.cluster import Cluster
+    from repro.joshua import build_joshua_stack
+    from tests.integration.conftest import FAST_GROUP
+
+    heads = 3
+    cluster = Cluster(head_count=heads, compute_count=2, seed=seed, login_node=True)
+    stack = build_joshua_stack(cluster, group_config=FAST_GROUP)
+    client = stack.client(node="login", prefer="head2")
+    kernel = cluster.kernel
+
+    def driver():
+        for index, (kind, arg) in enumerate(script):
+            if crash and index == min(crash_point, len(script) - 1) and cluster.node("head0").is_up:
+                cluster.node("head0").crash()
+            try:
+                if kind == "jsub":
+                    yield from client.jsub(name=f"p{index}", walltime=600.0 * arg)
+                else:
+                    yield from client.jdel(f"{arg}.joshua")
+            except Exception:
+                pass  # unknown-job errors etc. are deterministic app errors
+
+    process = kernel.spawn(driver())
+    cluster.run(until=process)
+    cluster.run(until=kernel.now + 4.0)
+
+    live = [h for h in stack.head_names if cluster.node(h).is_up]
+    snapshots = [
+        tuple((j.job_id, j.state.value) for j in stack.pbs(h).jobs) for h in live
+    ]
+    assert len(set(snapshots)) == 1, f"replica divergence: {snapshots}"

@@ -1,0 +1,121 @@
+"""Property-based tests of the substrates: DES kernel, transport, config.
+
+* events fire in non-decreasing time order, ties in creation order;
+* the reliable transport delivers any message pattern, under any loss rate
+  below 1, exactly once and in per-sender FIFO order;
+* the config parser round-trips arbitrary generated documents
+  (render -> parse -> same values).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net import Address, Network, Transport
+from repro.net.link import LinkModel
+from repro.sim import Kernel
+from repro.util.config import parse_config
+
+
+@settings(max_examples=100, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40))
+def test_kernel_fires_in_time_order(delays):
+    kernel = Kernel()
+    fired: list[tuple[float, int]] = []
+    for index, delay in enumerate(delays):
+        timeout = kernel.timeout(delay)
+        timeout.callbacks.append(
+            lambda _e, i=index: fired.append((kernel.now, i))
+        )
+    kernel.run()
+    assert len(fired) == len(delays)
+    times = [t for t, _i in fired]
+    assert times == sorted(times)
+    # Ties break by creation order (determinism).
+    for (t1, i1), (t2, i2) in zip(fired, fired[1:]):
+        if t1 == t2:
+            assert i1 < i2
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=20),
+    until=st.floats(min_value=0.0, max_value=12.0),
+)
+def test_run_until_is_a_clean_cut(delays, until):
+    kernel = Kernel()
+    fired = []
+    for delay in delays:
+        kernel.timeout(delay).callbacks.append(lambda _e: fired.append(kernel.now))
+    kernel.run(until=until)
+    assert all(t <= until for t in fired)
+    assert len(fired) == sum(1 for d in delays if d <= until)
+    assert kernel.now == until or not delays
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    messages=st.lists(st.integers(), min_size=1, max_size=40),
+    loss=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_transport_exactly_once_fifo_under_loss(messages, loss, seed):
+    kernel = Kernel(seed=seed)
+    lan = LinkModel(base_latency=0.001, bandwidth=1e8, loss=loss)
+    network = Network(kernel, lan=lan, shared_medium=False)
+    network.register_node("a")
+    network.register_node("b")
+    sender = Transport(network.bind("a", 1), retransmit_interval=0.01)
+    received: list[int] = []
+    receiver = Transport(
+        network.bind("b", 1),
+        retransmit_interval=0.01,
+        on_message=lambda src, payload: received.append(payload),
+    )
+    for message in messages:
+        sender.send(Address("b", 1), message)
+    kernel.run(until=60.0)
+    assert received == messages
+
+
+config_value = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.booleans(),
+    st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=127), max_size=12),
+)
+option_name = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=10
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(options=st.dictionaries(option_name, config_value, max_size=10))
+def test_config_render_parse_roundtrip(options):
+    def render(value) -> str:
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, int):
+            return str(value)
+        return '"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+    text = "\n".join(f"{name} = {render(value)}" for name, value in options.items())
+    cfg = parse_config(text)
+    for name, value in options.items():
+        assert cfg[name] == value
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    items=st.lists(
+        st.one_of(st.integers(min_value=-1000, max_value=1000), st.booleans()),
+        max_size=8,
+    )
+)
+def test_config_list_roundtrip(items):
+    def render(value) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        return str(value)
+
+    text = "xs = {" + ", ".join(render(item) for item in items) + "}"
+    cfg = parse_config(text)
+    assert cfg["xs"] == items

@@ -1,0 +1,175 @@
+"""Unit tests for the benchmark harness (workloads, metrics, reporting)."""
+
+import pytest
+
+from repro.bench import (
+    BurstWorkload,
+    LatencySample,
+    PoissonWorkload,
+    TraceWorkload,
+    format_table,
+    paper_vs_measured,
+    summarize,
+)
+from repro.bench.reporting import bar_chart
+from repro.pbs.job import JobSpec
+from repro.util.errors import ReproError
+
+
+class TestBurstWorkload:
+    def test_zero_delays(self):
+        entries = list(BurstWorkload(5))
+        assert len(entries) == 5
+        assert all(delay == 0.0 for delay, _spec in entries)
+
+    def test_specs_named_sequentially(self):
+        entries = list(BurstWorkload(3, walltime=7.0))
+        assert [s.name for _d, s in entries] == ["job0000", "job0001", "job0002"]
+        assert all(s.walltime == 7.0 for _d, s in entries)
+
+    def test_len(self):
+        assert len(BurstWorkload(10)) == 10
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            BurstWorkload(0)
+
+
+class TestPoissonWorkload:
+    def test_deterministic_given_seed(self):
+        a = [(d, s.walltime) for d, s in PoissonWorkload(10, 1.0, seed=4)]
+        b = [(d, s.walltime) for d, s in PoissonWorkload(10, 1.0, seed=4)]
+        assert a == b
+
+    def test_mean_interarrival(self):
+        delays = [d for d, _s in PoissonWorkload(2000, rate=2.0, seed=1)]
+        mean = sum(delays) / len(delays)
+        assert mean == pytest.approx(0.5, rel=0.1)
+
+    def test_walltime_range_respected(self):
+        for _d, spec in PoissonWorkload(100, 1.0, walltime_range=(2.0, 3.0), seed=2):
+            assert 2.0 <= spec.walltime <= 3.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            PoissonWorkload(0, 1.0)
+        with pytest.raises(ReproError):
+            PoissonWorkload(1, 0.0)
+        with pytest.raises(ReproError):
+            PoissonWorkload(1, 1.0, walltime_range=(5.0, 2.0))
+
+
+class TestTraceWorkload:
+    def test_relative_delays(self):
+        trace = TraceWorkload(((1.0, JobSpec(name="a")), (4.0, JobSpec(name="b"))))
+        entries = list(trace)
+        assert [d for d, _s in entries] == [1.0, 3.0]
+
+    def test_sorts_entries(self):
+        trace = TraceWorkload(((4.0, JobSpec(name="b")), (1.0, JobSpec(name="a"))))
+        assert [s.name for _d, s in trace] == ["a", "b"]
+
+    def test_len(self):
+        assert len(TraceWorkload(())) == 0
+
+
+class TestMetrics:
+    def test_summary_statistics(self):
+        samples = [LatencySample(0.0, 0.1), LatencySample(1.0, 1.3), LatencySample(2.0, 2.2)]
+        stats = summarize(samples)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(0.2)
+        assert stats.median == pytest.approx(0.2)
+        assert stats.minimum == pytest.approx(0.1)
+        assert stats.maximum == pytest.approx(0.3)
+
+    def test_as_dict_milliseconds(self):
+        stats = summarize([LatencySample(0.0, 0.098)])
+        assert stats.as_dict()["mean_ms"] == 98.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([])
+
+    def test_latency_property(self):
+        assert LatencySample(1.0, 1.5).latency == pytest.approx(0.5)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": "xx"}, {"a": 222, "b": "y"}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert len({len(line) for line in lines}) == 1  # aligned columns
+
+    def test_title_and_empty(self):
+        assert "T" in format_table([], title="T")
+        assert format_table([{"x": 1}], title="Header").startswith("Header")
+
+    def test_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_paper_vs_measured_ratio(self):
+        rows = [{"heads": 1, "paper": 100.0, "measured": 95.0}]
+        text = paper_vs_measured(rows, key="heads")
+        assert "0.95" in text
+
+    def test_paper_vs_measured_handles_missing(self):
+        rows = [{"heads": 1, "paper": None, "measured": 95.0}]
+        text = paper_vs_measured(rows, key="heads")
+        assert "ratio" not in text.splitlines()[0] or "None" in text
+
+    def test_bar_chart_scales_to_peak(self):
+        rows = [{"k": "a", "v": 50.0}, {"k": "b", "v": 100.0}]
+        text = bar_chart(rows, label="k", series=["v"], width=10)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_bar_chart_multi_series_shared_scale(self):
+        rows = [{"k": "x", "a": 25.0, "b": 100.0}]
+        text = bar_chart(rows, label="k", series=["a", "b"], width=20)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert lines[0].count("#") == 5 and lines[1].count("#") == 20
+
+    def test_bar_chart_skips_missing_values(self):
+        rows = [{"k": "x", "a": 10.0, "b": None}]
+        text = bar_chart(rows, label="k", series=["a", "b"])
+        assert "b" not in [l.split()[0] for l in text.splitlines() if "|" in l]
+
+    def test_bar_chart_empty(self):
+        assert "(no data)" in bar_chart([], label="k", series=["v"], title="T")
+
+    def test_bar_chart_minimum_one_hash(self):
+        rows = [{"k": "tiny", "v": 0.001}, {"k": "huge", "v": 1000.0}]
+        text = bar_chart(rows, label="k", series=["v"], width=10)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert lines[0].count("#") >= 1
+
+
+class TestExperimentSmoke:
+    """Fast sanity runs of the experiment drivers (full runs live in
+    benchmarks/)."""
+
+    def test_figure10_single_point(self):
+        from repro.bench.experiments.latency import measure_torque_latency
+        latency = measure_torque_latency(trials=3)
+        assert 0.085 <= latency <= 0.115
+
+    def test_figure11_single_point(self):
+        from repro.bench.experiments.throughput import measure_burst
+        elapsed = measure_burst("TORQUE", 1, 10)
+        assert 0.8 <= elapsed <= 1.3
+
+    def test_figure12_rows(self):
+        from repro.bench.experiments.availability import figure12
+        rows = figure12()
+        assert [r["nodes"] for r in rows] == [1, 2, 3, 4]
+        assert rows[3]["downtime"] == "1s"
+
+    def test_model_comparison_single_model(self):
+        from repro.bench.experiments.models import run_model
+        report = run_model("symmetric", jobs=5, horizon=120.0)
+        assert report.submitted == 5
+        assert report.lost == 0

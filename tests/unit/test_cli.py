@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure10_defaults(self):
+        args = build_parser().parse_args(["figure10"])
+        assert args.trials == 10 and args.seed == 1
+
+    def test_figure11_jobs_list(self):
+        args = build_parser().parse_args(["figure11", "--jobs", "5", "25"])
+        assert args.jobs == [5, 25]
+
+    def test_figure12_flags(self):
+        args = build_parser().parse_args(
+            ["figure12", "--mttf", "1000", "--empirical", "--years", "50"]
+        )
+        assert args.mttf == 1000.0 and args.empirical and args.years == 50.0
+
+    def test_ablations_choices(self):
+        assert build_parser().parse_args(["ablations"]).which == "all"
+        assert build_parser().parse_args(["ablations", "slot"]).which == "slot"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablations", "bogus"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure13"])
+
+
+class TestCommands:
+    def test_figure12_output(self, capsys):
+        assert main(["figure12"]) == 0
+        out = capsys.readouterr().out
+        assert "5d 4h 21min" in out
+        assert "Figure 12" in out
+
+    def test_figure12_empirical_output(self, capsys):
+        assert main(["figure12", "--empirical", "--years", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Monte-Carlo" in out
+
+    def test_correlated_output(self, capsys):
+        assert main(["correlated"]) == 0
+        out = capsys.readouterr().out
+        assert "Diminishing returns" in out
+        assert "correlated_nines" in out
+
+    def test_figure10_small(self, capsys):
+        assert main(["figure10", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "JOSHUA/TORQUE" in out
+
+    def test_ablation_single_section(self, capsys):
+        assert main(["ablations", "detection"]) == 0
+        out = capsys.readouterr().out
+        assert "suspect timeout" in out
+        assert "batching" not in out
+
+    def test_compare_output(self, capsys):
+        assert main(["compare"]) == 0
+        out = capsys.readouterr().out
+        for model in ("single", "active_standby", "asymmetric", "symmetric"):
+            assert model in out

@@ -1,0 +1,279 @@
+"""Unit tests for nodes, daemons, storage and failure injection."""
+
+import pytest
+
+from repro.cluster import Cluster, Daemon, Disk, FailureInjector, FailureSchedule, SharedStorage
+from repro.cluster.failures import FailureEvent, UpDownLog
+from repro.util.errors import ClusterError, NodeDown
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(head_count=2, compute_count=2, seed=3)
+
+
+class TickerDaemon(Daemon):
+    """Test daemon: counts ticks; remembers lifecycle calls."""
+
+    def __init__(self, node, port=100):
+        super().__init__(node, "ticker", port)
+        self.ticks = 0
+        self.started = False
+        self.stopped_crashed = None
+
+    def on_start(self):
+        self.started = True
+
+    def run(self):
+        while True:
+            yield self.kernel.timeout(1.0)
+            self.ticks += 1
+
+    def on_stop(self, *, crashed):
+        self.stopped_crashed = crashed
+
+
+class TestClusterBuilder:
+    def test_topology(self, cluster):
+        assert [n.name for n in cluster.heads] == ["head0", "head1"]
+        assert [n.name for n in cluster.computes] == ["compute0", "compute1"]
+        assert cluster.login is None
+
+    def test_login_node(self):
+        c = Cluster(head_count=1, login_node=True)
+        assert c.login is not None
+        assert c.node("login").role == "login"
+
+    def test_node_lookup(self, cluster):
+        assert cluster.node("head1").name == "head1"
+        with pytest.raises(ClusterError):
+            cluster.node("nope")
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            Cluster(head_count=0)
+        with pytest.raises(ClusterError):
+            Cluster(head_count=1, compute_count=-1)
+
+    def test_live_heads(self, cluster):
+        assert len(cluster.live_heads()) == 2
+        cluster.heads[0].crash()
+        assert [n.name for n in cluster.live_heads()] == ["head1"]
+
+    def test_shared_storage_exists(self, cluster):
+        assert isinstance(cluster.shared_storage, SharedStorage)
+
+
+class TestDaemonLifecycle:
+    def test_daemon_runs(self, cluster):
+        d = cluster.heads[0].add_daemon("ticker", TickerDaemon)
+        cluster.run(until=5.5)
+        assert d.ticks == 5
+        assert d.started
+
+    def test_stop_halts_loop(self, cluster):
+        d = cluster.heads[0].add_daemon("ticker", TickerDaemon)
+        cluster.run(until=2.5)
+        d.stop()
+        cluster.run(until=10)
+        assert d.ticks == 2
+        assert d.stopped_crashed is False
+        assert not d.running
+
+    def test_crash_tears_down_daemon(self, cluster):
+        node = cluster.heads[0]
+        d = node.add_daemon("ticker", TickerDaemon)
+        cluster.run(until=2.5)
+        node.crash()
+        cluster.run(until=10)
+        assert d.ticks == 2
+        assert d.stopped_crashed is True
+        assert d.endpoint.closed
+
+    def test_restart_builds_fresh_daemon(self, cluster):
+        node = cluster.heads[0]
+        d1 = node.add_daemon("ticker", TickerDaemon)
+        cluster.run(until=3.5)
+        node.crash()
+        node.restart()
+        d2 = node.daemon("ticker")
+        assert d2 is not d1
+        assert d2.ticks == 0  # volatile state gone
+        cluster.run(until=5.5)
+        assert d2.ticks == 2
+
+    def test_restart_without_daemons(self, cluster):
+        node = cluster.heads[0]
+        node.add_daemon("ticker", TickerDaemon)
+        node.crash()
+        node.restart(daemons=False)
+        assert node.daemons == {}
+
+    def test_double_crash_rejected(self, cluster):
+        node = cluster.heads[0]
+        node.crash()
+        with pytest.raises(ClusterError):
+            node.crash()
+
+    def test_double_restart_rejected(self, cluster):
+        with pytest.raises(ClusterError):
+            cluster.heads[0].restart()
+
+    def test_start_daemon_on_down_node_rejected(self, cluster):
+        node = cluster.heads[0]
+        node.add_daemon("ticker", TickerDaemon, start=False)
+        node.crash()
+        with pytest.raises(NodeDown):
+            node.start_daemon("ticker")
+
+    def test_duplicate_daemon_name_rejected(self, cluster):
+        node = cluster.heads[0]
+        node.add_daemon("ticker", TickerDaemon)
+        with pytest.raises(ClusterError):
+            node.add_daemon("ticker", TickerDaemon)
+
+    def test_observers_notified(self, cluster):
+        node = cluster.heads[0]
+        events = []
+        node.observe(lambda n, kind: events.append((n.name, kind)))
+        node.crash()
+        node.restart()
+        assert events == [("head0", "crash"), ("head0", "restart")]
+
+    def test_helper_processes_die_with_daemon(self, cluster):
+        log = []
+
+        class HelperDaemon(Daemon):
+            def __init__(self, node):
+                super().__init__(node, "helper", 101)
+
+            def on_start(self):
+                def side():
+                    while True:
+                        yield self.kernel.timeout(1.0)
+                        log.append(self.kernel.now)
+                self.spawn(side())
+
+        node = cluster.heads[0]
+        node.add_daemon("helper", HelperDaemon)
+        cluster.run(until=2.5)
+        node.crash()
+        cluster.run(until=10)
+        assert log == [1.0, 2.0]
+
+
+class TestStorage:
+    def test_disk_survives_crash(self, cluster):
+        node = cluster.heads[0]
+        node.disk.write("queue", [1, 2, 3])
+        node.crash()
+        node.restart()
+        assert node.disk.read("queue") == [1, 2, 3]
+
+    def test_deep_copy_on_write_and_read(self):
+        disk = Disk("n")
+        data = {"jobs": [1]}
+        disk.write("k", data)
+        data["jobs"].append(2)
+        assert disk.read("k") == {"jobs": [1]}
+        first = disk.read("k")
+        first["jobs"].append(99)
+        assert disk.read("k") == {"jobs": [1]}
+
+    def test_read_default_and_delete(self):
+        disk = Disk("n")
+        assert disk.read("missing", 42) == 42
+        disk.write("k", 1)
+        disk.delete("k")
+        assert "k" not in disk
+
+    def test_keys_and_wipe(self):
+        disk = Disk("n")
+        disk.write("b", 1)
+        disk.write("a", 2)
+        assert disk.keys() == ["a", "b"]
+        disk.wipe()
+        assert disk.keys() == []
+
+
+class TestFailureSchedule:
+    def test_builder_and_sorting(self):
+        s = FailureSchedule().restart(5, "h").crash(1, "h").heal(3)
+        assert [e.kind for e in s.sorted_events()] == ["crash", "heal", "restart"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ClusterError):
+            FailureEvent(0, "explode")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ClusterError):
+            FailureEvent(-1, "crash")
+
+    def test_schedule_executes(self, cluster):
+        injector = FailureInjector(cluster)
+        injector.apply(
+            FailureSchedule().crash(2.0, "head0").restart(5.0, "head0")
+        )
+        cluster.run(until=3.0)
+        assert not cluster.node("head0").is_up
+        cluster.run(until=6.0)
+        assert cluster.node("head0").is_up
+
+    def test_partition_events(self, cluster):
+        injector = FailureInjector(cluster)
+        injector.apply(
+            FailureSchedule()
+            .partition(1.0, [["head0"], ["head1", "compute0", "compute1"]])
+            .heal(2.0)
+        )
+        cluster.run(until=1.5)
+        assert not cluster.network.partitions.reachable("head0", "head1")
+        cluster.run(until=2.5)
+        assert cluster.network.partitions.reachable("head0", "head1")
+
+    def test_cut_restore_events(self, cluster):
+        injector = FailureInjector(cluster)
+        injector.apply(FailureSchedule().cut(1.0, "head0", "head1").restore(2.0, "head0", "head1"))
+        cluster.run(until=1.5)
+        assert not cluster.network.partitions.reachable("head0", "head1")
+        cluster.run(until=2.5)
+        assert cluster.network.partitions.reachable("head0", "head1")
+
+    def test_stop_daemon_event(self, cluster):
+        node = cluster.heads[0]
+        d = node.add_daemon("ticker", TickerDaemon)
+        injector = FailureInjector(cluster)
+        injector.apply(FailureSchedule().stop_daemon(2.5, "head0", "ticker"))
+        cluster.run(until=10)
+        assert d.ticks == 2
+
+
+class TestExponentialLifecycle:
+    def test_empirical_availability_matches_formula(self):
+        """Long-run empirical availability ≈ MTTF/(MTTF+MTTR) (Equation 1)."""
+        cluster = Cluster(head_count=1, compute_count=0, seed=11)
+        injector = FailureInjector(cluster)
+        mttf, mttr = 100.0, 10.0
+        log = injector.exponential_lifecycle(cluster.heads[0], mttf=mttf, mttr=mttr)
+        horizon = 200_000.0
+        cluster.run(until=horizon)
+        expected = mttf / (mttf + mttr)
+        assert log.availability(horizon) == pytest.approx(expected, abs=0.01)
+
+    def test_invalid_parameters(self, cluster):
+        injector = FailureInjector(cluster)
+        with pytest.raises(ClusterError):
+            injector.exponential_lifecycle(cluster.heads[0], mttf=0, mttr=1)
+
+    def test_updown_log_bookkeeping(self):
+        log = UpDownLog("n")
+        log.record(10, "down")
+        log.record(15, "up")
+        log.record(90, "down")
+        assert log.downtime(100) == pytest.approx(5 + 10)
+        assert log.availability(100) == pytest.approx(0.85)
+
+    def test_updown_log_horizon_before_transition(self):
+        log = UpDownLog("n")
+        log.record(50, "down")
+        assert log.downtime(30) == 0.0

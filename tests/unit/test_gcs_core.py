@@ -1,0 +1,268 @@
+"""Unit tests for GCS building blocks: config, view, delivery queue, detector."""
+
+import pytest
+
+from repro.gcs import GroupConfig, View
+from repro.gcs.delivery import DeliveryQueue
+from repro.gcs.failure_detector import FailureDetector
+from repro.gcs.messages import AGREED, SAFE, DataMsg, MessageId
+from repro.net import Address, Network, Transport
+from repro.sim import Kernel
+from repro.util.errors import GroupCommError, MembershipError
+
+
+def addr(i: int) -> Address:
+    return Address(f"n{i}", 9)
+
+
+class TestGroupConfig:
+    def test_defaults_valid(self):
+        GroupConfig()
+
+    def test_suspect_must_exceed_heartbeat(self):
+        with pytest.raises(GroupCommError):
+            GroupConfig(heartbeat_interval=1.0, suspect_timeout=0.5)
+
+    def test_ordering_choices(self):
+        GroupConfig(ordering="token")
+        with pytest.raises(GroupCommError):
+            GroupConfig(ordering="lexicographic")
+
+    def test_positive_timing(self):
+        with pytest.raises(GroupCommError):
+            GroupConfig(heartbeat_interval=0)
+        with pytest.raises(GroupCommError):
+            GroupConfig(flush_timeout=0)
+        with pytest.raises(GroupCommError):
+            GroupConfig(sequencer_batch_delay=-1)
+
+
+class TestView:
+    def test_members_sorted_by_make(self):
+        v = View.make(3, [addr(2), addr(1)])
+        assert v.members == (addr(1), addr(2))
+
+    def test_coordinator_is_lowest(self):
+        v = View.make(1, [addr(3), addr(1), addr(2)])
+        assert v.coordinator == addr(1)
+
+    def test_rank_and_contains(self):
+        v = View.make(1, [addr(1), addr(2)])
+        assert v.rank_of(addr(2)) == 1
+        assert addr(1) in v
+        with pytest.raises(MembershipError):
+            v.rank_of(addr(9))
+
+    def test_validation(self):
+        with pytest.raises(MembershipError):
+            View(1, ())
+        with pytest.raises(MembershipError):
+            View(-1, (addr(1),))
+        with pytest.raises(MembershipError):
+            View(1, (addr(2), addr(1)))  # unsorted
+        with pytest.raises(MembershipError):
+            View(1, (addr(1), addr(1)))  # duplicate
+
+    def test_make_dedups(self):
+        assert View.make(1, [addr(1), addr(1)]).size == 1
+
+
+def mk_data(sender: int, counter: int, view_id: int = 1, service: str = AGREED, payload="p"):
+    return DataMsg(MessageId(addr(sender), counter), view_id, service, payload)
+
+
+class TestDeliveryQueue:
+    def make(self, n=3):
+        q = DeliveryQueue(addr(1))
+        view = View.make(1, [addr(i) for i in range(1, n + 1)])
+        q.start_view(view, ())
+        return q, view
+
+    def test_agreed_needs_data_and_order(self):
+        q, _ = self.make()
+        data = mk_data(1, 0)
+        q.add_data(data)
+        assert q.pop_deliverable() == []
+        q.add_assignments([(0, data.msg_id)])
+        [msg] = q.pop_deliverable()
+        assert msg.seq == 0 and msg.payload == "p"
+
+    def test_order_before_data(self):
+        q, _ = self.make()
+        data = mk_data(1, 0)
+        q.add_assignments([(0, data.msg_id)])
+        assert q.pop_deliverable() == []
+        q.add_data(data)
+        assert len(q.pop_deliverable()) == 1
+
+    def test_gap_blocks_delivery(self):
+        q, _ = self.make()
+        d0, d1 = mk_data(1, 0), mk_data(1, 1)
+        q.add_data(d1)
+        q.add_assignments([(1, d1.msg_id)])
+        assert q.pop_deliverable() == []  # seq 0 missing
+        q.add_data(d0)
+        q.add_assignments([(0, d0.msg_id)])
+        assert [m.seq for m in q.pop_deliverable()] == [0, 1]
+
+    def test_safe_waits_for_all_members(self):
+        q, view = self.make(3)
+        d = mk_data(1, 0, service=SAFE)
+        q.add_data(d)
+        q.add_assignments([(0, d.msg_id)])
+        q.record_stable(addr(1), 0)
+        q.record_stable(addr(2), 0)
+        assert q.pop_deliverable() == []  # addr(3) has not acked
+        q.record_stable(addr(3), 0)
+        [msg] = q.pop_deliverable()
+        assert msg.service == SAFE
+
+    def test_unstable_safe_blocks_later_agreed(self):
+        q, _ = self.make(2)
+        safe = mk_data(1, 0, service=SAFE)
+        agreed = mk_data(1, 1)
+        q.add_data(safe); q.add_data(agreed)
+        q.add_assignments([(0, safe.msg_id), (1, agreed.msg_id)])
+        q.record_stable(addr(1), 1)
+        assert q.pop_deliverable() == []  # safe at 0 not stable at addr(2)
+        q.record_stable(addr(2), 1)
+        assert [m.seq for m in q.pop_deliverable()] == [0, 1]
+
+    def test_duplicate_data_ignored(self):
+        q, _ = self.make()
+        d = mk_data(1, 0)
+        assert q.add_data(d) is True
+        assert q.add_data(d) is False
+
+    def test_conflicting_assignment_rejected(self):
+        q, _ = self.make()
+        q.add_assignments([(0, MessageId(addr(1), 0))])
+        with pytest.raises(GroupCommError):
+            q.add_assignments([(0, MessageId(addr(2), 5))])
+
+    def test_idempotent_assignment_ok(self):
+        q, _ = self.make()
+        q.add_assignments([(0, MessageId(addr(1), 0))])
+        q.add_assignments([(0, MessageId(addr(1), 0))])
+
+    def test_closing_injection_preorders_messages(self):
+        q = DeliveryQueue(addr(1))
+        view = View.make(2, [addr(1), addr(2)])
+        closing = [
+            (MessageId(addr(2), 0), AGREED, "x"),
+            (MessageId(addr(2), 1), AGREED, "y"),
+        ]
+        q.start_view(view, closing)
+        msgs = q.pop_deliverable()
+        assert [m.payload for m in msgs] == ["x", "y"]
+        assert all(m.transitional for m in msgs)
+
+    def test_closing_safe_waits_for_stability(self):
+        q = DeliveryQueue(addr(1))
+        view = View.make(2, [addr(1), addr(2)])
+        q.start_view(view, [(MessageId(addr(2), 0), SAFE, "x")])
+        assert q.pop_deliverable() == []
+        q.record_stable(addr(1), 0)
+        q.record_stable(addr(2), 0)
+        assert len(q.pop_deliverable()) == 1
+
+    def test_dedup_across_views(self):
+        q, _ = self.make(2)
+        d = mk_data(2, 0)
+        q.add_data(d)
+        q.add_assignments([(0, d.msg_id)])
+        assert len(q.pop_deliverable()) == 1
+        # Same message re-appears in the next view's closing.
+        view2 = View.make(2, [addr(1), addr(2)])
+        q.start_view(view2, [(d.msg_id, AGREED, "p"), (MessageId(addr(2), 1), AGREED, "q")])
+        msgs = q.pop_deliverable()
+        assert [m.payload for m in msgs] == ["q"]  # duplicate skipped, cursor advanced
+
+    def test_stable_ignores_unknown_member(self):
+        q, _ = self.make(2)
+        q.record_stable(addr(99), 5)  # silently ignored
+        assert q.stable_through() == -1
+
+    def test_flush_report_shape(self):
+        q, _ = self.make(2)
+        d = mk_data(1, 0)
+        q.add_data(d)
+        q.add_assignments([(0, d.msg_id)])
+        q.pop_deliverable()
+        known, orderings, delivered = q.flush_report()
+        assert known == ((d.msg_id, (AGREED, "p")),)
+        assert orderings == ((0, d.msg_id),)
+        assert delivered == (d.msg_id,)
+
+    def test_agreed_ready_through(self):
+        q, _ = self.make()
+        d0, d2 = mk_data(1, 0), mk_data(1, 2)
+        q.add_data(d0); q.add_data(d2)
+        q.add_assignments([(0, d0.msg_id), (2, d2.msg_id)])
+        assert q.agreed_ready_through() == 0  # gap at 1
+
+
+class TestFailureDetector:
+    def make_pair(self):
+        kernel = Kernel(seed=5)
+        net = Network(kernel, shared_medium=False)
+        net.register_node("n1")
+        net.register_node("n2")
+        t1 = Transport(net.bind("n1", 9))
+        t2 = Transport(net.bind("n2", 9))
+        suspects1 = []
+        fd1 = FailureDetector(
+            t1, heartbeat_interval=0.1, suspect_timeout=0.35,
+            on_suspect=suspects1.append,
+        )
+        fd2 = FailureDetector(t2, heartbeat_interval=0.1, suspect_timeout=0.35)
+        t1.on_raw(lambda src, p: fd1.handle_heartbeat(src, p))
+        t2.on_raw(lambda src, p: fd2.handle_heartbeat(src, p))
+        fd1.monitor([Address("n1", 9), Address("n2", 9)])
+        fd2.monitor([Address("n1", 9), Address("n2", 9)])
+        return kernel, net, fd1, fd2, suspects1
+
+    def test_live_peer_not_suspected(self):
+        kernel, _, fd1, _, suspects = self.make_pair()
+        kernel.run(until=5.0)
+        assert suspects == []
+        assert fd1.suspected == set()
+
+    def test_crashed_peer_suspected(self):
+        kernel, net, fd1, fd2, suspects = self.make_pair()
+        kernel.run(until=1.0)
+        net.set_node_up("n2", False)
+        fd2.stop()
+        kernel.run(until=3.0)
+        assert suspects == [Address("n2", 9)]
+
+    def test_suspicion_sticky_until_forgiven(self):
+        kernel, net, fd1, fd2, suspects = self.make_pair()
+        net.partitions.cut_link("n1", "n2")
+        kernel.run(until=2.0)
+        assert fd1.is_suspected(Address("n2", 9))
+        net.partitions.restore_link("n1", "n2")
+        kernel.run(until=4.0)
+        # Heartbeats flow again but suspicion persists until forgiven.
+        assert fd1.is_suspected(Address("n2", 9))
+        fd1.forgive(Address("n2", 9))
+        kernel.run(until=6.0)
+        assert not fd1.is_suspected(Address("n2", 9))
+
+    def test_self_excluded_from_monitoring(self):
+        kernel, _, fd1, _, _ = self.make_pair()
+        assert Address("n1", 9) not in fd1._peers
+
+    def test_unmonitored_peer_clears_suspicion(self):
+        kernel, net, fd1, fd2, _ = self.make_pair()
+        net.partitions.cut_link("n1", "n2")
+        kernel.run(until=2.0)
+        fd1.monitor([Address("n1", 9)])
+        assert fd1.suspected == set()
+
+    def test_suspect_callback_once(self):
+        kernel, net, fd1, fd2, suspects = self.make_pair()
+        net.set_node_up("n2", False)
+        fd2.stop()
+        kernel.run(until=5.0)
+        assert len(suspects) == 1

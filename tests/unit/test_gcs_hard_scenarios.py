@@ -1,0 +1,141 @@
+"""Adversarial GCS scenarios: failures during membership changes, loss
+during view changes, joins racing crashes, flapping links."""
+
+import pytest
+
+from repro.gcs import GroupConfig
+from repro.gcs.messages import SAFE
+
+from tests.unit.test_gcs_member import FAST, Harness
+
+
+class TestCoordinatorDeathDuringFlush:
+    def test_watchdog_takes_over_stalled_flush(self):
+        """n0 (initiator) dies immediately after n1 — the flush n0 started
+        for n1's death stalls; n2's watchdog must finish the job."""
+        h = Harness(3, seed=21)
+        h.boot()
+        h.run(until=0.5)
+        h.crash("n1")
+        # Give n0 just enough time to suspect and start flushing, then
+        # kill it too.
+        h.run(until=0.5 + FAST.suspect_timeout + 0.05)
+        h.crash("n0")
+        h.run(until=10.0)
+        survivor = h.members["n2"]
+        assert survivor.view.size == 1
+        survivor.multicast("alone but alive")
+        h.run(until=12.0)
+        assert [m.payload for m in h.delivered["n2"]][-1] == "alone but alive"
+
+    def test_cascade_during_safe_traffic(self):
+        h = Harness(4, seed=22)
+        h.boot()
+        h.run(until=0.5)
+        for k in range(3):
+            h.members["n3"].multicast(f"s{k}", service=SAFE)
+        h.crash("n0")
+        h.run(until=1.0)
+        h.crash("n1")
+        h.run(until=10.0)
+        h.assert_total_order(["n2", "n3"])
+        # n3 survived; its SAFE messages must all be delivered exactly once.
+        payloads = [m.payload for m in h.delivered["n2"]]
+        assert sorted(payloads) == ["s0", "s1", "s2"]
+
+
+#: Loss-tolerant detector: with 20 % datagram loss, a 3-heartbeat timeout
+#: false-suspects constantly (p ~ 0.8 % per window, dozens of windows per
+#: run); ~10 heartbeats of slack makes false suspicion negligible. This is
+#: exactly the timeout-vs-loss tuning a real deployment does.
+LOSSY = GroupConfig(
+    heartbeat_interval=0.05,
+    suspect_timeout=0.55,
+    flush_timeout=0.8,
+    retransmit_interval=0.02,
+)
+
+
+class TestLossDuringViewChange:
+    def test_view_change_completes_under_loss(self):
+        h = Harness(3, config=LOSSY, seed=23, loss=0.2)
+        h.boot()
+        h.run(until=0.5)
+        for k in range(3):
+            h.members["n1"].multicast(k)
+        h.crash("n0")
+        h.run(until=15.0)
+        assert h.members["n1"].view.size == 2
+        assert h.members["n2"].view.size == 2
+        h.assert_total_order(["n1", "n2"])
+        assert len(h.delivered["n1"]) == 3
+
+    def test_join_completes_under_loss(self):
+        h = Harness(2, config=LOSSY, seed=24, loss=0.15)
+        h.boot()
+        h.run(until=0.5)
+        joiner = h.add_node("n9")
+        joiner.join([h.addr("n0")])
+        h.run(until=15.0)
+        assert joiner.state == "normal"
+        assert joiner.view.size == 3
+
+
+class TestJoinRacingFailure:
+    def test_join_and_crash_in_same_window(self):
+        """A member dies at the same moment another joins: one or two view
+        changes later, the group is {survivor, joiner}."""
+        h = Harness(2, seed=25)
+        h.boot()
+        h.run(until=0.5)
+        joiner = h.add_node("n9")
+        joiner.join([h.addr("n1")])
+        h.crash("n0")
+        h.run(until=10.0)
+        assert joiner.state == "normal"
+        assert {m.node for m in h.members["n1"].view.members} == {"n1", "n9"}
+        joiner.multicast("made it")
+        h.run(until=12.0)
+        assert "made it" in [m.payload for m in h.delivered["n1"]]
+
+    def test_joiner_dies_mid_join(self):
+        """The group must not wedge waiting for a dead joiner's FlushOk."""
+        h = Harness(2, seed=26)
+        h.boot()
+        h.run(until=0.5)
+        joiner = h.add_node("n9")
+        joiner.join([h.addr("n0")])
+        h.run(until=0.55)  # join underway
+        h.crash("n9")
+        h.run(until=10.0)
+        assert h.members["n0"].state == "normal"
+        h.members["n0"].multicast("unwedged")
+        h.run(until=12.0)
+        assert "unwedged" in [m.payload for m in h.delivered["n1"]]
+
+
+class TestFlappingLink:
+    def test_system_stabilises_after_flapping(self):
+        """A link that flaps several times (false suspicions both ways)
+        must converge to one full view once it stays up."""
+        h = Harness(3, seed=27)
+        h.boot()
+        h.run(until=0.5)
+        for _round in range(3):
+            h.net.partitions.cut_link("n0", "n2")
+            h.run(until=h.kernel.now + 1.0)
+            h.net.partitions.restore_link("n0", "n2")
+            h.run(until=h.kernel.now + 1.0)
+        h.run(until=h.kernel.now + 15.0)
+        live = [m for m in h.members.values() if m.state == "normal"]
+        assert live, "nobody recovered"
+        sizes = {m.view.size for m in live}
+        assert sizes == {3}, f"views did not converge: {sizes}"
+        # And the converged group still works.
+        h.members["n1"].multicast("steady state")
+        h.run(until=h.kernel.now + 2.0)
+        deliverers = [
+            name for name in h.members
+            if "steady state" in [m.payload for m in h.delivered[name]]
+        ]
+        assert len(deliverers) == 3

@@ -1,0 +1,425 @@
+"""End-to-end tests of the group member: total order, SAFE, membership."""
+
+import pytest
+
+from repro.gcs import GroupConfig, GroupMember, boot_static_group
+from repro.gcs.messages import AGREED, SAFE
+from repro.net import Address, Network
+from repro.sim import Kernel
+from repro.util.errors import GroupCommError, NotInView
+
+GCS_PORT = 9
+
+FAST = GroupConfig(
+    heartbeat_interval=0.05,
+    suspect_timeout=0.16,
+    flush_timeout=0.3,
+    retransmit_interval=0.02,
+)
+
+
+class Harness:
+    """N group members on one simulated LAN, with delivery/view recording."""
+
+    def __init__(self, n, config=FAST, seed=1, loss=0.0):
+        from repro.net.link import FAST_ETHERNET
+        self.kernel = Kernel(seed=seed)
+        lan = FAST_ETHERNET.with_loss(loss) if loss else FAST_ETHERNET
+        self.net = Network(self.kernel, lan=lan, shared_medium=False)
+        self.members: dict[str, GroupMember] = {}
+        self.delivered: dict[str, list] = {}
+        self.views: dict[str, list] = {}
+        self.config = config
+        for i in range(n):
+            self.add_node(f"n{i}")
+
+    def add_node(self, name):
+        self.net.register_node(name)
+        return self.attach(name)
+
+    def attach(self, name):
+        endpoint = self.net.bind(name, GCS_PORT)
+        self.delivered.setdefault(name, [])
+        self.views.setdefault(name, [])
+        member = GroupMember(
+            endpoint,
+            self.config,
+            on_deliver=lambda m, nm=name: self.delivered[nm].append(m),
+            on_view=lambda v, nm=name: self.views[nm].append(v),
+        )
+        self.members[name] = member
+        return member
+
+    def boot(self):
+        boot_static_group(list(self.members.values()))
+
+    def crash(self, name):
+        self.members[name].stop()
+        self.net.set_node_up(name, False)
+
+    def addr(self, name):
+        return Address(name, GCS_PORT)
+
+    def run(self, until):
+        self.kernel.run(until=until)
+
+    def delivered_ids(self, name):
+        return [m.msg_id for m in self.delivered[name]]
+
+    def live_names(self):
+        return [n for n, m in self.members.items() if m.state != "stopped"]
+
+    def assert_total_order(self, names=None):
+        """Delivered id sequences must be pairwise prefix-consistent."""
+        names = names or self.live_names()
+        seqs = [self.delivered_ids(n) for n in names]
+        for i in range(len(seqs)):
+            for j in range(i + 1, len(seqs)):
+                a, b = seqs[i], seqs[j]
+                short = min(len(a), len(b))
+                assert a[:short] == b[:short], (
+                    f"order divergence between {names[i]} and {names[j]}"
+                )
+
+
+class TestNormalOperation:
+    def test_single_multicast_delivered_everywhere(self):
+        h = Harness(3)
+        h.boot()
+        h.members["n0"].multicast("hello")
+        h.run(until=1.0)
+        for name in h.members:
+            assert [m.payload for m in h.delivered[name]] == ["hello"]
+
+    def test_sender_receives_own_message(self):
+        h = Harness(2)
+        h.boot()
+        mid = h.members["n1"].multicast("mine")
+        h.run(until=1.0)
+        assert h.delivered_ids("n1") == [mid]
+
+    def test_total_order_under_concurrent_senders(self):
+        h = Harness(4)
+        h.boot()
+        for i, name in enumerate(h.members):
+            for k in range(5):
+                h.members[name].multicast(f"{name}-{k}")
+        h.run(until=2.0)
+        h.assert_total_order()
+        assert len(h.delivered["n0"]) == 20
+
+    def test_delivery_preserves_sender_fifo(self):
+        h = Harness(3)
+        h.boot()
+        for k in range(10):
+            h.members["n2"].multicast(k)
+        h.run(until=2.0)
+        payloads = [m.payload for m in h.delivered["n0"] if m.sender == h.addr("n2")]
+        assert payloads == list(range(10))
+
+    def test_safe_message_delivered_with_service_tag(self):
+        h = Harness(3)
+        h.boot()
+        h.members["n0"].multicast("s", service=SAFE)
+        h.run(until=1.0)
+        for name in h.members:
+            [msg] = h.delivered[name]
+            assert msg.service == SAFE
+
+    def test_safe_and_agreed_interleave_in_one_order(self):
+        h = Harness(3)
+        h.boot()
+        h.members["n0"].multicast("a0", service=AGREED)
+        h.members["n1"].multicast("s0", service=SAFE)
+        h.members["n2"].multicast("a1", service=AGREED)
+        h.run(until=1.0)
+        h.assert_total_order()
+        assert len(h.delivered["n0"]) == 3
+
+    def test_multicast_before_boot_rejected(self):
+        h = Harness(2)
+        with pytest.raises(NotInView):
+            h.members["n0"].multicast("x")
+
+    def test_bad_service_rejected(self):
+        h = Harness(2)
+        h.boot()
+        with pytest.raises(GroupCommError):
+            h.members["n0"].multicast("x", service="express")
+
+    def test_reliable_under_message_loss(self):
+        h = Harness(3, loss=0.15)
+        h.boot()
+        for k in range(10):
+            h.members["n0"].multicast(k)
+        h.run(until=5.0)
+        h.assert_total_order()
+        for name in h.members:
+            assert len(h.delivered[name]) == 10
+
+    def test_boot_requires_self_in_list(self):
+        h = Harness(2)
+        with pytest.raises(GroupCommError):
+            h.members["n0"].boot([h.addr("n1")])
+
+    def test_view_ids_and_members_on_boot(self):
+        h = Harness(3)
+        h.boot()
+        h.run(until=0.5)
+        for name in h.members:
+            assert h.members[name].view.view_id == 1
+            assert len(h.members[name].view.members) == 3
+
+
+class TestFailures:
+    def test_single_failure_installs_smaller_view(self):
+        h = Harness(3)
+        h.boot()
+        h.run(until=0.5)
+        h.crash("n2")
+        h.run(until=3.0)
+        for name in ("n0", "n1"):
+            view = h.members[name].view
+            assert view.size == 2
+            assert h.addr("n2") not in view
+
+    def test_messages_continue_after_failure(self):
+        h = Harness(3)
+        h.boot()
+        h.run(until=0.5)
+        h.crash("n0")  # the sequencer!
+        h.run(until=3.0)
+        h.members["n1"].multicast("after")
+        h.run(until=4.0)
+        for name in ("n1", "n2"):
+            assert "after" in [m.payload for m in h.delivered[name]]
+
+    def test_in_flight_message_of_survivor_not_lost(self):
+        """n1 multicasts; the sequencer dies immediately; the message must
+        still be delivered in the next view (sender survives)."""
+        h = Harness(3)
+        h.boot()
+        h.run(until=0.5)
+        h.members["n1"].multicast("precious")
+        h.crash("n0")  # sequencer dies with ordering possibly unassigned
+        h.run(until=5.0)
+        for name in ("n1", "n2"):
+            payloads = [m.payload for m in h.delivered[name]]
+            assert payloads.count("precious") == 1
+
+    def test_simultaneous_double_failure(self):
+        h = Harness(4)
+        h.boot()
+        h.run(until=0.5)
+        h.crash("n0")
+        h.crash("n1")
+        h.run(until=5.0)
+        for name in ("n2", "n3"):
+            assert h.members[name].view.size == 2
+        h.members["n2"].multicast("still alive")
+        h.run(until=6.0)
+        assert [m.payload for m in h.delivered["n3"]][-1] == "still alive"
+
+    def test_sequential_failures_down_to_one(self):
+        h = Harness(4)
+        h.boot()
+        h.run(until=0.5)
+        for i, name in enumerate(("n0", "n1", "n2")):
+            h.crash(name)
+            h.run(until=2.0 + 3.0 * i)
+        survivor = h.members["n3"]
+        assert survivor.view.size == 1
+        survivor.multicast("last one standing")
+        h.run(until=12.0)
+        assert [m.payload for m in h.delivered["n3"]][-1] == "last one standing"
+
+    def test_total_order_across_view_change(self):
+        h = Harness(3, seed=7)
+        h.boot()
+        h.run(until=0.5)
+        for k in range(5):
+            h.members["n1"].multicast(f"a{k}")
+        h.crash("n0")
+        for k in range(5):
+            h.members["n2"].multicast(f"b{k}")
+        h.run(until=5.0)
+        h.assert_total_order(["n1", "n2"])
+        assert len(h.delivered["n1"]) == len(h.delivered["n2"]) == 10
+
+    def test_safe_message_during_failure_not_duplicated(self):
+        h = Harness(3, seed=9)
+        h.boot()
+        h.run(until=0.5)
+        h.members["n1"].multicast("mutex", service=SAFE)
+        h.crash("n2")
+        h.run(until=5.0)
+        for name in ("n0", "n1"):
+            payloads = [m.payload for m in h.delivered[name]]
+            assert payloads.count("mutex") == 1
+
+    def test_virtual_synchrony_same_views_same_messages(self):
+        """Members sharing the same consecutive views delivered identical
+        message sets between them."""
+        h = Harness(3, seed=3)
+        h.boot()
+        h.run(until=0.5)
+        for k in range(8):
+            h.members[f"n{k % 3}"].multicast(k)
+        h.crash("n2")
+        h.run(until=5.0)
+        # n0 and n1 installed the same view sequence.
+        v0 = [(v.view_id, v.members) for v in h.views["n0"]]
+        v1 = [(v.view_id, v.members) for v in h.views["n1"]]
+        assert v0 == v1
+        assert set(h.delivered_ids("n0")) == set(h.delivered_ids("n1"))
+        h.assert_total_order(["n0", "n1"])
+
+
+class TestJoinLeave:
+    def test_join_installs_bigger_view(self):
+        h = Harness(2)
+        h.boot()
+        h.run(until=0.5)
+        joiner = h.add_node("n9")
+        joiner.join([h.addr("n0")])
+        h.run(until=3.0)
+        for name in ("n0", "n1", "n9"):
+            assert h.members[name].view.size == 3
+
+    def test_joiner_participates_after_join(self):
+        h = Harness(2)
+        h.boot()
+        h.run(until=0.5)
+        joiner = h.add_node("n9")
+        joiner.join([h.addr("n1")])  # contact is NOT the coordinator
+        h.run(until=3.0)
+        joiner.multicast("newcomer speaks")
+        h.run(until=4.0)
+        for name in ("n0", "n1", "n9"):
+            assert "newcomer speaks" in [m.payload for m in h.delivered[name]]
+
+    def test_joiner_does_not_redeliver_history(self):
+        h = Harness(2)
+        h.boot()
+        h.members["n0"].multicast("old news")
+        h.run(until=1.0)
+        joiner = h.add_node("n9")
+        joiner.join([h.addr("n0")])
+        h.run(until=4.0)
+        assert all(m.payload != "old news" for m in h.delivered["n9"])
+
+    def test_leave_shrinks_view(self):
+        h = Harness(3)
+        h.boot()
+        h.run(until=0.5)
+        h.members["n1"].leave()
+        h.run(until=3.0)
+        for name in ("n0", "n2"):
+            assert h.members[name].view.size == 2
+        assert h.members["n1"].state == "stopped"
+
+    def test_restart_same_address_rejoins(self):
+        h = Harness(3)
+        h.boot()
+        h.run(until=0.5)
+        h.crash("n2")
+        h.run(until=0.6)  # crash may not even be suspected yet
+        h.net.set_node_up("n2", True)
+        fresh = h.attach("n2")
+        fresh.join([h.addr("n0")])
+        h.run(until=5.0)
+        assert fresh.state == "normal"
+        assert fresh.view.size == 3
+        fresh.multicast("back again")
+        h.run(until=6.0)
+        assert "back again" in [m.payload for m in h.delivered["n0"]]
+
+    def test_join_requires_contacts(self):
+        h = Harness(2)
+        with pytest.raises(GroupCommError):
+            h.members["n0"].join([h.addr("n0")])  # only self
+
+    def test_sequential_joins(self):
+        h = Harness(1)
+        h.boot()
+        h.run(until=0.3)
+        for i in (5, 6, 7):
+            joiner = h.add_node(f"n{i}")
+            joiner.join([h.addr("n0")])
+            h.run(until=0.3 + (i - 4) * 2.0)
+        assert h.members["n0"].view.size == 4
+
+
+class TestPartitions:
+    def test_partition_then_heal_rejoins(self):
+        h = Harness(3, seed=4)
+        h.boot()
+        h.run(until=0.5)
+        h.net.partitions.set_partitions([["n0", "n1"], ["n2"]])
+        h.run(until=3.0)
+        majority_view = h.members["n0"].view
+        assert majority_view.size == 2
+        # n2 formed its own singleton view.
+        assert h.members["n2"].view.size == 1
+        h.net.partitions.heal_partitions()
+        h.run(until=10.0)
+        # After healing, the excluded side detects newer traffic and rejoins.
+        sizes = {h.members[n].view.size for n in h.members}
+        assert sizes == {3}
+
+    def test_primary_partition_rule(self):
+        config = GroupConfig(
+            heartbeat_interval=0.05,
+            suspect_timeout=0.16,
+            flush_timeout=0.3,
+            retransmit_interval=0.02,
+            primary_partition=True,
+        )
+        h = Harness(3, config=config, seed=4)
+        h.boot()
+        h.run(until=0.5)
+        h.net.partitions.set_partitions([["n0", "n1"], ["n2"]])
+        h.run(until=3.0)
+        assert h.members["n0"].is_primary  # 2 of 3: majority
+        assert not h.members["n2"].is_primary  # 1 of 3: minority
+
+
+class TestTokenOrdering:
+    def make(self, n, seed=2):
+        config = GroupConfig(
+            heartbeat_interval=0.05,
+            suspect_timeout=0.16,
+            flush_timeout=0.3,
+            retransmit_interval=0.02,
+            ordering="token",
+        )
+        h = Harness(n, config=config, seed=seed)
+        h.boot()
+        return h
+
+    def test_token_total_order(self):
+        h = self.make(3)
+        for k in range(4):
+            for name in list(h.members):
+                h.members[name].multicast(f"{name}/{k}")
+        h.run(until=3.0)
+        h.assert_total_order()
+        assert len(h.delivered["n0"]) == 12
+
+    def test_token_survives_holder_crash(self):
+        h = self.make(3)
+        h.run(until=0.5)
+        h.crash("n0")  # coordinator (initial token holder region)
+        h.run(until=3.0)
+        h.members["n1"].multicast("post-crash")
+        h.run(until=6.0)
+        for name in ("n1", "n2"):
+            assert "post-crash" in [m.payload for m in h.delivered[name]]
+
+    def test_token_safe_delivery(self):
+        h = self.make(2)
+        h.members["n0"].multicast("tok-safe", service=SAFE)
+        h.run(until=2.0)
+        for name in ("n0", "n1"):
+            [m] = h.delivered[name]
+            assert m.service == SAFE

@@ -1,0 +1,80 @@
+"""Tests for the correlated-failure availability extension."""
+
+import pytest
+
+from repro.ha.availability import node_availability, service_availability
+from repro.ha.correlated import (
+    correlated_service_availability,
+    correlated_table,
+    diminishing_returns,
+    monte_carlo_correlated,
+)
+from repro.util.errors import ReproError
+
+
+class TestClosedForm:
+    def test_no_common_cause_limit(self):
+        """As the common cause gets arbitrarily rare, the correlated and
+        independent formulas converge."""
+        independent = service_availability(node_availability(5000, 72), 3)
+        correlated = correlated_service_availability(
+            3, cc_mttf_hours=1e12, cc_mttr_hours=1.0
+        )
+        assert correlated == pytest.approx(independent, rel=1e-6)
+
+    def test_common_cause_caps_availability(self):
+        cap = node_availability(50_000, 24)
+        for n in (1, 2, 4, 8):
+            assert correlated_service_availability(n) <= cap
+
+    def test_monotone_but_saturating(self):
+        values = [correlated_service_availability(n) for n in range(1, 8)]
+        assert values == sorted(values)
+        gains = [b - a for a, b in zip(values, values[1:])]
+        assert gains == sorted(gains, reverse=True)  # diminishing gains
+
+    def test_table_shows_divergence(self):
+        rows = correlated_table(6)
+        last = rows[-1]
+        assert last["independent_nines"] > last["correlated_nines"]
+
+    def test_diminishing_returns_point(self):
+        point = diminishing_returns()
+        assert 2 <= point <= 5
+        # With a much rarer common cause, more heads keep paying off.
+        later = diminishing_returns(cc_mttf_hours=10_000_000.0)
+        assert later >= point
+
+
+class TestMonteCarlo:
+    def test_matches_closed_form(self):
+        # Aggressive rates so events are plentiful.
+        result = monte_carlo_correlated(
+            2, mttf_hours=50, mttr_hours=10,
+            cc_mttf_hours=400, cc_mttr_hours=8,
+            horizon_years=80, seed=2,
+        )
+        expected = correlated_service_availability(
+            2, mttf_hours=50, mttr_hours=10,
+            cc_mttf_hours=400, cc_mttr_hours=8,
+        )
+        assert result.availability == pytest.approx(expected, abs=0.01)
+
+    def test_common_cause_outages_observed(self):
+        result = monte_carlo_correlated(
+            3, mttf_hours=5000, mttr_hours=72,
+            cc_mttf_hours=2000, cc_mttr_hours=24,
+            horizon_years=300, seed=4,
+        )
+        assert result.common_cause_outages > 0
+        # With 3 heads at these rates, the common cause dominates outages.
+        assert result.common_cause_outages > result.independent_outages
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            monte_carlo_correlated(0)
+
+    def test_deterministic(self):
+        a = monte_carlo_correlated(1, horizon_years=20, seed=7)
+        b = monte_carlo_correlated(1, horizon_years=20, seed=7)
+        assert a == b

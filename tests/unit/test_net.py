@@ -1,0 +1,348 @@
+"""Unit tests for the network substrate: links, partitions, fabric, transport."""
+
+import pytest
+
+from repro.net import Address, LinkModel, Network, PartitionState, Transport
+from repro.net.link import FAST_ETHERNET, LOOPBACK
+from repro.sim import Kernel
+from repro.util.errors import AddressInUse, NetworkError, NodeDown
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=7)
+
+
+@pytest.fixture
+def net(kernel):
+    network = Network(kernel)
+    for name in ("a", "b", "c"):
+        network.register_node(name)
+    return network
+
+
+class TestLinkModel:
+    def test_delay_includes_serialisation(self):
+        model = LinkModel(base_latency=0.001, bandwidth=1000, jitter=0.0)
+        rng = Kernel().streams.get("x")
+        assert model.delay(500, rng) == pytest.approx(0.001 + 0.5)
+
+    def test_jitter_bounded(self):
+        model = LinkModel(base_latency=0.0, bandwidth=1e9, jitter=0.01)
+        rng = Kernel().streams.get("x")
+        delays = [model.delay(0, rng) for _ in range(200)]
+        assert all(0.0 <= d <= 0.01 for d in delays)
+        assert max(delays) > 0.0
+
+    def test_loss_probability(self):
+        model = LinkModel(loss=0.5)
+        rng = Kernel().streams.get("x")
+        drops = sum(model.dropped(rng) for _ in range(2000))
+        assert 800 < drops < 1200
+
+    def test_zero_loss_never_drops(self):
+        rng = Kernel().streams.get("x")
+        assert not any(FAST_ETHERNET.dropped(rng) for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(base_latency=-1)
+        with pytest.raises(ValueError):
+            LinkModel(bandwidth=0)
+        with pytest.raises(ValueError):
+            LinkModel(loss=1.0)
+
+    def test_with_loss_copies(self):
+        lossy = FAST_ETHERNET.with_loss(0.1)
+        assert lossy.loss == 0.1
+        assert lossy.base_latency == FAST_ETHERNET.base_latency
+
+    def test_loopback_faster_than_lan(self):
+        rng = Kernel().streams.get("x")
+        assert LOOPBACK.delay(100, rng) < FAST_ETHERNET.delay(100, rng)
+
+
+class TestPartitionState:
+    def test_initially_all_reachable(self):
+        p = PartitionState()
+        assert p.reachable("a", "b")
+
+    def test_cut_and_restore_link(self):
+        p = PartitionState()
+        p.cut_link("a", "b")
+        assert not p.reachable("a", "b")
+        assert not p.reachable("b", "a")
+        assert p.reachable("a", "c")
+        p.restore_link("b", "a")  # order-insensitive
+        assert p.reachable("a", "b")
+
+    def test_cut_loopback_rejected(self):
+        with pytest.raises(NetworkError):
+            PartitionState().cut_link("a", "a")
+
+    def test_partition_groups(self):
+        p = PartitionState()
+        p.set_partitions([["a", "b"], ["c"]])
+        assert p.reachable("a", "b")
+        assert not p.reachable("a", "c")
+        assert p.reachable("c", "c")
+
+    def test_unlisted_node_isolated(self):
+        p = PartitionState()
+        p.set_partitions([["a", "b"]])
+        assert not p.reachable("a", "z")
+
+    def test_heal(self):
+        p = PartitionState()
+        p.set_partitions([["a"], ["b"]])
+        p.heal_partitions()
+        assert p.reachable("a", "b")
+        assert not p.partitioned
+
+    def test_heal_keeps_cut_links(self):
+        p = PartitionState()
+        p.cut_link("a", "b")
+        p.set_partitions([["a"], ["b"]])
+        p.heal_partitions()
+        assert not p.reachable("a", "b")
+
+    def test_duplicate_node_in_groups_rejected(self):
+        with pytest.raises(NetworkError):
+            PartitionState().set_partitions([["a"], ["a"]])
+
+    def test_cut_links_listing(self):
+        p = PartitionState()
+        p.cut_link("b", "a")
+        assert p.cut_links == [("a", "b")]
+
+
+class TestNetwork:
+    def test_basic_delivery(self, kernel, net):
+        src = net.bind("a", 1)
+        dst = net.bind("b", 1)
+        src.send(Address("b", 1), "hello")
+        got = []
+        def rx(k):
+            got.append((yield dst.recv()))
+        kernel.spawn(rx(kernel))
+        kernel.run()
+        [delivery] = got
+        assert delivery.payload == "hello"
+        assert delivery.src == Address("a", 1)
+        assert delivery.latency > 0
+
+    def test_local_delivery_uses_loopback(self, kernel, net):
+        a1 = net.bind("a", 1)
+        a2 = net.bind("a", 2)
+        b1 = net.bind("b", 1)
+        a1.send(Address("a", 2), "local")
+        a1.send(Address("b", 1), "remote")
+        res = {}
+        def rx(k, ep, tag):
+            d = yield ep.recv()
+            res[tag] = d.latency
+        kernel.spawn(rx(kernel, a2, "local"))
+        kernel.spawn(rx(kernel, b1, "remote"))
+        kernel.run()
+        assert res["local"] < res["remote"]
+
+    def test_double_bind_rejected(self, net):
+        net.bind("a", 5)
+        with pytest.raises(AddressInUse):
+            net.bind("a", 5)
+
+    def test_bind_unknown_node(self, net):
+        with pytest.raises(NetworkError):
+            net.bind("zz", 1)
+
+    def test_send_from_down_node_raises(self, kernel, net):
+        src = net.bind("a", 1)
+        net.set_node_up("a", False)
+        with pytest.raises(NodeDown):
+            net.send(Address("a", 1), Address("b", 1), "x")
+
+    def test_send_to_down_node_dropped(self, kernel, net):
+        src = net.bind("a", 1)
+        net.bind("b", 1)
+        net.set_node_up("b", False)
+        src.send(Address("b", 1), "x")
+        kernel.run()
+        assert net.stats["dropped_down"] == 1
+        assert net.stats["delivered"] == 0
+
+    def test_crash_mid_flight_drops(self, kernel, net):
+        src = net.bind("a", 1)
+        net.bind("b", 1)
+        src.send(Address("b", 1), "x")
+        net.set_node_up("b", False)  # crash before delivery timer fires
+        kernel.run()
+        assert net.stats["delivered"] == 0
+
+    def test_unbound_port_dropped(self, kernel, net):
+        src = net.bind("a", 1)
+        src.send(Address("b", 99), "x")
+        kernel.run()
+        assert net.stats["dropped_unbound"] == 1
+
+    def test_partition_drops(self, kernel, net):
+        src = net.bind("a", 1)
+        net.bind("b", 1)
+        net.partitions.set_partitions([["a"], ["b", "c"]])
+        src.send(Address("b", 1), "x")
+        kernel.run()
+        assert net.stats["dropped_unreachable"] == 1
+
+    def test_node_crash_closes_endpoints(self, kernel, net):
+        ep = net.bind("a", 1)
+        net.set_node_up("a", False)
+        assert ep.closed
+
+    def test_rebind_after_restart(self, kernel, net):
+        net.bind("a", 1)
+        net.set_node_up("a", False)
+        net.set_node_up("a", True)
+        ep = net.bind("a", 1)  # old binding was cleared by the crash
+        assert not ep.closed
+
+    def test_callback_delivery(self, kernel, net):
+        src = net.bind("a", 1)
+        dst = net.bind("b", 1)
+        got = []
+        dst.on_delivery(lambda d: got.append(d.payload))
+        src.send(Address("b", 1), "cb")
+        kernel.run()
+        assert got == ["cb"]
+
+    def test_shared_medium_contention(self, kernel):
+        """On the hub, many simultaneous large messages queue behind each
+        other; on a switch they do not."""
+        def elapsed(shared):
+            k = Kernel(seed=1)
+            slow_lan = LinkModel(base_latency=0.0001, bandwidth=1e5, jitter=0.0)
+            n = Network(k, lan=slow_lan, shared_medium=shared)
+            n.register_node("a"); n.register_node("b")
+            src = n.bind("a", 1)
+            dst = n.bind("b", 1)
+            for i in range(10):
+                src.send(Address("b", 1), "y" * 1000)
+            times = []
+            def rx(kk):
+                for _ in range(10):
+                    d = yield dst.recv()
+                    times.append(kk.now)
+            k.spawn(rx(k))
+            k.run()
+            return max(times)
+        assert elapsed(True) > elapsed(False) * 2
+
+    def test_duplicate_node_registration(self, net):
+        with pytest.raises(NetworkError):
+            net.register_node("a")
+
+    def test_stats_bytes_counted(self, kernel, net):
+        src = net.bind("a", 1)
+        net.bind("b", 1)
+        src.send(Address("b", 1), "data")
+        assert net.stats["bytes"] > 0
+
+
+class TestTransport:
+    def make_pair(self, kernel, loss=0.0):
+        lan = LinkModel(base_latency=0.001, bandwidth=1e8, jitter=0.0, loss=loss)
+        net = Network(kernel, lan=lan, shared_medium=False)
+        net.register_node("a")
+        net.register_node("b")
+        ta = Transport(net.bind("a", 1), retransmit_interval=0.01)
+        tb = Transport(net.bind("b", 1), retransmit_interval=0.01)
+        return net, ta, tb
+
+    def test_fifo_delivery(self, kernel):
+        _, ta, tb = self.make_pair(kernel)
+        got = []
+        tb.on_message(lambda src, p: got.append(p))
+        for i in range(5):
+            ta.send(Address("b", 1), i)
+        kernel.run(until=1.0)
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_reliable_under_loss(self, kernel):
+        _, ta, tb = self.make_pair(kernel, loss=0.3)
+        got = []
+        tb.on_message(lambda src, p: got.append(p))
+        for i in range(20):
+            ta.send(Address("b", 1), i)
+        kernel.run(until=5.0)
+        assert got == list(range(20))
+        assert ta.stats["retransmitted"] > 0
+
+    def test_no_duplicates_despite_retransmission(self, kernel):
+        # Aggressive retransmission with zero loss produces duplicates on the
+        # wire; the receiver must suppress every one of them.
+        _, ta, tb = self.make_pair(kernel)
+        ta.retransmit_interval = 0.0005  # faster than the RTT
+        got = []
+        tb.on_message(lambda src, p: got.append(p))
+        ta.send(Address("b", 1), "once")
+        kernel.run(until=0.2)
+        assert got == ["once"]
+        assert tb.stats["duplicates"] > 0
+
+    def test_bidirectional(self, kernel):
+        _, ta, tb = self.make_pair(kernel)
+        got_a, got_b = [], []
+        ta.on_message(lambda s, p: got_a.append(p))
+        tb.on_message(lambda s, p: got_b.append(p))
+        ta.send(Address("b", 1), "to-b")
+        tb.send(Address("a", 1), "to-a")
+        kernel.run(until=1.0)
+        assert got_a == ["to-a"] and got_b == ["to-b"]
+
+    def test_outstanding_and_ack(self, kernel):
+        _, ta, tb = self.make_pair(kernel)
+        tb.on_message(lambda s, p: None)
+        ta.send(Address("b", 1), "x")
+        assert ta.outstanding_to(Address("b", 1)) == 1
+        kernel.run(until=1.0)
+        assert ta.outstanding_to(Address("b", 1)) == 0
+
+    def test_forget_peer_stops_retransmit(self, kernel):
+        net, ta, tb = self.make_pair(kernel)
+        net.set_node_up("b", False)
+        ta.send(Address("b", 1), "doomed")
+        kernel.run(until=0.1)
+        before = ta.stats["retransmitted"]
+        ta.forget_peer(Address("b", 1))
+        kernel.run(until=0.2)
+        assert ta.stats["retransmitted"] == before
+
+    def test_epoch_reset_after_restart(self, kernel):
+        """A restarted peer's fresh epoch must not be confused with its old
+        sequence space."""
+        net, ta, tb = self.make_pair(kernel)
+        got = []
+        tb.on_message(lambda s, p: got.append(p))
+        ta.send(Address("b", 1), "first-life")
+        kernel.run(until=0.1)
+        # 'a' crashes and restarts with a fresh transport (new epoch).
+        net.set_node_up("a", False)
+        ta.close()
+        net.set_node_up("a", True)
+        ta2 = Transport(net.bind("a", 1), retransmit_interval=0.01)
+        ta2.send(Address("b", 1), "second-life")
+        kernel.run(until=0.3)
+        assert got == ["first-life", "second-life"]
+
+    def test_send_after_close_rejected(self, kernel):
+        _, ta, _ = self.make_pair(kernel)
+        ta.close()
+        with pytest.raises(NetworkError):
+            ta.send(Address("b", 1), "x")
+
+    def test_large_burst_all_delivered_in_order(self, kernel):
+        _, ta, tb = self.make_pair(kernel, loss=0.1)
+        got = []
+        tb.on_message(lambda s, p: got.append(p))
+        for i in range(200):
+            ta.send(Address("b", 1), i)
+        kernel.run(until=10.0)
+        assert got == list(range(200))

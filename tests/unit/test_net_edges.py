@@ -1,0 +1,133 @@
+"""Edge-case tests for the network/daemon substrate not covered elsewhere."""
+
+import pytest
+
+from repro.cluster import Cluster, Daemon
+from repro.net import Address, Network, Transport
+from repro.sim import Kernel
+from repro.util.errors import NetworkError
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=2)
+
+
+@pytest.fixture
+def net(kernel):
+    network = Network(kernel, shared_medium=False)
+    network.register_node("a")
+    network.register_node("b")
+    return network
+
+
+class TestEndpointEdges:
+    def test_double_close_idempotent(self, net):
+        endpoint = net.bind("a", 1)
+        endpoint.close()
+        endpoint.close()  # must not raise
+
+    def test_send_via_closed_endpoint_still_possible_via_network_guard(self, kernel, net):
+        # Closing only unbinds receive; the owner is expected to stop
+        # sending. The network itself guards the sender-node-up invariant.
+        endpoint = net.bind("a", 1)
+        endpoint.close()
+        net.bind("b", 1)
+        endpoint.send(Address("b", 1), "ghost")  # datagram fire-and-forget
+        kernel.run()
+        assert net.stats["delivered"] == 1  # src addr is just a label
+
+    def test_unknown_node_queries(self, net):
+        with pytest.raises(NetworkError):
+            net.node_is_up("zz")
+        with pytest.raises(NetworkError):
+            net.set_node_up("zz", True)
+
+    def test_callback_reset_to_mailbox(self, kernel, net):
+        src = net.bind("a", 1)
+        dst = net.bind("b", 1)
+        got = []
+        dst.on_delivery(lambda d: got.append(d.payload))
+        src.send(Address("b", 1), "cb")
+        kernel.run()
+        dst.on_delivery(None)
+        src.send(Address("b", 1), "mb")
+        kernel.run()
+        assert got == ["cb"]
+        assert len(dst.mailbox) == 1
+
+
+class TestTransportEdges:
+    def test_send_raw_after_close_rejected(self, kernel, net):
+        transport = Transport(net.bind("a", 1))
+        transport.close()
+        with pytest.raises(NetworkError):
+            transport.send_raw(Address("b", 1), "hb")
+
+    def test_close_idempotent(self, kernel, net):
+        transport = Transport(net.bind("a", 1))
+        transport.close()
+        transport.close()
+
+    def test_raw_frames_do_not_disturb_sequencing(self, kernel, net):
+        ta = Transport(net.bind("a", 1), retransmit_interval=0.01)
+        got, raw = [], []
+        tb = Transport(
+            net.bind("b", 1), retransmit_interval=0.01,
+            on_message=lambda s, p: got.append(p),
+        )
+        tb.on_raw(lambda s, p: raw.append(p))
+        ta.send(Address("b", 1), "reliable-1")
+        ta.send_raw(Address("b", 1), "raw-1")
+        ta.send(Address("b", 1), "reliable-2")
+        kernel.run(until=1.0)
+        assert got == ["reliable-1", "reliable-2"]
+        assert raw == ["raw-1"]
+
+    def test_garbage_frames_ignored(self, kernel, net):
+        transport = Transport(net.bind("a", 1))
+        src = net.bind("b", 1)
+        src.send(Address("a", 1), "not-a-frame")
+        src.send(Address("a", 1), ("UNKNOWN", 1, 2))
+        # (run bounded: an open transport's retransmit loop never drains)
+        kernel.run(until=1.0)
+        assert transport.stats["delivered"] == 0
+
+
+class TestDaemonEdges:
+    def test_stop_idempotent(self):
+        cluster = Cluster(head_count=1, compute_count=0, seed=1)
+        daemon = cluster.heads[0].add_daemon(
+            "d", lambda n: Daemon(n, "d", 100)
+        )
+        daemon.stop()
+        daemon.stop()
+        assert not daemon.running
+
+    def test_double_start_rejected(self):
+        from repro.util.errors import ClusterError
+        cluster = Cluster(head_count=1, compute_count=0, seed=1)
+        daemon = cluster.heads[0].add_daemon("d", lambda n: Daemon(n, "d", 100))
+        with pytest.raises(ClusterError):
+            daemon.start()
+
+    def test_default_run_loop_sleeps(self):
+        cluster = Cluster(head_count=1, compute_count=0, seed=1)
+        daemon = cluster.heads[0].add_daemon("d", lambda n: Daemon(n, "d", 100))
+        cluster.run(until=10.0)
+        assert daemon.running
+
+    def test_address_requires_endpoint(self):
+        from repro.util.errors import ClusterError
+        cluster = Cluster(head_count=1, compute_count=0, seed=1)
+        daemon = Daemon(cluster.heads[0], "portless", None)
+        with pytest.raises(ClusterError):
+            _ = daemon.address
+
+    def test_stopped_daemon_restartable_via_node(self):
+        cluster = Cluster(head_count=1, compute_count=0, seed=1)
+        node = cluster.heads[0]
+        first = node.add_daemon("d", lambda n: Daemon(n, "d", 100))
+        first.stop()
+        second = node.start_daemon("d")
+        assert second is not first and second.running

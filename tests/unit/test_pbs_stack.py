@@ -1,0 +1,290 @@
+"""Integration-style tests of the full single-head PBS stack."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.net.address import Address
+from repro.pbs import JobSpec, JobState, PBSMom, build_pbs_stack
+from repro.pbs.server import PBS_MOM_PORT
+from repro.pbs.wire import RpcTimeout
+from repro.util.errors import PBSError
+
+
+@pytest.fixture
+def stack():
+    cluster = Cluster(head_count=1, compute_count=2, seed=21)
+    return build_pbs_stack(cluster)
+
+
+def drive(stack, coroutine):
+    """Run a client coroutine to completion, return its value."""
+    process = stack.cluster.kernel.spawn(coroutine)
+    return stack.cluster.run(until=process)
+
+
+class TestSubmission:
+    def test_qsub_returns_job_id(self, stack):
+        job_id = drive(stack, stack.client().qsub(name="hello", walltime=5))
+        assert job_id == "1.torque"
+
+    def test_sequential_ids(self, stack):
+        client = stack.client()
+        ids = [drive(stack, client.qsub(name=f"j{i}", walltime=5)) for i in range(3)]
+        assert ids == ["1.torque", "2.torque", "3.torque"]
+
+    def test_qsub_latency_near_paper_baseline(self, stack):
+        """Figure 10 anchor: plain TORQUE qsub ≈ 98 ms on the testbed."""
+        kernel = stack.cluster.kernel
+        client = stack.client()
+        start = kernel.now
+        drive(stack, client.qsub(name="t", walltime=5))
+        latency = kernel.now - start
+        assert 0.085 <= latency <= 0.115, f"qsub took {latency*1000:.1f} ms"
+
+    def test_qstat_shows_submitted_job(self, stack):
+        client = stack.client()
+        job_id = drive(stack, client.qsub(name="visible", walltime=500))
+        rows = drive(stack, client.qstat())
+        assert [r["job_id"] for r in rows] == [job_id]
+
+    def test_qstat_single_job(self, stack):
+        client = stack.client()
+        job_id = drive(stack, client.qsub(name="one", walltime=500))
+        [row] = drive(stack, client.qstat(job_id))
+        assert row["name"] == "one"
+
+    def test_qstat_unknown_job(self, stack):
+        with pytest.raises(PBSError, match="Unknown Job Id"):
+            drive(stack, stack.client().qstat("99.torque"))
+
+    def test_submit_from_compute_node(self, stack):
+        job_id = drive(stack, stack.client(node="compute0").qsub(name="remote"))
+        assert job_id == "1.torque"
+
+
+class TestExecution:
+    def test_job_runs_to_completion(self, stack):
+        client = stack.client()
+        job_id = drive(stack, client.qsub(name="quick", walltime=2.0))
+        stack.cluster.run(until=10.0)
+        [row] = drive(stack, client.qstat(job_id))
+        assert row["state"] == "C"
+        assert row["exit_status"] == 0
+        assert stack.moms[0].stats["runs"] + stack.moms[1].stats["runs"] == 1
+
+    def test_fifo_execution_order(self, stack):
+        client = stack.client()
+        ids = [drive(stack, client.qsub(name=f"j{i}", walltime=1.0)) for i in range(3)]
+        stack.cluster.run(until=30.0)
+        starts = {r.job_id: r.time for r in stack.server.accounting.events("S")}
+        assert starts[ids[0]] < starts[ids[1]] < starts[ids[2]]
+
+    def test_exclusive_one_job_at_a_time(self, stack):
+        client = stack.client()
+        for i in range(2):
+            drive(stack, client.qsub(name=f"j{i}", walltime=5.0, nodes=1))
+        stack.cluster.run(until=4.0)
+        rows = drive(stack, client.qstat())
+        running = [r for r in rows if r["state"] == "R"]
+        queued = [r for r in rows if r["state"] == "Q"]
+        assert len(running) == 1 and len(queued) == 1
+
+    def test_multi_node_job(self, stack):
+        client = stack.client()
+        job_id = drive(stack, client.qsub(name="big", walltime=2.0, nodes=2))
+        stack.cluster.run(until=10.0)
+        [row] = drive(stack, client.qstat(job_id))
+        assert row["state"] == "C"
+        assert sorted(row["exec_nodes"]) == ["compute0", "compute1"]
+
+    def test_nonzero_exit_status_reported(self, stack):
+        client = stack.client()
+        job_id = drive(stack, client.qsub(JobSpec(name="bad", walltime=1.0, exit_status=3)))
+        stack.cluster.run(until=10.0)
+        [row] = drive(stack, client.qstat(job_id))
+        assert row["exit_status"] == 3
+
+    def test_accounting_lifecycle(self, stack):
+        client = stack.client()
+        job_id = drive(stack, client.qsub(name="acct", walltime=1.0))
+        stack.cluster.run(until=10.0)
+        events = [r.event for r in stack.server.accounting.for_job(job_id)]
+        assert events == ["Q", "S", "E"]
+
+
+class TestDeleteHoldSignal:
+    def test_qdel_queued_job(self, stack):
+        client = stack.client()
+        # A long blocker keeps the cluster busy (exclusive policy) so the
+        # second job is still queued when we delete it.
+        drive(stack, client.qsub(name="blocker", walltime=500))
+        job_id = drive(stack, client.qsub(name="doomed", walltime=500))
+        drive(stack, client.qdel(job_id))
+        [row] = drive(stack, client.qstat(job_id))
+        assert row["state"] == "C"
+        assert row["comment"] == "deleted by user"
+
+    def test_qdel_running_job_kills_it(self, stack):
+        client = stack.client()
+        job_id = drive(stack, client.qsub(name="victim", walltime=500))
+        stack.cluster.run(until=2.0)  # let it start
+        drive(stack, client.qdel(job_id))
+        stack.cluster.run(until=10.0)
+        [row] = drive(stack, client.qstat(job_id))
+        assert row["state"] == "C"
+        assert row["exit_status"] == 271
+
+    def test_qdel_unknown(self, stack):
+        with pytest.raises(PBSError, match="Unknown Job Id"):
+            drive(stack, stack.client().qdel("42.torque"))
+
+    def test_qdel_completed_rejected(self, stack):
+        client = stack.client()
+        job_id = drive(stack, client.qsub(name="done", walltime=0.5))
+        stack.cluster.run(until=10.0)
+        with pytest.raises(PBSError, match="Request invalid"):
+            drive(stack, client.qdel(job_id))
+
+    def test_hold_prevents_start_release_allows(self, stack):
+        client = stack.client()
+        blocker = drive(stack, client.qsub(name="blocker", walltime=1.0))
+        job_id = drive(stack, client.qsub(name="held", walltime=1.0))
+        drive(stack, client.qhold(job_id))
+        stack.cluster.run(until=3.0)
+        [row] = drive(stack, client.qstat(job_id))
+        assert row["state"] == "H"
+        drive(stack, client.qrls(job_id))
+        stack.cluster.run(until=8.0)
+        [row] = drive(stack, client.qstat(job_id))
+        assert row["state"] == "C"
+
+    def test_qsig_running_job(self, stack):
+        client = stack.client()
+        job_id = drive(stack, client.qsub(name="sig", walltime=500))
+        stack.cluster.run(until=2.0)
+        detail = drive(stack, client.qsig(job_id, "SIGUSR1"))
+        assert "SIGUSR1" in detail
+
+    def test_qrerun_requeues_running_job(self, stack):
+        client = stack.client()
+        job_id = drive(stack, client.qsub(name="rerun-me", walltime=500))
+        stack.cluster.run(until=2.0)  # running
+        drive(stack, client.qrerun(job_id))
+        [row] = drive(stack, client.qstat(job_id))
+        assert row["state"] == "Q"
+        assert "qrerun" in row["comment"]
+
+    def test_qrerun_queued_job_rejected(self, stack):
+        client = stack.client()
+        drive(stack, client.qsub(name="blocker", walltime=500))
+        job_id = drive(stack, client.qsub(name="still-q", walltime=500))
+        stack.cluster.run(until=stack.cluster.kernel.now + 1.0)
+        with pytest.raises(PBSError, match="Request invalid"):
+            drive(stack, client.qrerun(job_id))
+
+    def test_qsig_queued_job_rejected(self, stack):
+        client = stack.client()
+        drive(stack, client.qsub(name="blocker", walltime=500))
+        job_id = drive(stack, client.qsub(name="sig", walltime=500))
+        stack.cluster.run(until=stack.cluster.kernel.now + 1.0)
+        with pytest.raises(PBSError):
+            drive(stack, client.qsig(job_id))
+
+
+class TestCrashRecovery:
+    def test_server_recovers_queue_from_disk(self, stack):
+        cluster = stack.cluster
+        client = stack.client(node="compute0")
+        ids = [drive(stack, client.qsub(name=f"j{i}", walltime=300)) for i in range(3)]
+        head = cluster.heads[0]
+        head.crash()
+        cluster.run(until=cluster.kernel.now + 1.0)
+        head.restart()
+        server = head.daemon("pbs_server")
+        assert sorted(j.job_id for j in server.jobs) == sorted(ids)
+
+    def test_running_job_requeued_after_recovery(self, stack):
+        cluster = stack.cluster
+        client = stack.client(node="compute0")
+        job_id = drive(stack, client.qsub(name="restartme", walltime=30))
+        cluster.run(until=2.0)  # job starts
+        head = cluster.heads[0]
+        assert head.daemon("pbs_server").jobs.get(job_id).state is JobState.RUNNING
+        head.crash()
+        cluster.run(until=3.0)
+        head.restart()
+        server = head.daemon("pbs_server")
+        job = server.jobs.get(job_id)
+        assert job.state is JobState.QUEUED
+        assert "requeued" in job.comment
+        # The application restarts: it runs again from scratch.
+        cluster.run(until=60.0)
+        job = server.jobs.get(job_id)
+        assert job.state is JobState.COMPLETE
+        assert job.run_count >= 1
+
+    def test_client_times_out_when_head_down(self, stack):
+        cluster = stack.cluster
+        cluster.heads[0].crash()
+        client = stack.client(node="compute0", timeout=0.5, retries=0)
+        with pytest.raises(RpcTimeout):
+            drive(stack, client.qsub(name="nope"))
+
+    def test_duplicate_obit_ignored(self, stack):
+        client = stack.client()
+        job_id = drive(stack, client.qsub(name="once", walltime=1.0))
+        stack.cluster.run(until=10.0)
+        assert stack.server.stats["completed"] == 1
+
+
+class TestMomBehaviour:
+    def test_mom_rejects_duplicate_start_without_hooks(self, stack):
+        """Plain TORQUE: a second start attempt for a running job fails."""
+        cluster = stack.cluster
+        client = stack.client()
+        job_id = drive(stack, client.qsub(name="dup", walltime=50))
+        cluster.run(until=2.0)
+        mom = stack.moms[0] if stack.moms[0].active else stack.moms[1]
+        from repro.pbs.wire import JobStartReq, rpc_call
+        record = next(iter(mom.active.values()))
+
+        def dup_attempt():
+            response = yield from rpc_call(
+                cluster.network, "head0", mom.address,
+                JobStartReq(job_id, record.req.spec, record.req.exec_nodes,
+                            Address("head0", 1)),
+            )
+            return response
+
+        process = cluster.kernel.spawn(dup_attempt())
+        response = cluster.run(until=process)
+        assert response.ok is False
+        assert mom.stats["rejections"] == 1
+
+    def test_prologue_hook_can_emulate(self):
+        cluster = Cluster(head_count=1, compute_count=1, seed=3)
+
+        def always_emulate(mom, req):
+            yield mom.kernel.timeout(0.001)
+            return "emulate"
+
+        stack = build_pbs_stack(cluster)
+        stack.moms[0].prologue_hooks.append(always_emulate)
+        client = stack.client()
+        drive(stack, client.qsub(name="ghost", walltime=1.0))
+        cluster.run(until=5.0)
+        assert stack.moms[0].stats["emulations"] == 1
+        assert stack.moms[0].stats["runs"] == 0
+
+    def test_mom_crash_loses_job(self, stack):
+        """Paper §5: mom failures are out of scope — the job is lost and the
+        server keeps it R (no obituary ever arrives)."""
+        cluster = stack.cluster
+        client = stack.client()
+        job_id = drive(stack, client.qsub(name="lost", walltime=5.0))
+        cluster.run(until=2.0)
+        busy = [c for c in cluster.computes if cluster.node(c.name).daemon("pbs_mom").active]
+        busy[0].crash()
+        cluster.run(until=20.0)
+        [row] = drive(stack, client.qstat(job_id))
+        assert row["state"] == "R"  # stuck, as the paper observed

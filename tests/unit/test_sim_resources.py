@@ -1,0 +1,196 @@
+"""Unit tests for Store (mailboxes) and Resource (counted locks)."""
+
+import pytest
+
+from repro.sim import Kernel, Resource, Store
+from repro.util.errors import SimulationError
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+class TestStore:
+    def test_put_then_get(self, kernel):
+        store = Store(kernel)
+        got = []
+        def consumer(k):
+            got.append((yield store.get()))
+        store.put("msg")
+        kernel.spawn(consumer(kernel))
+        kernel.run()
+        assert got == ["msg"]
+
+    def test_get_blocks_until_put(self, kernel):
+        store = Store(kernel)
+        got = []
+        def consumer(k):
+            got.append(((yield store.get()), k.now))
+        def producer(k):
+            yield k.timeout(5)
+            store.put("late")
+        kernel.spawn(consumer(kernel))
+        kernel.spawn(producer(kernel))
+        kernel.run()
+        assert got == [("late", 5.0)]
+
+    def test_fifo_order_items(self, kernel):
+        store = Store(kernel)
+        for i in range(3):
+            store.put(i)
+        got = []
+        def consumer(k):
+            while True:
+                got.append((yield store.get()))
+        kernel.spawn(consumer(kernel))
+        kernel.run(until=1)
+        assert got == [0, 1, 2]
+
+    def test_fifo_order_getters(self, kernel):
+        store = Store(kernel)
+        got = []
+        def consumer(k, tag):
+            got.append((tag, (yield store.get())))
+        kernel.spawn(consumer(kernel, "first"))
+        kernel.spawn(consumer(kernel, "second"))
+        def producer(k):
+            yield k.timeout(1)
+            store.put("a")
+            store.put("b")
+        kernel.spawn(producer(kernel))
+        kernel.run()
+        assert got == [("first", "a"), ("second", "b")]
+
+    def test_bounded_put_blocks(self, kernel):
+        store = Store(kernel, capacity=1)
+        timeline = []
+        def producer(k):
+            yield store.put("a")
+            timeline.append(("a", k.now))
+            yield store.put("b")
+            timeline.append(("b", k.now))
+        def consumer(k):
+            yield k.timeout(4)
+            store.get_nowait()
+        kernel.spawn(producer(kernel))
+        kernel.spawn(consumer(kernel))
+        kernel.run()
+        assert timeline == [("a", 0.0), ("b", 4.0)]
+
+    def test_put_nowait_full_raises(self, kernel):
+        store = Store(kernel, capacity=1)
+        store.put_nowait("x")
+        with pytest.raises(SimulationError, match="full"):
+            store.put_nowait("y")
+
+    def test_get_nowait_empty_raises(self, kernel):
+        with pytest.raises(SimulationError, match="empty"):
+            Store(kernel).get_nowait()
+
+    def test_len_and_items(self, kernel):
+        store = Store(kernel)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.items == [1, 2]
+
+    def test_invalid_capacity(self, kernel):
+        with pytest.raises(SimulationError):
+            Store(kernel, capacity=0)
+
+    def test_cancel_all_fails_waiters(self, kernel):
+        store = Store(kernel)
+        caught = []
+        def consumer(k):
+            try:
+                yield store.get()
+            except RuntimeError:
+                caught.append(k.now)
+        kernel.spawn(consumer(kernel))
+        def killer(k):
+            yield k.timeout(2)
+            store.cancel_all(RuntimeError("node down"))
+        kernel.spawn(killer(kernel))
+        kernel.run()
+        assert caught == [2.0]
+
+    def test_interrupted_getter_not_served(self, kernel):
+        """A getter whose process was interrupted must not steal an item."""
+        store = Store(kernel)
+        got = []
+        def victim(k):
+            try:
+                yield store.get()
+            except Exception:
+                pass
+        def healthy(k):
+            got.append((yield store.get()))
+        v = kernel.spawn(victim(kernel))
+        kernel.spawn(healthy(kernel))
+        def driver(k):
+            yield k.timeout(1)
+            v.interrupt()
+            yield k.timeout(1)
+            store.put("item")
+        kernel.spawn(driver(kernel))
+        kernel.run()
+        assert got == ["item"]
+
+
+class TestResource:
+    def test_grants_up_to_slots(self, kernel):
+        res = Resource(kernel, slots=2)
+        grants = []
+        def worker(k, tag):
+            token = yield res.acquire()
+            grants.append((tag, k.now))
+            yield k.timeout(10)
+            res.release(token)
+        for tag in "abc":
+            kernel.spawn(worker(kernel, tag))
+        kernel.run()
+        assert grants == [("a", 0.0), ("b", 0.0), ("c", 10.0)]
+
+    def test_release_validates_token(self, kernel):
+        res = Resource(kernel)
+        with pytest.raises(SimulationError, match="unknown or already-released"):
+            res.release(99)
+
+    def test_double_release_rejected(self, kernel):
+        res = Resource(kernel)
+        tokens = []
+        def worker(k):
+            tokens.append((yield res.acquire()))
+        kernel.spawn(worker(kernel))
+        kernel.run()
+        res.release(tokens[0])
+        with pytest.raises(SimulationError):
+            res.release(tokens[0])
+
+    def test_counters(self, kernel):
+        res = Resource(kernel, slots=3)
+        def worker(k):
+            yield res.acquire()
+        kernel.spawn(worker(kernel))
+        kernel.run()
+        assert res.in_use == 1
+        assert res.available == 2
+
+    def test_invalid_slots(self, kernel):
+        with pytest.raises(SimulationError):
+            Resource(kernel, slots=0)
+
+    def test_fifo_granting(self, kernel):
+        res = Resource(kernel, slots=1)
+        order = []
+        def worker(k, tag, hold):
+            token = yield res.acquire()
+            order.append(tag)
+            yield k.timeout(hold)
+            res.release(token)
+        kernel.spawn(worker(kernel, "w1", 1))
+        kernel.spawn(worker(kernel, "w2", 1))
+        kernel.spawn(worker(kernel, "w3", 1))
+        kernel.run()
+        assert order == ["w1", "w2", "w3"]

@@ -1,0 +1,252 @@
+"""Unit tests for the libconfuse-style configuration parser."""
+
+import pytest
+
+from repro.util.config import (
+    ConfigSchema,
+    Option,
+    parse_config,
+    tokenize,
+)
+from repro.util.config import joshua_config_schema
+from repro.util.errors import ConfigError
+
+
+class TestTokenizer:
+    def test_idents_and_numbers(self):
+        toks = tokenize("alpha = 42")
+        assert [(t.kind, t.value) for t in toks[:-1]] == [
+            ("IDENT", "alpha"),
+            ("PUNCT", "="),
+            ("NUMBER", "42"),
+        ]
+
+    def test_eof_token_always_present(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+    def test_string_with_escapes(self):
+        toks = tokenize(r'name = "a\"b\nc"')
+        assert toks[2].value == 'a"b\nc'
+
+    def test_hash_comment_stripped(self):
+        toks = tokenize("# hello\nx = 1")
+        assert toks[0].value == "x"
+
+    def test_cxx_comment_stripped(self):
+        toks = tokenize("// hello\nx = 1")
+        assert toks[0].value == "x"
+
+    def test_block_comment_stripped_and_lines_counted(self):
+        toks = tokenize("/* a\nb */ x = 1")
+        assert toks[0].value == "x"
+        assert toks[0].line == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ConfigError, match="unterminated block comment"):
+            tokenize("/* oops")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ConfigError, match="unterminated string"):
+            tokenize('x = "abc')
+
+    def test_string_may_not_span_lines(self):
+        with pytest.raises(ConfigError, match="unterminated string"):
+            tokenize('x = "ab\ncd"')
+
+    def test_negative_and_float_numbers(self):
+        toks = tokenize("a = -3 \n b = 2.5e-3")
+        numbers = [t.value for t in toks if t.kind == "NUMBER"]
+        assert numbers == ["-3", "2.5e-3"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ConfigError, match="unexpected character"):
+            tokenize("x = @")
+
+    def test_line_numbers_track_newlines(self):
+        toks = tokenize("a = 1\nb = 2\nc = 3")
+        c_tok = [t for t in toks if t.value == "c"][0]
+        assert c_tok.line == 3
+
+
+class TestParserNoSchema:
+    def test_scalar_types(self):
+        cfg = parse_config(
+            """
+            name = "joshua"
+            port = 4412
+            interval = 0.25
+            active = true
+            disabled = off
+            """
+        )
+        assert cfg["name"] == "joshua"
+        assert cfg["port"] == 4412
+        assert cfg["interval"] == 0.25
+        assert cfg["active"] is True
+        assert cfg["disabled"] is False
+
+    def test_bareword_value_is_string(self):
+        cfg = parse_config("mode = sequencer")
+        assert cfg["mode"] == "sequencer"
+
+    def test_list_value(self):
+        cfg = parse_config('heads = {"h0", "h1", "h2"}')
+        assert cfg["heads"] == ["h0", "h1", "h2"]
+
+    def test_empty_list(self):
+        cfg = parse_config("heads = {}")
+        assert cfg["heads"] == []
+
+    def test_mixed_list(self):
+        cfg = parse_config('xs = {1, 2.5, "three", true}')
+        assert cfg["xs"] == [1, 2.5, "three", True]
+
+    def test_nested_sections_with_title(self):
+        cfg = parse_config(
+            """
+            group "joshua" {
+                port = 1
+                inner { deep = true }
+            }
+            """
+        )
+        grp = cfg.section("group", "joshua")
+        assert grp["port"] == 1
+        assert grp.section("inner")["deep"] is True
+
+    def test_multiple_sections_same_name(self):
+        cfg = parse_config('node "a" { x = 1 }\nnode "b" { x = 2 }')
+        assert [s.title for s in cfg.sections("node")] == ["a", "b"]
+        assert cfg.section("node", "b")["x"] == 2
+
+    def test_ambiguous_untitled_lookup_raises(self):
+        cfg = parse_config('node "a" { x = 1 }\nnode "b" { x = 2 }')
+        with pytest.raises(KeyError, match="ambiguous"):
+            cfg.section("node")
+
+    def test_missing_section_raises(self):
+        cfg = parse_config("x = 1")
+        with pytest.raises(KeyError, match="no section"):
+            cfg.section("nope")
+
+    def test_get_with_default(self):
+        cfg = parse_config("x = 1")
+        assert cfg.get("y", "fallback") == "fallback"
+
+    def test_contains_and_keys(self):
+        cfg = parse_config("x = 1\ny = 2")
+        assert "x" in cfg and "z" not in cfg
+        assert cfg.keys() == ["x", "y"]
+
+    def test_as_dict(self):
+        cfg = parse_config('x = 1\nsec "t" { y = 2 }')
+        assert cfg.as_dict() == {"x": 1, "sec": [{"y": 2}]}
+
+    def test_unbalanced_brace(self):
+        with pytest.raises(ConfigError, match="unexpected '}'"):
+            parse_config("}")
+
+    def test_unterminated_section(self):
+        with pytest.raises(ConfigError, match="end of file inside section"):
+            parse_config("sec { x = 1")
+
+    def test_missing_value(self):
+        with pytest.raises(ConfigError, match="expected a value"):
+            parse_config("x = =")
+
+
+class TestParserWithSchema:
+    def schema(self) -> ConfigSchema:
+        root = ConfigSchema(
+            options=[
+                Option("port", "int", default=4412),
+                Option("rate", "float", default=1.0),
+                Option("mode", "str", default="safe", choices=("safe", "fast")),
+                Option("name", "str", required=True),
+                Option("heads", "list", default=None),
+            ]
+        )
+        root.add_section("gcs", ConfigSchema(options=[Option("hb", "float", default=0.25)]))
+        return root
+
+    def test_defaults_applied(self):
+        cfg = parse_config('name = "x"', self.schema())
+        assert cfg["port"] == 4412
+        assert cfg["rate"] == 1.0
+        assert cfg["mode"] == "safe"
+
+    def test_missing_required(self):
+        with pytest.raises(ConfigError, match="missing required option"):
+            parse_config("port = 1", self.schema())
+
+    def test_unknown_option(self):
+        with pytest.raises(ConfigError, match="unknown option"):
+            parse_config('name = "x"\nbogus = 1', self.schema())
+
+    def test_unknown_section(self):
+        with pytest.raises(ConfigError, match="unknown section"):
+            parse_config('name = "x"\nwat { }', self.schema())
+
+    def test_type_mismatch(self):
+        with pytest.raises(ConfigError, match="expected int"):
+            parse_config('name = "x"\nport = "hi"', self.schema())
+
+    def test_bool_not_accepted_as_int(self):
+        with pytest.raises(ConfigError, match="expected int"):
+            parse_config('name = "x"\nport = true', self.schema())
+
+    def test_int_accepted_as_float(self):
+        cfg = parse_config('name = "x"\nrate = 3', self.schema())
+        assert cfg["rate"] == 3.0
+        assert isinstance(cfg["rate"], float)
+
+    def test_choices_enforced(self):
+        with pytest.raises(ConfigError, match="not in allowed choices"):
+            parse_config('name = "x"\nmode = "turbo"', self.schema())
+
+    def test_duplicate_option_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate option"):
+            parse_config('name = "x"\nname = "y"', self.schema())
+
+    def test_section_defaults(self):
+        cfg = parse_config('name = "x"\ngcs { }', self.schema())
+        assert cfg.section("gcs")["hb"] == 0.25
+
+    def test_required_option_with_default_is_schema_error(self):
+        with pytest.raises(ValueError, match="must not have a default"):
+            Option("x", "int", default=3, required=True)
+
+    def test_unknown_option_type_is_schema_error(self):
+        with pytest.raises(ValueError, match="unknown option type"):
+            Option("x", "complex")
+
+
+class TestJoshuaSchema:
+    def test_full_joshua_conf_parses(self):
+        text = """
+        loglevel = "DEBUG"
+        port = 5000
+        heads = {"head0", "head1"}
+        safe-output = true
+        gcs {
+            heartbeat-interval = 0.1
+            suspect-timeout = 0.3
+            ordering = "token"
+        }
+        pbs {
+            scheduler-poll-interval = 0.02
+        }
+        """
+        cfg = parse_config(text, joshua_config_schema())
+        assert cfg["port"] == 5000
+        assert cfg.section("gcs")["ordering"] == "token"
+        assert cfg.section("pbs")["exclusive-allocation"] is True
+
+    def test_default_joshua_conf(self):
+        cfg = parse_config("", joshua_config_schema())
+        assert cfg["port"] == 4412
+        assert cfg["loglevel"] == "INFO"
+
+    def test_bad_ordering_choice(self):
+        with pytest.raises(ConfigError, match="not in allowed choices"):
+            parse_config('gcs { ordering = "alphabetical" }', joshua_config_schema())

@@ -1,0 +1,169 @@
+"""Unit tests for rng streams, sim logging and wire-record helpers."""
+
+import dataclasses
+import enum
+
+import pytest
+
+from repro.util.records import from_wire, to_wire, wire_size
+from repro.util.rng import RandomStreams
+from repro.util.simlog import LogRecord, SimLogger
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(7).get("net").random(5)
+        b = RandomStreams(7).get("net").random(5)
+        assert (a == b).all()
+
+    def test_different_names_independent(self):
+        s = RandomStreams(7)
+        assert (s.get("a").random(5) != s.get("b").random(5)).any()
+
+    def test_creation_order_irrelevant(self):
+        s1 = RandomStreams(3)
+        _ = s1.get("x").random(10)
+        v1 = s1.get("y").random(3)
+        s2 = RandomStreams(3)
+        v2 = s2.get("y").random(3)
+        assert (v1 == v2).all()
+
+    def test_get_returns_same_generator(self):
+        s = RandomStreams(1)
+        assert s.get("a") is s.get("a")
+
+    def test_spawn_derives_new_family(self):
+        s = RandomStreams(5)
+        child = s.spawn("run-1")
+        assert child.seed != s.seed
+        assert (child.get("a").random(3) != s.get("a").random(3)).any()
+
+    def test_spawn_deterministic(self):
+        assert RandomStreams(5).spawn("r").seed == RandomStreams(5).spawn("r").seed
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RandomStreams("seed")  # type: ignore[arg-type]
+
+    def test_names_sorted(self):
+        s = RandomStreams(0)
+        s.get("z"), s.get("a")
+        assert s.names() == ["a", "z"]
+
+
+class TestSimLogger:
+    def make(self, **kw):
+        self.t = 0.0
+        return SimLogger(lambda: self.t, **kw)
+
+    def test_records_stamped_with_clock(self):
+        log = self.make()
+        self.t = 12.5
+        log.info("src", "hello")
+        assert log.records[0].time == 12.5
+
+    def test_level_filtering(self):
+        log = self.make(level="WARNING")
+        log.info("src", "dropped")
+        log.warning("src", "kept")
+        assert [r.message for r in log.records] == ["kept"]
+
+    def test_set_level(self):
+        log = self.make(level="ERROR")
+        log.set_level("DEBUG")
+        log.debug("src", "now visible")
+        assert len(log.records) == 1
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(level="LOUD")
+        log = self.make()
+        with pytest.raises(ValueError):
+            log.set_level("LOUD")
+
+    def test_capacity_drops_oldest(self):
+        log = self.make(capacity=3)
+        for i in range(5):
+            log.info("src", f"m{i}")
+        assert [r.message for r in log.records] == ["m2", "m3", "m4"]
+
+    def test_select_by_source_level_contains(self):
+        log = self.make(level="DEBUG")
+        log.info("a", "xx hit")
+        log.info("b", "xx hit")
+        log.error("a", "miss")
+        assert len(log.select(source="a")) == 2
+        assert len(log.select(level="ERROR")) == 1
+        assert len(log.select(contains="hit")) == 2
+        assert len(log.select(source="a", contains="hit")) == 1
+
+    def test_format_includes_fields(self):
+        rec = LogRecord(1.0, "INFO", "src", "msg", {"k": 3})
+        assert "k=3" in rec.format()
+
+    def test_dump_joins_lines(self):
+        log = self.make()
+        log.info("s", "one")
+        log.info("s", "two")
+        assert log.dump().count("\n") == 1
+
+
+class Color(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+@dataclasses.dataclass
+class Point:
+    x: int
+    y: int
+
+
+@dataclasses.dataclass
+class Shape:
+    name: str
+    origin: Point
+    color: Color
+    tags: list
+
+
+class TestWireRecords:
+    def test_roundtrip_nested_dataclass(self):
+        shape = Shape("box", Point(1, 2), Color.RED, ["a", "b"])
+        wire = to_wire(shape)
+        assert wire["__type__"] == "Shape"
+        assert wire["origin"] == {"__type__": "Point", "x": 1, "y": 2}
+        assert wire["color"] == "red"
+        back = from_wire(wire, Shape)
+        assert back == shape
+
+    def test_scalars_pass_through(self):
+        assert to_wire(5) == 5
+        assert to_wire("s") == "s"
+        assert to_wire(None) is None
+        assert to_wire(True) is True
+
+    def test_containers(self):
+        assert to_wire({"k": [1, (2, 3)]}) == {"k": [1, (2, 3)]}
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(TypeError, match="cannot serialise"):
+            to_wire(object())
+
+    def test_from_wire_requires_dataclass(self):
+        with pytest.raises(TypeError):
+            from_wire({}, int)
+
+    def test_from_wire_requires_dict(self):
+        with pytest.raises(TypeError):
+            from_wire([1], Point)
+
+    def test_wire_size_monotone_in_content(self):
+        small = Point(1, 2)
+        assert wire_size(small) > 0
+        assert wire_size("longer string than") > wire_size("s")
+        assert wire_size([1, 2, 3]) > wire_size([1])
+
+    def test_wire_size_handles_all_scalars(self):
+        for value in (None, True, 3, 2.5, "s", b"bytes", Color.RED, {"a": 1}, (1, 2), {1, 2}):
+            assert wire_size(value) >= 1
