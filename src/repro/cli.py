@@ -8,9 +8,13 @@
     python -m repro compare  [--seed S]
     python -m repro correlated [--cc-mttf H] [--cc-mttr H]
     python -m repro ablations {ordering,batching,detection,slot,all}
+    python -m repro chaos run  [--seed S] [--schedule FILE] [...]
+    python -m repro chaos soak [--seed S] [--runs N] [...]
 
 Every command prints the same tables the benchmark suite produces; all
-runs are deterministic given ``--seed``.
+runs are deterministic given ``--seed``. The chaos commands exit non-zero
+on invariant violations and print the offending seed + schedule JSON so
+the exact scenario can be replayed.
 """
 
 from __future__ import annotations
@@ -65,6 +69,29 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default="all",
     )
+
+    chaos = sub.add_parser("chaos", help="fault injection with live invariants")
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    def _common_chaos_args(p):
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--heads", type=int, default=3)
+        p.add_argument("--computes", type=int, default=2)
+        p.add_argument("--jobs", type=int, default=6)
+        p.add_argument("--duration", type=float, default=30.0)
+        p.add_argument("--intensity", type=int, default=3,
+                       help="faults per randomly generated scenario")
+
+    chaos_run = chaos_sub.add_parser("run", help="one scenario (random or from file)")
+    _common_chaos_args(chaos_run)
+    chaos_run.add_argument("--ordering", choices=["sequencer", "token"],
+                           default="sequencer")
+    chaos_run.add_argument("--schedule", metavar="FILE",
+                           help="JSON fault schedule (default: random from seed)")
+
+    chaos_soak = chaos_sub.add_parser("soak", help="many seeded scenarios")
+    _common_chaos_args(chaos_soak)
+    chaos_soak.add_argument("--runs", type=int, default=20)
     return parser
 
 
@@ -158,6 +185,53 @@ def _cmd_ablations(args) -> str:
     return "\n\n".join(sections)
 
 
+def _cmd_chaos(args):
+    import json
+
+    from repro.faults import FaultSchedule, run_chaos, soak
+    from repro.util.errors import ClusterError
+
+    try:
+        if args.chaos_command == "run":
+            schedule = None
+            if args.schedule:
+                try:
+                    with open(args.schedule) as f:
+                        schedule = FaultSchedule.from_json(f.read())
+                except (OSError, json.JSONDecodeError) as exc:
+                    return f"error: cannot load schedule {args.schedule}: {exc}", 2
+            report = run_chaos(
+                schedule,
+                seed=args.seed, heads=args.heads, computes=args.computes,
+                jobs=args.jobs, duration=args.duration, ordering=args.ordering,
+                intensity=args.intensity,
+            )
+            reports = [report]
+        else:
+            reports = soak(
+                args.seed, args.runs,
+                heads=args.heads, computes=args.computes, jobs=args.jobs,
+                duration=args.duration, intensity=args.intensity,
+            )
+    except ClusterError as exc:
+        # Bad schedule contents or bad knob values (e.g. --intensity 0):
+        # a usage error, not a crash.
+        return f"error: {exc}", 2
+
+    lines = [r.summary() for r in reports]
+    failed = [r for r in reports if not r.ok]
+    for r in failed:
+        lines.append("")
+        lines.append(f"FAILED seed={r.seed} ordering={r.ordering} — replay with:")
+        lines.append(f"  repro chaos run --seed {r.seed} --ordering {r.ordering}")
+        lines.extend(f"  {v}" for v in r.violations)
+        lines.append("  schedule:")
+        lines.extend("  " + line for line in r.schedule.to_json().splitlines())
+    if not failed:
+        lines.append(f"{len(reports)} run(s), zero invariant violations")
+    return "\n".join(lines), (1 if failed else 0)
+
+
 _COMMANDS = {
     "figure10": _cmd_figure10,
     "figure11": _cmd_figure11,
@@ -165,13 +239,16 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "correlated": _cmd_correlated,
     "ablations": _cmd_ablations,
+    "chaos": _cmd_chaos,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    print(_COMMANDS[args.command](args))
-    return 0
+    result = _COMMANDS[args.command](args)
+    text, code = result if isinstance(result, tuple) else (result, 0)
+    print(text)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,184 @@
+"""Chaos runs: a JOSHUA stack under a fault schedule with live invariants.
+
+:func:`run_chaos` is the one-call harness behind ``repro chaos run``: build
+a cluster and JOSHUA stack, attach the :class:`~repro.faults.invariants.
+InvariantSuite`, drive a workload of ``jsub`` submissions while a
+:class:`~repro.faults.injector.FaultInjector` executes the schedule, then
+heal everything, let the system quiesce, and run the final checks.
+
+:func:`soak` repeats that with per-run seeds derived from a master seed,
+alternating the ordering engine, so ``repro chaos soak --seed 0 --runs 20``
+is a deterministic regression battery; any failing run reports its own
+seed + schedule JSON for replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantSuite, Violation
+from repro.faults.schedule import FaultSchedule, random_schedule
+from repro.gcs.config import GroupConfig
+from repro.joshua.deploy import build_joshua_stack
+from repro.util.errors import NoActiveHeadError
+
+__all__ = ["CHAOS_GROUP", "ChaosReport", "run_chaos", "soak"]
+
+#: Group timing for chaos runs: quick failure detection so crash scenarios
+#: resolve within the run, and a short GC sweep so the bounded-queue
+#: invariant actually bites within a 30-second scenario.
+CHAOS_GROUP = GroupConfig(
+    heartbeat_interval=0.1,
+    suspect_timeout=0.6,
+    flush_timeout=1.0,
+    retransmit_interval=0.05,
+    gc_interval=2.0,
+)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run."""
+
+    seed: int
+    ordering: str
+    schedule: FaultSchedule
+    events_applied: list[tuple[float, str]]
+    jobs_submitted: int
+    jobs_completed: int
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        return (
+            f"seed={self.seed} ordering={self.ordering} "
+            f"faults={len(self.schedule.events)} "
+            f"jobs={self.jobs_completed}/{self.jobs_submitted} {status}"
+        )
+
+
+def run_chaos(
+    schedule: FaultSchedule | None = None,
+    *,
+    seed: int = 0,
+    heads: int = 3,
+    computes: int = 2,
+    jobs: int = 6,
+    duration: float = 30.0,
+    ordering: str = "sequencer",
+    intensity: int = 3,
+    quiesce: float = 15.0,
+    queue_bound: int = 500,
+) -> ChaosReport:
+    """Run one chaos scenario and return its report.
+
+    With no *schedule*, a random one is generated from *seed* (so the run
+    is replayable from the seed alone). The workload spreads *jobs*
+    submissions over the first ~60 % of *duration* with walltimes short
+    enough to finish during the run; after *duration* the injector heals
+    every outstanding fault and the system gets *quiesce* seconds of calm
+    before the final invariant checks.
+    """
+    # Batched sequencing is the interesting configuration for the stale-
+    # flusher class of bug; keep a small batch delay on by default.
+    batch_delay = 0.005 if ordering == "sequencer" else 0.0
+    group = GroupConfig(
+        heartbeat_interval=CHAOS_GROUP.heartbeat_interval,
+        suspect_timeout=CHAOS_GROUP.suspect_timeout,
+        flush_timeout=CHAOS_GROUP.flush_timeout,
+        retransmit_interval=CHAOS_GROUP.retransmit_interval,
+        ordering=ordering,
+        sequencer_batch_delay=batch_delay,
+        gc_interval=CHAOS_GROUP.gc_interval,
+    )
+    cluster = Cluster(
+        head_count=heads, compute_count=computes, login_node=True, seed=seed
+    )
+    stack = build_joshua_stack(cluster, group_config=group)
+    cluster.run(until=2.0)  # let the group form before faults begin
+
+    suite = InvariantSuite(stack, queue_bound=queue_bound).attach()
+    if schedule is None:
+        schedule = random_schedule(
+            seed,
+            heads=stack.head_names,
+            computes=[c.name for c in cluster.computes],
+            duration=duration,
+            intensity=intensity,
+            ordering=ordering,
+        )
+    injector = FaultInjector(cluster)
+    injector.apply(schedule)
+
+    client = stack.client("login")
+    submitted = 0
+    failed_submits = 0
+
+    def workload():
+        nonlocal submitted, failed_submits
+        rng = cluster.kernel.streams.get("chaos-workload")
+        window = 0.6 * duration
+        for i in range(jobs):
+            yield cluster.kernel.timeout(window / jobs)
+            walltime = float(rng.uniform(1.0, 3.0))
+            try:
+                yield from client.jsub(name=f"chaos-{i}", walltime=walltime)
+                submitted += 1
+            except NoActiveHeadError:
+                # Every head unreachable right now — a client-visible outage
+                # is allowed; losing an *accepted* job is not.
+                failed_submits += 1
+
+    cluster.kernel.spawn(workload(), name="chaos-workload")
+    cluster.kernel.spawn(suite.sampler(1.0), name="invariant-sampler")
+    cluster.run(until=2.0 + max(duration, schedule.horizon()))
+    injector.heal_all()
+    cluster.run(until=cluster.kernel.now + quiesce)
+    suite.final_check()
+
+    return ChaosReport(
+        seed=seed,
+        ordering=ordering,
+        schedule=schedule,
+        events_applied=list(injector.log),
+        jobs_submitted=submitted,
+        jobs_completed=suite.completed_jobs(),
+        violations=list(suite.violations),
+    )
+
+
+def soak(
+    seed: int = 0,
+    runs: int = 20,
+    *,
+    heads: int = 3,
+    computes: int = 2,
+    jobs: int = 6,
+    duration: float = 30.0,
+    intensity: int = 3,
+) -> list[ChaosReport]:
+    """Run *runs* chaos scenarios with per-run seeds derived from *seed*,
+    alternating the ordering engine. Returns every report; callers check
+    ``all(r.ok for r in reports)``."""
+    reports = []
+    for i in range(runs):
+        run_seed = seed * 1_000_003 + i
+        ordering = "sequencer" if i % 2 == 0 else "token"
+        reports.append(
+            run_chaos(
+                seed=run_seed,
+                heads=heads,
+                computes=computes,
+                jobs=jobs,
+                duration=duration,
+                ordering=ordering,
+                intensity=intensity,
+            )
+        )
+    return reports

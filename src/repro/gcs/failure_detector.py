@@ -54,6 +54,7 @@ class FailureDetector:
         self._last_heard: dict[Address, float] = {}
         self._suspected: set[Address] = set()
         self._stopped = False
+        self._dormant = False
         self._loop = self.kernel.spawn(self._run(), name=f"fd@{transport.address}")
 
     # -- peer management -----------------------------------------------------
@@ -102,7 +103,18 @@ class FailureDetector:
             if self._stopped or self.transport.endpoint.closed:
                 return
             if not self.transport.endpoint.network.node_is_up(self.transport.address.node):
-                return
+                # The node is down (or its network is blacked out) but we were
+                # not torn down: go dormant rather than exiting, so the
+                # detector beacons and suspects again once the node recovers.
+                self._dormant = True
+                continue
+            if self._dormant:
+                # Re-arming after an outage: count peer silence from now, or
+                # every peer would be suspected for our own downtime.
+                self._dormant = False
+                now = self.kernel.now
+                for peer in self._peers:
+                    self._last_heard[peer] = now
             beat = Heartbeat(sent_at=self.kernel.now)
             for peer in self._peers:
                 self.transport.send_raw(peer, beat)

@@ -276,6 +276,13 @@ class GroupMember:
         return msg_id
 
     @property
+    def can_multicast(self) -> bool:
+        """Whether :meth:`multicast` would be accepted right now (the member
+        is operating in a view or flushing into the next one — not idle,
+        (re)joining after an exclusion, or stopped)."""
+        return self.state in (NORMAL, FLUSHING) and self.view is not None
+
+    @property
     def is_primary(self) -> bool:
         """Whether we are in a primary view (always true unless the
         primary-partition extension is enabled and we lost the majority)."""

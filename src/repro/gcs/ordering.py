@@ -80,6 +80,7 @@ class SequencerEngine(_EngineBase):
         self._assigned: set[MessageId] = set()
         self._batch: list[tuple[int, MessageId]] = []
         self._flusher = None
+        self._generation = 0  # invalidates in-flight flush timers on view change
 
     @property
     def is_sequencer(self) -> bool:
@@ -87,7 +88,14 @@ class SequencerEngine(_EngineBase):
 
     def start_view(self, view: View, next_seq: int) -> None:
         super().start_view(view, next_seq)
+        self._generation += 1
         self._assigned.clear()
+        self._batch.clear()
+        self._flusher = None
+
+    def stop(self) -> None:
+        super().stop()
+        self._generation += 1
         self._batch.clear()
         self._flusher = None
 
@@ -102,14 +110,17 @@ class SequencerEngine(_EngineBase):
             return
         self._batch.append(assignment)
         if self._flusher is None or not self._flusher.is_alive:
-            self._flusher = self.kernel.spawn(self._flush_later(self.view.view_id))
+            self._flusher = self.kernel.spawn(self._flush_later(self._generation))
 
-    def _flush_later(self, view_id: int):
+    def _flush_later(self, generation: int):
         yield self.kernel.timeout(self.batch_delay)
-        if self.view is None or self.view.view_id != view_id or not self._batch:
+        # The generation check — not just a view-id comparison — kills a
+        # flusher spawned before a stop()/rejoin, where the numeric view id
+        # can repeat and would let a stale timer race the new view's batch.
+        if self._generation != generation or self.view is None or not self._batch:
             return
         batch, self._batch = self._batch, []
-        self.broadcast(OrderMsg(view_id, tuple(batch)))
+        self.broadcast(OrderMsg(self.view.view_id, tuple(batch)))
 
 
 class TokenRingEngine(_EngineBase):

@@ -20,8 +20,13 @@ the job has finished, the distributed mutual exclusion is released."
 * an ``on_job_done`` notifier (``jdone``: release the mutex so a recovered
   or re-run job id can be re-arbitrated).
 
-Both notifiers try every known head until one accepts, so the records
-survive the death of the head that happened to win.
+Both notifiers are *first-responder*: one head accepting is enough, because
+the accepting joshua multicasts the record to the whole group — so the
+records survive the death of the head that happened to win. If no head
+answers a pass (e.g. a transient full partition between the compute and
+every head), the notifier backs off and retries the (re-read) head list for
+a bounded number of passes rather than silently dropping the record, which
+would leave the launch mutex unconfirmed or never released.
 """
 
 from __future__ import annotations
@@ -39,8 +44,21 @@ __all__ = ["install_jmutex"]
 _JOSHUA_PORT = 4412
 
 
-def install_jmutex(mom: PBSMom, *, timeout: float = 2.0) -> None:
-    """Attach the jmutex prologue hook and jdone epilogue to *mom*."""
+def install_jmutex(
+    mom: PBSMom,
+    *,
+    timeout: float = 2.0,
+    notify_passes: int = 6,
+    notify_backoff: float = 0.25,
+    notify_backoff_cap: float = 2.0,
+) -> None:
+    """Attach the jmutex prologue hook and jdone epilogue to *mom*.
+
+    ``notify_passes`` bounds how many times the Started/Done notifier
+    sweeps the head list (with exponential backoff between sweeps, from
+    ``notify_backoff`` up to ``notify_backoff_cap``) before abandoning the
+    record and counting it in ``mom.stats["jnotify_abandoned"]``.
+    """
 
     def jmutex_hook(mom_: PBSMom, req: JobStartReq):
         if req.server is None:
@@ -59,28 +77,48 @@ def install_jmutex(mom: PBSMom, *, timeout: float = 2.0) -> None:
             # change revokes the claim and the job is re-dispatched.
             return "emulate"
 
-    def _notify_all_heads(request) -> None:
-        """Fire-and-forget to the first head that answers."""
+    def _notify_first_responder(request) -> None:
+        """Deliver *request* to the first head that answers, retrying the
+        whole head list with backoff until a bounded give-up.
+
+        One acceptance suffices — the accepting joshua multicasts the
+        Started/Done record group-wide. The head list is re-read each pass
+        because ADMIN-SERVERS announcements may change it mid-retry.
+        """
 
         def notifier():
-            heads = sorted({s.node for s in mom.servers})
-            for head in heads:
-                try:
-                    yield from rpc_call(
-                        mom.node.network, mom.node.name,
-                        Address(head, _JOSHUA_PORT), request, timeout=timeout,
-                    )
-                    return
-                except (RpcTimeout, PBSError):
-                    continue
+            delay = notify_backoff
+            for sweep in range(notify_passes):
+                for head in sorted({s.node for s in mom.servers}):
+                    try:
+                        response = yield from rpc_call(
+                            mom.node.network, mom.node.name,
+                            Address(head, _JOSHUA_PORT), request, timeout=timeout,
+                        )
+                        # Only a real acceptance counts: a (re)joining head
+                        # answers with an error instead of recording the
+                        # event, and the sweep must move on.
+                        if getattr(response, "decision", None) == "ok":
+                            return
+                    except (RpcTimeout, PBSError):
+                        continue
+                if sweep + 1 < notify_passes:
+                    yield mom.kernel.timeout(delay)
+                    delay = min(delay * 2, notify_backoff_cap)
+            mom.stats["jnotify_abandoned"] = (
+                mom.stats.get("jnotify_abandoned", 0) + 1
+            )
+            mom.log.warning(
+                mom.tag, f"abandoned jmutex notification {request!r}: no head answered"
+            )
 
         mom.spawn(notifier(), name=f"{mom.tag}-jnotify")
 
     def on_start(req: JobStartReq) -> None:
-        _notify_all_heads(JStartedReq(req.job_id))
+        _notify_first_responder(JStartedReq(req.job_id))
 
     def on_done(obit: JobObit) -> None:
-        _notify_all_heads(JDoneReq(obit.job_id))
+        _notify_first_responder(JDoneReq(obit.job_id))
 
     mom.prologue_hooks.append(jmutex_hook)
     mom.on_job_start = on_start

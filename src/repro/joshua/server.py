@@ -155,6 +155,10 @@ class JoshuaServer(Daemon):
         self._xfer_responses: dict[str, StateXferResp] = {}
         self._xfer_waiters: dict[str, object] = {}
         self._applied_markers: set[str] = set()
+        self._seen_rejoins = 0
+        #: Set when a partition re-merge demotes us: an *established* member
+        #: (no contacts) that must nevertheless pin a transfer marker.
+        self._needs_resync = False
 
         #: uuid -> cached local result (output dedup across retries).
         self.results: dict[str, object] = {}
@@ -236,14 +240,20 @@ class JoshuaServer(Daemon):
             self._handle_jmutex(src, request_id, payload)
         elif isinstance(payload, JStartedReq):
             yield self.kernel.timeout(self.times.mutex_process)
-            if self.group.view is not None and self.active:
+            if self.active and self.group.can_multicast:
                 self.group.multicast(Started(payload.job_id))
-            self._reply(src, request_id, JMutexResp("ok"))
+                self._reply(src, request_id, JMutexResp("ok"))
+            else:
+                # Refuse rather than ack-and-drop: the mom's notifier must
+                # move on to a head that can actually record the event.
+                self._reply(src, request_id, ErrorResp("joining", "not in view"))
         elif isinstance(payload, JDoneReq):
             yield self.kernel.timeout(self.times.mutex_process)
-            if self.group.view is not None and self.active:
+            if self.active and self.group.can_multicast:
                 self.group.multicast(Done(payload.job_id))
-            self._reply(src, request_id, JMutexResp("ok"))
+                self._reply(src, request_id, JMutexResp("ok"))
+            else:
+                self._reply(src, request_id, ErrorResp("joining", "not in view"))
         elif isinstance(payload, StateXferReq):
             yield self.kernel.timeout(self.times.cmd_receive)
             # Served from the executor when it reaches the marker; a direct
@@ -253,7 +263,10 @@ class JoshuaServer(Daemon):
             self._reply(src, request_id, ErrorResp("bad-request", str(type(payload))))
 
     def _handle_command(self, src: Address, request_id: int, payload) -> None:
-        if not self.active:
+        if not self.active or not self.group.can_multicast:
+            # Inactive (state transfer in progress) or mid-(re)join after an
+            # exclusion: either way we cannot order the command — send the
+            # client to another head instead of crashing on the multicast.
             self._reply(src, request_id, ErrorResp("joining", "head is joining; retry another"))
             return
         uuid = payload.uuid
@@ -284,7 +297,7 @@ class JoshuaServer(Daemon):
             self._reply(src, request_id, JMutexResp(decision, entry.winner))
             return
         self._mutex_waiters.setdefault(req.job_id, []).append((src, request_id))
-        if req.job_id not in self._claimed and self.group.view is not None:
+        if req.job_id not in self._claimed and self.group.can_multicast:
             self._claimed.add(req.job_id)
             self.stats["claims"] += 1
             self.group.multicast(Claim(req.job_id, self.head_name), service=SAFE)
@@ -328,7 +341,24 @@ class JoshuaServer(Daemon):
             self._claimed.discard(payload.job_id)
 
     def _on_view(self, view: View) -> None:
-        if self._syncing_marker is None and not self.active and self.contacts:
+        rejoins = self.group.stats.get("rejoins", 0)
+        if rejoins > self._seen_rejoins:
+            self._seen_rejoins = rejoins
+            if self.active and view.size > 1:
+                # Our GCS member lost a partition merge and dissolved into
+                # the surviving component (e.g. after a NIC blackout). Our
+                # replica may have missed commands — or executed client
+                # retries the majority already answered under different job
+                # ids. The survivors are authoritative: demote and resync.
+                self.log.warning(
+                    self.tag, "re-merged from losing partition side; resyncing"
+                )
+                self.active = False
+                self._syncing_marker = None
+                self._needs_resync = True
+        if self._syncing_marker is None and not self.active and (
+            self.contacts or self._needs_resync
+        ) and self.group.can_multicast:
             # First view containing us after a join: pin the transfer cut.
             marker = XferMarker(
                 f"xfer-{self.node.name}-{next(_MARKER_COUNTER)}",
@@ -432,15 +462,18 @@ class JoshuaServer(Daemon):
             yield from self._serve_state(marker)
 
     def _serve_state(self, marker: XferMarker):
-        # Sponsor = lowest-ranked member other than the joiner. Everyone
-        # else just passes the marker (their executor position is the same).
+        # Preferred sponsor = lowest-ranked *active* member other than the
+        # joiner; but every active member serves (replicas are identical at
+        # the marker cut, so the captures are too, and the joiner dedups).
+        # A single designated sponsor can deadlock: two heads resyncing at
+        # once would each elect the other — inactive and unable to serve.
         view = self.group.view
         if view is None or not self.active:
             return
         # marker.joiner is the joiner's *joshua* endpoint; members are GCS
         # endpoints — compare by node.
         others = [m for m in view.members if m.node != marker.joiner.node]
-        if not others or min(others) != self.group.address:
+        if not others:
             return
         response = yield from self._capture_state(marker)
         self.stats["state_transfers_served"] += 1
@@ -476,6 +509,7 @@ class JoshuaServer(Daemon):
             next_seq,
             mutex,
             tuple(skipped),
+            tuple(sorted(self.results.items())),
         )
 
     @staticmethod
@@ -527,6 +561,12 @@ class JoshuaServer(Daemon):
             if not waiter.triggered:
                 # Sponsor silent (likely died mid-capture): pin a fresh cut.
                 self._xfer_waiters.pop(uuid, None)
+                if not self.group.can_multicast:
+                    # The group itself is mid-(re)join; a marker cannot be
+                    # ordered right now. Drop the stale cut — the view that
+                    # ends the join re-enters _on_view, which pins a new one.
+                    self._syncing_marker = None
+                    return
                 fresh = XferMarker(
                     f"xfer-{self.node.name}-{next(_MARKER_COUNTER)}", self.address
                 )
@@ -559,6 +599,9 @@ class JoshuaServer(Daemon):
             )
         for job_id, winner, started in response.mutex:
             self.mutex.setdefault(job_id, _MutexEntry(winner, started))
+        for uuid, cached in response.results:
+            self.results.setdefault(uuid, cached)
         self._syncing_marker = None
+        self._needs_resync = False
         self.active = True
         self.log.info(self.tag, f"state transfer complete ({response.mode}), now active")

@@ -99,6 +99,11 @@ class StateXferResp:
     #: Job ids the sponsor could not transfer (held jobs in replay mode —
     #: the paper's documented limitation).
     skipped: tuple = ()
+    #: (uuid, cached response) pairs: the sponsor's command dedup cache, so
+    #: a client retrying an already-executed command against the joiner is
+    #: answered from cache instead of re-executing (and possibly
+    #: re-launching) it.
+    results: tuple = ()
 
 
 # -- group multicast payloads --------------------------------------------------------

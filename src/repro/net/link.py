@@ -71,6 +71,10 @@ class LinkModel:
         """Copy of this model with a different loss probability."""
         return LinkModel(self.base_latency, self.bandwidth, self.jitter, loss)
 
+    def with_jitter(self, jitter: float) -> "LinkModel":
+        """Copy of this model with a different jitter bound."""
+        return LinkModel(self.base_latency, self.bandwidth, jitter, self.loss)
+
 
 #: The testbed LAN: Fast Ethernet through a hub, circa-2006 kernel stacks.
 #: ~200 us one-way latency is representative of 100 Mbit NICs of the era.

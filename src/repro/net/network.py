@@ -16,6 +16,18 @@ Fault semantics (all fail-stop, like the paper's):
 * pair unreachable per :class:`~repro.net.partition.PartitionState` → dropped;
 * random loss per the link model → dropped.
 
+Beyond fail-stop, the fault-injection layer (:mod:`repro.faults`) drives
+three extra knobs:
+
+* **pause/resume** (:meth:`Network.pause_node`): the node's NIC goes dark —
+  ``node_is_up`` reports ``False`` and traffic to/from it is dropped — but
+  its endpoints stay bound and its processes keep running, modelling a
+  wedged NIC or a switch port blackout rather than a crash;
+* **per-node slowdown** (:meth:`Network.set_node_slowdown`): extra one-way
+  latency added to every message touching the node (an overloaded host);
+* **drop filters** (:meth:`Network.add_drop_filter`): predicates that force-
+  drop matching datagrams, for targeted loss such as ordering-token frames.
+
 Contention: with ``shared_medium=True`` (the default, matching the paper's
 hub) all *off-node* transmissions serialise through a single token process —
 each occupies the wire for its serialisation time before propagating. With a
@@ -114,6 +126,10 @@ class Network:
         self.shared_medium = shared_medium
         self.partitions = PartitionState()
         self._nodes_up: dict[str, bool] = {}
+        self._paused: set[str] = set()
+        self._slowdown: dict[str, float] = {}
+        self._drop_filters: dict[int, Callable[[Address, Address, Any], bool]] = {}
+        self._drop_filter_ids = 0
         self._endpoints: dict[Address, Endpoint] = {}
         self._rng = kernel.streams.get("net")
         #: Simulated time at which the shared wire next becomes free.
@@ -121,7 +137,8 @@ class Network:
         # Delivery statistics (observability for tests and benches).
         self.stats = {"sent": 0, "delivered": 0, "dropped_down": 0,
                       "dropped_unreachable": 0, "dropped_loss": 0,
-                      "dropped_unbound": 0, "bytes": 0}
+                      "dropped_unbound": 0, "dropped_paused": 0,
+                      "dropped_filtered": 0, "bytes": 0}
 
     # -- node lifecycle ------------------------------------------------------
 
@@ -134,16 +151,56 @@ class Network:
     def node_is_up(self, name: str) -> bool:
         if name not in self._nodes_up:
             raise NetworkError(f"unknown node {name!r}")
-        return self._nodes_up[name]
+        return self._nodes_up[name] and name not in self._paused
 
     def set_node_up(self, name: str, up: bool) -> None:
         if name not in self._nodes_up:
             raise NetworkError(f"unknown node {name!r}")
         self._nodes_up[name] = up
+        # A crash or repair supersedes any network blackout in progress.
+        self._paused.discard(name)
         if not up:
             # A crashed node's endpoints vanish with it.
             for address in [a for a in self._endpoints if a.node == name]:
                 self._endpoints[address].close()
+
+    def pause_node(self, name: str) -> None:
+        """Black out *name*'s network: unreachable, but processes/endpoints
+        survive (a wedged NIC, not a crash). Reversed by :meth:`resume_node`."""
+        if name not in self._nodes_up:
+            raise NetworkError(f"unknown node {name!r}")
+        self._paused.add(name)
+
+    def resume_node(self, name: str) -> None:
+        self._paused.discard(name)
+
+    def node_is_paused(self, name: str) -> bool:
+        return name in self._paused
+
+    def set_node_slowdown(self, name: str, extra_latency: float) -> None:
+        """Add *extra_latency* seconds one-way to every message touching
+        *name* (0 clears the episode)."""
+        if name not in self._nodes_up:
+            raise NetworkError(f"unknown node {name!r}")
+        if extra_latency < 0:
+            raise NetworkError("slowdown must be non-negative")
+        if extra_latency > 0:
+            self._slowdown[name] = extra_latency
+        else:
+            self._slowdown.pop(name, None)
+
+    def node_slowdown(self, name: str) -> float:
+        return self._slowdown.get(name, 0.0)
+
+    def add_drop_filter(self, predicate: Callable[[Address, Address, Any], bool]) -> int:
+        """Force-drop every datagram for which ``predicate(src, dst,
+        payload)`` is true; returns a token for :meth:`remove_drop_filter`."""
+        self._drop_filter_ids += 1
+        self._drop_filters[self._drop_filter_ids] = predicate
+        return self._drop_filter_ids
+
+    def remove_drop_filter(self, token: int) -> None:
+        self._drop_filters.pop(token, None)
 
     @property
     def nodes(self) -> list[str]:
@@ -175,6 +232,11 @@ class Network:
     def send(self, src: Address, dst: Address, payload: Any, *, size: int | None = None) -> None:
         """Send one datagram from *src* to *dst*; drops are silent."""
         if not self.node_is_up(src.node):
+            if self._nodes_up.get(src.node) and src.node in self._paused:
+                # Blacked-out NIC: the sending process is alive but its
+                # packets never reach the wire; swallow rather than raise.
+                self.stats["dropped_paused"] += 1
+                return
             raise NodeDown(f"send from crashed node {src.node!r}")
         self.stats["sent"] += 1
         if size is None:
@@ -182,11 +244,18 @@ class Network:
         self.stats["bytes"] += size
 
         if not self.node_is_up(dst.node):
-            self.stats["dropped_down"] += 1
+            if self._nodes_up.get(dst.node) and dst.node in self._paused:
+                self.stats["dropped_paused"] += 1
+            else:
+                self.stats["dropped_down"] += 1
             return
         if not self.partitions.reachable(src.node, dst.node):
             self.stats["dropped_unreachable"] += 1
             return
+        for predicate in list(self._drop_filters.values()):
+            if predicate(src, dst, payload):
+                self.stats["dropped_filtered"] += 1
+                return
 
         local = src.node == dst.node
         model = self.loopback if local else self.lan
@@ -204,13 +273,19 @@ class Network:
             start = max(now, self._wire_free_at)
             self._wire_free_at = start + serialisation
             delay = (start - now) + model.delay(size, self._rng)
+        # Slow-node episodes: an overloaded host adds stack latency to every
+        # message it sends or receives.
+        delay += self._slowdown.get(src.node, 0.0) + self._slowdown.get(dst.node, 0.0)
 
         sent_at = now
         def deliver(_event) -> None:
             # Re-check at delivery time: the destination may have crashed or
             # become unreachable while the message was in flight.
             if not self.node_is_up(dst.node):
-                self.stats["dropped_down"] += 1
+                if self._nodes_up.get(dst.node) and dst.node in self._paused:
+                    self.stats["dropped_paused"] += 1
+                else:
+                    self.stats["dropped_down"] += 1
                 return
             endpoint = self._endpoints.get(dst)
             if endpoint is None or endpoint.closed:

@@ -84,6 +84,9 @@ class Transport:
         self.retransmit_interval = retransmit_interval
         self.epoch = next(_EPOCH_COUNTER)
         self._channels: dict[Address, ReliableChannel] = {}
+        #: dst -> epoch to use when a channel dropped by forget_peer is
+        #: recreated (see forget_peer).
+        self._reopen_epochs: dict[Address, int] = {}
         self._recv_states: dict[Address, _PeerReceiveState] = {}
         self._on_message = on_message
         self._on_raw: Callable[[Address, Any], None] | None = None
@@ -123,7 +126,8 @@ class Transport:
             raise NetworkError(f"transport at {self.address} is closed")
         channel = self._channels.get(dst)
         if channel is None:
-            channel = self._channels[dst] = ReliableChannel(dst, self.epoch)
+            epoch = self._reopen_epochs.pop(dst, self.epoch)
+            channel = self._channels[dst] = ReliableChannel(dst, epoch)
         seq = channel.next_seq
         channel.next_seq += 1
         channel.unacked[seq] = payload
@@ -137,8 +141,15 @@ class Transport:
 
     def forget_peer(self, dst: Address) -> None:
         """Drop sender state for *dst* (it was declared failed); pending
-        frames to it are abandoned rather than retransmitted forever."""
-        self._channels.pop(dst, None)
+        frames to it are abandoned rather than retransmitted forever.
+
+        If the peer turns out to be alive after all (false suspicion, healed
+        partition), later sends must open a *fresh epoch*: re-using the old
+        one would restart the sequence numbers at 0 below the peer's
+        ``next_expected``, and every frame on the reopened channel — join
+        requests included — would be discarded as a duplicate forever."""
+        if self._channels.pop(dst, None) is not None:
+            self._reopen_epochs[dst] = next(_EPOCH_COUNTER)
 
     def close(self) -> None:
         """Stop retransmitting and detach from the endpoint."""
@@ -200,7 +211,10 @@ class Transport:
             if self._closed or self.endpoint.closed:
                 return
             if not self.endpoint.network.node_is_up(self.address.node):
-                return  # our node crashed; the daemon will be torn down
+                # Down or blacked out, but not torn down (a crash closes the
+                # endpoint and is caught above): stay dormant and resume
+                # retransmitting when the node's network comes back.
+                continue
             for channel in self._channels.values():
                 for seq in sorted(channel.unacked):
                     self.stats["retransmitted"] += 1

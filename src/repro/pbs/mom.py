@@ -147,6 +147,18 @@ class PBSMom(Daemon):
             if decision != "run":
                 break
 
+        if decision == "run" and req.job_id in self.finished:
+            # The job ran to completion *while the prologue was deciding*
+            # (the jmutex RPC takes real time). Without this re-check the
+            # attempt would slip past both the already-finished guard above
+            # and the already-running guard below, and the job would really
+            # execute a second time.
+            self.stats["emulations"] += 1
+            self._reply_start(src, request_id, JobStartResp(True, "emulate", "already finished"))
+            if req.server is not None:
+                self._send_obit_to(req.server, self.finished[req.job_id])
+            return
+
         if decision == "run" and req.job_id in self.active:
             # Plain TORQUE (no jmutex): a duplicate start is an error.
             if self.prologue_hooks:

@@ -154,6 +154,39 @@ class TestLaunchMutexUnderFailure:
         assert total_runs(stack) == 1
 
 
+class TestNotifierRetry:
+    def test_jdone_survives_transient_total_partition(self, stack):
+        """Regression: the mom's jdone notifier must retry with backoff
+        when *no* head answers, not silently drop the record.
+
+        The compute loses every head link across the job's epilogue, then
+        the network heals. Pre-fix the notifier made one pass over the
+        head list and gave up, so the launch mutex stayed claimed forever;
+        post-fix a later sweep delivers the Done record and the mutex is
+        released on every head."""
+        cluster = stack.cluster
+        job_id = drive(stack, stack.client().jsub(name="epilogue", walltime=2.0))
+        settle(stack, 1.0)  # job is running; epilogue still ahead
+        assert total_runs(stack) == 1
+        for compute in cluster.computes:
+            for head in stack.head_names:
+                cluster.network.partitions.cut_link(compute.name, head)
+        settle(stack, 5.0)  # job finishes mid-blackout; first sweep times out
+        for compute in cluster.computes:
+            for head in stack.head_names:
+                cluster.network.partitions.restore_link(compute.name, head)
+        cluster.run(until=60.0)
+        for head in stack.head_names:
+            assert job_id not in stack.joshua(head).mutex  # jdone released it
+            assert stack.pbs(head).jobs.get(job_id).state is JobState.COMPLETE
+        assert total_runs(stack) == 1
+        abandoned = sum(
+            stack.mom(c.name).stats.get("jnotify_abandoned", 0)
+            for c in cluster.computes
+        )
+        assert abandoned == 0
+
+
 class TestMomBehaviourUnderHeadFailure:
     def test_fixed_mom_gives_up_on_dead_head(self, stack):
         job_id = drive(stack, stack.client().jsub(name="give-up", walltime=2.0))

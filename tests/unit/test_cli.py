@@ -34,6 +34,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure13"])
 
+    def test_chaos_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos"])
+
+    def test_chaos_run_defaults(self):
+        args = build_parser().parse_args(["chaos", "run"])
+        assert args.seed == 0 and args.heads == 3 and args.ordering == "sequencer"
+        assert args.schedule is None
+
+    def test_chaos_run_flags(self):
+        args = build_parser().parse_args(
+            ["chaos", "run", "--seed", "9", "--ordering", "token",
+             "--schedule", "scenario.json", "--duration", "12.5"]
+        )
+        assert args.seed == 9 and args.ordering == "token"
+        assert args.schedule == "scenario.json" and args.duration == 12.5
+
+    def test_chaos_soak_runs_flag(self):
+        args = build_parser().parse_args(["chaos", "soak", "--runs", "3"])
+        assert args.runs == 3 and args.chaos_command == "soak"
+
 
 class TestCommands:
     def test_figure12_output(self, capsys):
@@ -69,3 +90,18 @@ class TestCommands:
         out = capsys.readouterr().out
         for model in ("single", "active_standby", "asymmetric", "symmetric"):
             assert model in out
+
+    def test_chaos_run_from_schedule_file(self, capsys, tmp_path):
+        from repro.faults import FaultSchedule
+
+        scenario = tmp_path / "scenario.json"
+        scenario.write_text(
+            FaultSchedule().crash(4.0, "head1").restart(8.0, "head1").to_json()
+        )
+        code = main([
+            "chaos", "run", "--schedule", str(scenario),
+            "--seed", "11", "--duration", "12", "--jobs", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "zero invariant violations" in out

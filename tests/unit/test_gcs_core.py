@@ -266,3 +266,30 @@ class TestFailureDetector:
         fd2.stop()
         kernel.run(until=5.0)
         assert len(suspects) == 1
+
+    def test_detector_survives_network_blackout(self):
+        """Regression: the heartbeat loop must pause, not exit, while its
+        own node is off the network — a frozen node that thaws has to
+        resume heartbeating or every peer wrongly suspects it forever."""
+        kernel, net, fd1, fd2, suspects = self.make_pair()
+        kernel.run(until=1.0)
+        net.pause_node("n1")
+        kernel.run(until=1.2)  # loop observes the blackout
+        net.resume_node("n1")
+        kernel.run(until=1.3)
+        # Pre-fix the loop returned permanently: n1 never heartbeats again
+        # and n2 suspects it despite the node being back.
+        kernel.run(until=3.0)
+        assert not fd2.is_suspected(Address("n1", 9))
+
+    def test_blackout_rearm_forgives_own_stale_silence(self):
+        """Thawing must also reset the *local* last-heard clock: during the
+        blackout n1 heard nobody, and without the re-arm it would instantly
+        suspect every peer on wake-up."""
+        kernel, net, fd1, fd2, suspects = self.make_pair()
+        kernel.run(until=1.0)
+        net.pause_node("n1")
+        kernel.run(until=2.5)  # well past the suspect timeout
+        net.resume_node("n1")
+        kernel.run(until=2.65)  # less than suspect_timeout after thawing
+        assert not fd1.is_suspected(Address("n2", 9))

@@ -257,6 +257,40 @@ class TestFailures:
             payloads = [m.payload for m in h.delivered[name]]
             assert payloads.count("mutex") == 1
 
+    def test_batched_sequencer_consistent_across_view_churn(self):
+        """Regression companion for the stale-flusher fix at member level:
+        back-to-back view changes while the sequencer batches assignments
+        must never diverge the delivered order or drop survivors' traffic."""
+        config = GroupConfig(
+            heartbeat_interval=0.05,
+            suspect_timeout=0.16,
+            flush_timeout=0.3,
+            retransmit_interval=0.02,
+            sequencer_batch_delay=0.02,
+        )
+        h = Harness(4, config=config, seed=13)
+        h.boot()
+        h.run(until=0.5)
+        for k in range(4):
+            h.members["n2"].multicast(f"a{k}")
+        h.crash("n0")  # sequencer dies with batches possibly pending
+        h.run(until=1.0)
+        for k in range(4):
+            h.members["n3"].multicast(f"b{k}")
+        h.crash("n1")  # and its successor dies right after taking over
+        h.run(until=6.0)
+        for k in range(4):
+            h.members["n2"].multicast(f"c{k}")
+        h.run(until=10.0)
+        h.assert_total_order(["n2", "n3"])
+        for name in ("n2", "n3"):
+            payloads = [m.payload for m in h.delivered[name]]
+            # Survivors' messages all arrive, each exactly once.
+            for k in range(4):
+                assert payloads.count(f"a{k}") == 1
+                assert payloads.count(f"b{k}") == 1
+                assert payloads.count(f"c{k}") == 1
+
     def test_virtual_synchrony_same_views_same_messages(self):
         """Members sharing the same consecutive views delivered identical
         message sets between them."""

@@ -98,6 +98,34 @@ class TestSequencerEngine:
         kernel.run(until=0.05)
         assert cap.broadcasts == []  # stale batch never flushed
 
+    def test_stop_drops_pending_batch(self):
+        kernel, cap, engine = self.make(rank=1, batch_delay=0.01)
+        engine.on_data(mid(2, 0), own=False)
+        engine.stop()
+        kernel.run(until=0.05)
+        assert cap.broadcasts == []
+
+    def test_stale_flusher_cannot_race_reused_view_id(self):
+        """Regression: a flush timer spawned before stop() must not fire
+        for a later view that happens to reuse the same numeric view id.
+
+        Pre-fix the timer only compared view ids, so after stop() + a
+        same-id reinstall it flushed the *new* batch early — here at
+        t=0.012 (the leftover timer's deadline) instead of waiting for the
+        new batch's own 0.02 window."""
+        kernel, cap, engine = self.make(rank=1, batch_delay=0.02)
+        engine.on_data(mid(2, 0), own=False)  # arms a flusher due at 0.02
+        kernel.run(until=0.012)
+        engine.stop()
+        # Same view id, fresh membership epoch (e.g. a quick rejoin).
+        engine.start_view(View.make(1, [addr(1), addr(2), addr(3)]), 5)
+        engine.on_data(mid(3, 0), own=False)
+        kernel.run(until=0.025)  # old timer's deadline (0.02) passes here
+        assert cap.broadcasts == []  # new batch must still be held
+        kernel.run(until=0.04)
+        [msg] = cap.broadcasts
+        assert msg.assignments == ((5, mid(3, 0)),)
+
 
 class TestTokenRingEngine:
     def make(self, rank=2):

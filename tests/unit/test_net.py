@@ -246,6 +246,125 @@ class TestNetwork:
         assert net.stats["bytes"] > 0
 
 
+class TestFaultPrimitives:
+    """Pause/freeze, per-node slowdown, and drop filters — the network-level
+    hooks the fault injector builds on."""
+
+    def test_paused_node_counts_as_down_but_keeps_endpoints(self, kernel, net):
+        ep = net.bind("a", 1)
+        net.pause_node("a")
+        assert not net.node_is_up("a")
+        assert net.node_is_paused("a")
+        assert not ep.closed  # unlike a crash: the process survives
+        net.resume_node("a")
+        assert net.node_is_up("a")
+
+    def test_send_from_paused_node_silently_dropped(self, kernel, net):
+        src = net.bind("a", 1)
+        net.bind("b", 1)
+        net.pause_node("a")
+        src.send(Address("b", 1), "x")  # no NodeDown, unlike a crash
+        kernel.run()
+        assert net.stats["dropped_paused"] == 1
+        assert net.stats["delivered"] == 0
+
+    def test_send_to_paused_node_dropped(self, kernel, net):
+        src = net.bind("a", 1)
+        net.bind("b", 1)
+        net.pause_node("b")
+        src.send(Address("b", 1), "x")
+        kernel.run()
+        assert net.stats["dropped_paused"] == 1
+
+    def test_pause_mid_flight_drops(self, kernel, net):
+        src = net.bind("a", 1)
+        net.bind("b", 1)
+        src.send(Address("b", 1), "x")
+        net.pause_node("b")  # blackout before the delivery timer fires
+        kernel.run()
+        assert net.stats["delivered"] == 0
+        assert net.stats["dropped_paused"] == 1
+
+    def test_resume_restores_traffic(self, kernel, net):
+        src = net.bind("a", 1)
+        dst = net.bind("b", 1)
+        got = []
+        dst.on_delivery(lambda d: got.append(d.payload))
+        net.pause_node("b")
+        src.send(Address("b", 1), "lost")
+        net.resume_node("b")
+        src.send(Address("b", 1), "after")
+        kernel.run()
+        assert got == ["after"]
+
+    def test_paused_node_can_still_bind(self, kernel, net):
+        # Daemons on a blacked-out node keep running and may open fresh
+        # ephemeral ports (e.g. the mom's obit RPC loop); only the wire is cut.
+        net.pause_node("a")
+        ep = net.bind("a", 9)
+        assert not ep.closed
+
+    def test_crash_clears_pause(self, kernel, net):
+        net.pause_node("a")
+        net.set_node_up("a", False)
+        net.set_node_up("a", True)
+        assert not net.node_is_paused("a")
+        assert net.node_is_up("a")
+
+    def test_slowdown_adds_latency_both_roles(self, kernel, net):
+        def one_way(slow_node):
+            k = Kernel(seed=3)
+            lan = LinkModel(base_latency=0.001, bandwidth=1e9, jitter=0.0)
+            n = Network(k, lan=lan, shared_medium=False)
+            n.register_node("a"); n.register_node("b")
+            if slow_node:
+                n.set_node_slowdown(slow_node, 0.05)
+            src = n.bind("a", 1)
+            dst = n.bind("b", 1)
+            src.send(Address("b", 1), "x")
+            seen = []
+            def rx(kk):
+                yield dst.recv()
+                seen.append(kk.now)
+            k.spawn(rx(k))
+            k.run()
+            return seen[0]
+        base = one_way(None)
+        assert one_way("a") == pytest.approx(base + 0.05)  # slow sender
+        assert one_way("b") == pytest.approx(base + 0.05)  # slow receiver
+
+    def test_slowdown_cleared_with_zero(self, kernel, net):
+        net.set_node_slowdown("a", 0.1)
+        assert net.node_slowdown("a") == 0.1
+        net.set_node_slowdown("a", 0.0)
+        assert net.node_slowdown("a") == 0.0
+
+    def test_negative_slowdown_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.set_node_slowdown("a", -0.1)
+
+    def test_drop_filter_selective(self, kernel, net):
+        src = net.bind("a", 1)
+        dst = net.bind("b", 1)
+        got = []
+        dst.on_delivery(lambda d: got.append(d.payload))
+        token = net.add_drop_filter(
+            lambda s, d, payload: payload == "poison"
+        )
+        src.send(Address("b", 1), "poison")
+        src.send(Address("b", 1), "fine")
+        kernel.run()
+        assert got == ["fine"]
+        assert net.stats["dropped_filtered"] == 1
+        net.remove_drop_filter(token)
+        src.send(Address("b", 1), "poison")
+        kernel.run()
+        assert got == ["fine", "poison"]
+
+    def test_remove_unknown_filter_is_noop(self, net):
+        net.remove_drop_filter(12345)  # must not raise
+
+
 class TestTransport:
     def make_pair(self, kernel, loss=0.0):
         lan = LinkModel(base_latency=0.001, bandwidth=1e8, jitter=0.0, loss=loss)
@@ -314,6 +433,27 @@ class TestTransport:
         ta.forget_peer(Address("b", 1))
         kernel.run(until=0.2)
         assert ta.stats["retransmitted"] == before
+
+    def test_send_after_forget_peer_reaches_live_peer(self, kernel):
+        """Forgetting a falsely-suspected peer must not black-hole the
+        reopened channel.
+
+        Regression: forget_peer dropped the sender channel, and a later send
+        recreated it in the *same* epoch with sequence numbers restarting at
+        0 — below the live peer's next_expected — so every frame (a rejoin's
+        JoinReqs included) was suppressed as a duplicate forever."""
+        _, ta, tb = self.make_pair(kernel)
+        got = []
+        tb.on_message(lambda s, p: got.append(p))
+        for i in range(3):
+            ta.send(Address("b", 1), f"old-{i}")
+        kernel.run(until=0.1)
+        # 'a' declares 'b' failed (false suspicion — 'b' is alive and its
+        # receive state still expects seq 3 in the old epoch).
+        ta.forget_peer(Address("b", 1))
+        ta.send(Address("b", 1), "after-forget")
+        kernel.run(until=0.3)
+        assert got == ["old-0", "old-1", "old-2", "after-forget"]
 
     def test_epoch_reset_after_restart(self, kernel):
         """A restarted peer's fresh epoch must not be confused with its old

@@ -261,6 +261,50 @@ class TestMomBehaviour:
         assert response.ok is False
         assert mom.stats["rejections"] == 1
 
+    def test_job_finishing_during_prologue_is_emulated(self):
+        """Regression: a start attempt whose prologue outlives the job.
+
+        The mom checks `finished` before running the prologue and `active`
+        after it — but a slow prologue (jmutex is an RPC) spans real time.
+        A job that completes inside that window used to slip past both
+        guards and really execute a second time."""
+        cluster = Cluster(head_count=1, compute_count=1, seed=9)
+        stack = build_pbs_stack(cluster)
+        mom = stack.moms[0]
+        calls = []
+
+        def slow_second_prologue(mom_, req):
+            calls.append(req.job_id)
+            if len(calls) > 1:
+                # Long enough for the running job (walltime 0.5) to finish.
+                yield mom_.kernel.timeout(2.0)
+            else:
+                yield mom_.kernel.timeout(0.001)
+            return "run"
+
+        mom.prologue_hooks.append(slow_second_prologue)
+        client = stack.client()
+        job_id = drive(stack, client.qsub(name="short", walltime=0.5))
+        cluster.run(until=0.3)  # first attempt is through; job is running
+        from repro.pbs.wire import JobStartReq, rpc_call
+        record = mom.active[job_id]
+
+        def dup_attempt():
+            response = yield from rpc_call(
+                cluster.network, "head0", mom.address,
+                JobStartReq(job_id, record.req.spec, record.req.exec_nodes,
+                            Address("head0", 1)),
+                timeout=10.0,
+            )
+            return response
+
+        process = cluster.kernel.spawn(dup_attempt())
+        response = cluster.run(until=process)
+        assert response.ok is True
+        assert response.mode == "emulate"
+        assert mom.stats["runs"] == 1
+        assert mom.stats["emulations"] == 1
+
     def test_prologue_hook_can_emulate(self):
         cluster = Cluster(head_count=1, compute_count=1, seed=3)
 
