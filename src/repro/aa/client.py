@@ -2,18 +2,15 @@
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Generator
 
 from repro.aa.replicated import ReplRequest, ReplResult
 from repro.net.address import Address
 from repro.net.network import Network
-from repro.pbs.wire import RpcTimeout, rpc_call
+from repro.rpc import failover_call, rpc_state
 from repro.util.errors import NoActiveHeadError, ReproError
 
 __all__ = ["ReplicatedClient", "ServiceError"]
-
-_UUID = itertools.count(1)
 
 
 class ServiceError(ReproError):
@@ -51,25 +48,19 @@ class ReplicatedClient:
 
     def call(self, payload: Any) -> Generator:
         """One request; returns the backend result value."""
-        request = ReplRequest(f"req-{self.node}-{next(_UUID)}", payload)
-        last: Exception | None = None
-        for replica in self._ordered():
-            if not self.network.node_is_up(replica.node):
-                self.stats["failovers"] += 1
-                continue
-            try:
-                result: ReplResult = yield from rpc_call(
-                    self.network, self.node, replica, request,
-                    timeout=self.timeout, retries=0,
-                )
-            except RpcTimeout as exc:
-                last = exc
-                self.stats["failovers"] += 1
-                continue
-            if result.error == "joining":
-                self.stats["failovers"] += 1
-                continue
-            if result.error is not None:
-                raise ServiceError(result.error)
-            return result.value
-        raise NoActiveHeadError(f"no replica answered: {last}")
+        request = ReplRequest(
+            f"req-{self.node}-{rpc_state(self.network).next_id('aa-uuid')}",
+            payload,
+        )
+        # A replica still mid-join answers "joining": not an application
+        # error, just the wrong replica to ask — reject and fail over.
+        result: ReplResult = yield from failover_call(
+            self.network, self.node, self._ordered(), request,
+            timeout=self.timeout,
+            reject=lambda r: r.error == "joining",
+            stats=self.stats,
+            what="no replica answered",
+        )
+        if result.error is not None:
+            raise ServiceError(result.error)
+        return result.value

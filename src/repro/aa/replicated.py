@@ -24,7 +24,6 @@ directly.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator, Protocol
 
@@ -34,6 +33,7 @@ from repro.gcs.member import GroupMember
 from repro.gcs.messages import SAFE, DeliveredMessage
 from repro.gcs.view import View
 from repro.net.address import Address
+from repro.rpc import RpcDispatcher, rpc_state
 from repro.sim.resources import Store
 from repro.util.errors import JoshuaError
 
@@ -41,8 +41,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
 
 __all__ = ["BackendDriver", "ReplicatedService", "ReplRequest", "ReplResult"]
-
-_MARKER_COUNTER = itertools.count(1)
 
 
 class BackendDriver(Protocol):
@@ -146,6 +144,8 @@ class ReplicatedService(Daemon):
         self._snapshot_waiters: dict[str, object] = {}
         self._applied: set[str] = set()
         self.stats = {"requests": 0, "executed": 0, "snapshots_served": 0}
+        self.rpc = RpcDispatcher(self)
+        self.rpc.register(ReplRequest, self._handle_request)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -172,28 +172,26 @@ class ReplicatedService(Daemon):
             frame = delivery.payload
             if not isinstance(frame, tuple) or not frame:
                 continue
-            if frame[0] == "RPC" and isinstance(frame[2], ReplRequest):
-                self._handle_request(delivery.src, frame[1], frame[2])
-            elif frame[0] == "SNAP":
+            if self.rpc.handle_frame(delivery.src, frame):
+                continue
+            if frame[0] == "SNAP":
                 self._handle_snapshot(frame[1])
 
     def _reply(self, dst: Address, request_id: int, result: ReplResult) -> None:
-        if self.running and not self.endpoint.closed:
-            self.endpoint.send(dst, ("RPC-R", request_id, result))
+        self.rpc.reply(dst, request_id, result)
 
-    def _handle_request(self, src: Address, request_id: int, request: ReplRequest) -> None:
+    def _handle_request(self, src: Address, request_id: int, request: ReplRequest):
         if not self.active:
-            self._reply(src, request_id, ReplResult(request.uuid, None, "joining"))
-            return
+            return ReplResult(request.uuid, None, "joining")
         if request.uuid in self.results:
-            self._reply(src, request_id, self.results[request.uuid])
-            return
+            return self.results[request.uuid]
         self._pending.setdefault(request.uuid, []).append((src, request_id))
         if request.uuid in self._multicast_uuids:
-            return
+            return None
         self._multicast_uuids.add(request.uuid)
         self.stats["requests"] += 1
         self.group.multicast(_Cmd(request.uuid, request.payload), service=SAFE)
+        return None
 
     # -- delivery / execution ---------------------------------------------------------
 
@@ -207,9 +205,13 @@ class ReplicatedService(Daemon):
             if isinstance(payload, _Marker) and payload.uuid == self._syncing_marker:
                 self._marker_seen = True
 
+    def _next_marker_uuid(self) -> str:
+        marker_id = rpc_state(self.node.network).next_id("aa-marker")
+        return f"aa-{self.node.name}-{marker_id}"
+
     def _on_view(self, view: View) -> None:
         if self._syncing_marker is None and not self.active and self.contacts:
-            marker = _Marker(f"aa-{self.node.name}-{next(_MARKER_COUNTER)}", self.address)
+            marker = _Marker(self._next_marker_uuid(), self.address)
             self._syncing_marker = marker.uuid
             self._marker_seen = False
             self.group.multicast(marker)
@@ -276,9 +278,7 @@ class ReplicatedService(Daemon):
             yield self.kernel.any_of([waiter, deadline])
             if not waiter.triggered:
                 self._snapshot_waiters.pop(uuid, None)
-                fresh = _Marker(
-                    f"aa-{self.node.name}-{next(_MARKER_COUNTER)}", self.address
-                )
+                fresh = _Marker(self._next_marker_uuid(), self.address)
                 self._syncing_marker = fresh.uuid
                 self._marker_seen = False
                 self.group.multicast(fresh)

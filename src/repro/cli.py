@@ -225,6 +225,11 @@ def _cmd_chaos(args):
         lines.append(f"FAILED seed={r.seed} ordering={r.ordering} — replay with:")
         lines.append(f"  repro chaos run --seed {r.seed} --ordering {r.ordering}")
         lines.extend(f"  {v}" for v in r.violations)
+        if r.rpc_timeouts:
+            # Which destinations went dark, and on which request types:
+            # usually the fastest pointer from a violation to its fault.
+            lines.append(f"  rpc timeouts ({len(r.rpc_timeouts)}, most recent last):")
+            lines.extend(f"    {t.describe()}" for t in r.rpc_timeouts[-10:])
         lines.append("  schedule:")
         lines.extend("  " + line for line in r.schedule.to_json().splitlines())
     if not failed:

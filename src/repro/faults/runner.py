@@ -22,6 +22,7 @@ from repro.faults.invariants import InvariantSuite, Violation
 from repro.faults.schedule import FaultSchedule, random_schedule
 from repro.gcs.config import GroupConfig
 from repro.joshua.deploy import build_joshua_stack
+from repro.rpc import TimeoutRecord, rpc_state
 from repro.util.errors import NoActiveHeadError
 
 __all__ = ["CHAOS_GROUP", "ChaosReport", "run_chaos", "soak"]
@@ -49,6 +50,12 @@ class ChaosReport:
     jobs_submitted: int
     jobs_completed: int
     violations: list[Violation] = field(default_factory=list)
+    #: Every RPC attempt chain that exhausted its retries during the run,
+    #: with destination, request type, and attempt count (from the
+    #: simulation-wide :class:`~repro.rpc.RpcState` timeout log). Expected
+    #: while heads are down; in a *failed* run they show which dst/request
+    #: pairs went dark around the violation.
+    rpc_timeouts: list[TimeoutRecord] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -150,6 +157,7 @@ def run_chaos(
         jobs_submitted=submitted,
         jobs_completed=suite.completed_jobs(),
         violations=list(suite.violations),
+        rpc_timeouts=list(rpc_state(cluster.network).timeouts),
     )
 
 

@@ -1,0 +1,15 @@
+"""Member lifecycle states, shared by the member façade and its engines.
+
+Kept in their own module so :mod:`repro.gcs.flush` and
+:mod:`repro.gcs.recovery` (which drive the state machine) and
+:mod:`repro.gcs.member` (which owns it) can all import them without a
+cycle.
+"""
+
+IDLE = "idle"          # constructed, not yet booted or joining
+JOINING = "joining"    # join requested, waiting for a view that includes us
+NORMAL = "normal"      # in a view, full service
+FLUSHING = "flushing"  # membership change in progress, DATA transmission held
+STOPPED = "stopped"
+
+__all__ = ["IDLE", "JOINING", "NORMAL", "FLUSHING", "STOPPED"]

@@ -2,50 +2,27 @@
 
 One :class:`GroupMember` is one process's presence in the group. It owns a
 reliable transport, a failure detector, an ordering engine and a delivery
-queue, and runs the membership protocol that keeps them consistent across
-failures, joins and leaves.
+queue, and coordinates two protocol engines that keep them consistent
+across failures, joins and leaves:
 
-Protocol summary
-----------------
-**Normal operation.** ``multicast`` assigns the payload a globally unique
-``MessageId``, fans the DATA out to every view member over reliable FIFO
-channels, and the ordering engine (sequencer or token ring) broadcasts
-sequence assignments. The delivery queue releases messages to the
-application in gap-free sequence order; SAFE messages additionally wait
-until every view member has acknowledged (cumulative ``StableMsg``) holding
-everything up to them.
+* :class:`~repro.gcs.flush.FlushEngine` — the membership-change state
+  machine: trigger sets, initiator election, the
+  ``FlushReq``/``FlushOk``/``NewView`` conversation, the
+  ``(new_view_id, attempt, initiator)`` epoch order that resolves
+  competing flushes, and the stalled-flush watchdog policy.
+* :class:`~repro.gcs.recovery.RecoveryTracker` — exclusion detection and
+  rejoin: buffering of future-view traffic, the excluded-member verdict,
+  join bookkeeping, and the anti-entropy probes that merge healed
+  partitions.
 
-**Membership change (flush).** On a suspicion, join request or leave
-request, the *initiator* — the lowest-ranked unsuspected member of the
-current view — broadcasts ``FlushReq(epoch, proposed)``. Members stop
-transmitting application DATA, and answer ``FlushOk`` with everything they
-know about the current view's traffic. The initiator unions those reports
-into a *closing list*: every message known to any survivor and not yet
-delivered by all old members, ordered by the most-advanced member's sequence
-assignments (ties: deterministic message-id order). ``NewView`` carries the
-closing list (with payloads, so members missing a DATA can still deliver
-it); receivers install the new view with the closing list pre-ordered as
-sequences ``0..k-1``, which makes every closing message part of the *new*
-view's totally ordered prefix — survivors deliver exactly the same set, in
-the same order, before any new-view traffic. Undelivered messages whose
-sender survived are re-multicast by that sender in the new view (same
-message id; duplicate suppression makes this exactly-once).
-
-**Competing flushes.** Epochs ``(new_view_id, attempt, initiator)`` are
-totally ordered; members only honour the highest epoch they have seen and
-reject ``NewView`` from any lower epoch. An initiator that learns of a
-higher epoch abandons its own attempt. A member stuck mid-flush (its
-initiator died) re-evaluates initiator candidacy on a watchdog timer. This
-resolves every fail-stop schedule in which faults pause long enough for one
-flush round-trip to complete — the same stabilisation assumption Transis
-makes; adversarial timing beyond that is out of scope (and out of the
-paper's, whose failures were unplugged cables minutes apart).
-
-**Exclusion recovery.** A member that was falsely suspected (e.g. its cable
-was unplugged and re-plugged) keeps receiving traffic tagged with view ids
-above its own; after a flush-timeout of that it declares itself excluded and
-re-joins through whoever is sending that traffic (state transfer is the
-application's job, as in JOSHUA).
+The façade keeps what is *not* membership protocol: the ordered-delivery
+hot path — ``multicast`` assigns a globally unique ``MessageId`` and fans
+DATA out over reliable FIFO channels, the ordering engine broadcasts
+sequence assignments, the delivery queue releases messages in gap-free
+sequence order (SAFE messages additionally wait for cumulative
+``StableMsg`` acks from every member) — and view installation, which cuts
+every component over at once and delivers the closing list as the new
+view's totally ordered prefix.
 """
 
 from __future__ import annotations
@@ -55,6 +32,8 @@ from typing import Any, Callable, Iterable
 from repro.gcs.config import GroupConfig
 from repro.gcs.delivery import DeliveryQueue
 from repro.gcs.failure_detector import FailureDetector
+from repro.gcs.flush import FlushEngine
+from repro.gcs.lifecycle import FLUSHING, IDLE, JOINING, NORMAL, STOPPED
 from repro.gcs.messages import (
     AGREED,
     SAFE,
@@ -73,34 +52,22 @@ from repro.gcs.messages import (
     TokenMsg,
 )
 from repro.gcs.ordering import make_engine
+from repro.gcs.recovery import RecoveryTracker
 from repro.gcs.view import View
 from repro.net.address import Address
 from repro.net.network import Endpoint
 from repro.net.transport import Transport
 from repro.util.errors import GroupCommError, NotInView
 
-__all__ = ["GroupMember", "boot_static_group"]
-
-# Member lifecycle states.
-IDLE = "idle"          # constructed, not yet booted or joining
-JOINING = "joining"    # join requested, waiting for a view that includes us
-NORMAL = "normal"      # in a view, full service
-FLUSHING = "flushing"  # membership change in progress, DATA transmission held
-STOPPED = "stopped"
-
-
-class _FlushAttempt:
-    """Initiator-side bookkeeping for one flush epoch."""
-
-    def __init__(self, epoch: tuple, proposed: tuple[Address, ...], started_at: float):
-        self.epoch = epoch
-        self.proposed = proposed
-        self.replies: dict[Address, FlushOk] = {}
-        self.started_at = started_at
-
-    @property
-    def complete(self) -> bool:
-        return set(self.replies) >= set(self.proposed)
+__all__ = [
+    "GroupMember",
+    "boot_static_group",
+    "IDLE",
+    "JOINING",
+    "NORMAL",
+    "FLUSHING",
+    "STOPPED",
+]
 
 
 class GroupMember:
@@ -171,25 +138,23 @@ class GroupMember:
         self._msg_counter = 0
         #: Own multicasts not yet delivered: msg_id -> (service, payload).
         self._own_pending: dict[MessageId, tuple[str, Any]] = {}
-        self._pending_joiners: set[Address] = set()
-        self._pending_leavers: set[Address] = set()
-        #: Current-view addresses that announced a fresh incarnation (a
-        #: restarted process re-using its address); they need a view change
-        #: to be re-admitted with clean protocol state.
-        self._rejoining: set[Address] = set()
-        #: Non-responders manually suspected by a timed-out flush attempt.
-        self._extra_suspects: set[Address] = set()
-        self._max_epoch: tuple | None = None
-        self._attempt = 0
-        self._flush: _FlushAttempt | None = None
-        self._flush_entered_at = 0.0
-        #: Buffered protocol traffic for views we have not installed yet.
-        self._future: dict[int, list[tuple[Address, Any]]] = {}
-        self._future_first_seen: float | None = None
-        self._join_contacts: list[Address] = []
         self._last_stable_sent = -1
-        #: Every address we ever shared a view with (anti-entropy targets).
-        self._known_addresses: set[Address] = set()
+
+        self.flush = FlushEngine(self)
+        self.recovery = RecoveryTracker(self)
+        # Typed handler-dispatch table; ordinary traffic is view-gated,
+        # membership traffic goes straight to the flush engine.
+        self._dispatch: dict[type, Callable[[Address, Any], None]] = {
+            DataMsg: self._gated(self._handle_data),
+            OrderMsg: self._gated(self._handle_order),
+            StableMsg: self._gated(self._handle_stable),
+            TokenMsg: self._gated(self._handle_token),
+            JoinReq: self.flush.on_join_req,
+            LeaveReq: self.flush.on_leave_req,
+            FlushReq: self.flush.on_flush_req,
+            FlushOk: self.flush.on_flush_ok,
+            NewView: self.flush.on_new_view,
+        }
 
         self._watchdog = self.kernel.spawn(
             self._watchdog_loop(), name=f"gcs-watchdog@{self.address}"
@@ -220,22 +185,23 @@ class GroupMember:
         members = tuple(sorted(set(initial_members)))
         if self.address not in members:
             raise GroupCommError("boot list must include this member")
-        self._install_view(View(1, members, True), closing=())
+        self.install_view(View(1, members, True), closing=())
 
     def join(self, contacts: Iterable[Address]) -> None:
         """Ask current members to merge us into the group."""
         if self.state != IDLE:
             raise GroupCommError(f"join() in state {self.state}")
-        self._join_contacts = [c for c in contacts if c != self.address]
-        if not self._join_contacts:
+        contacts = [c for c in contacts if c != self.address]
+        if not contacts:
             raise GroupCommError("join() needs at least one contact")
         self.state = JOINING
-        self._send_join_requests()
+        self.recovery.join_contacts = contacts
+        self.recovery.send_join_requests()
 
     def leave(self) -> None:
         """Voluntarily depart. Mirrors JOSHUA semantics: a leave is handled
         as a forced failure — we announce it, then stop."""
-        if self.state in (NORMAL, FLUSHING) and self.view is not None:
+        if self.in_group and self.view is not None:
             for member in self.view.members:
                 if member != self.address:
                     self.transport.send(member, LeaveReq(self.address))
@@ -265,7 +231,7 @@ class GroupMember:
         """
         if service not in (AGREED, SAFE):
             raise GroupCommError(f"unknown service {service!r}")
-        if self.state not in (NORMAL, FLUSHING) or self.view is None:
+        if not self.can_multicast:
             raise NotInView(f"multicast in state {self.state}")
         msg_id = MessageId(self.address, self._msg_counter)
         self._msg_counter += 1
@@ -276,11 +242,16 @@ class GroupMember:
         return msg_id
 
     @property
+    def in_group(self) -> bool:
+        """Operating in a view or flushing into the next one."""
+        return self.state in (NORMAL, FLUSHING)
+
+    @property
     def can_multicast(self) -> bool:
         """Whether :meth:`multicast` would be accepted right now (the member
         is operating in a view or flushing into the next one — not idle,
         (re)joining after an exclusion, or stopped)."""
-        return self.state in (NORMAL, FLUSHING) and self.view is not None
+        return self.in_group and self.view is not None
 
     @property
     def is_primary(self) -> bool:
@@ -301,10 +272,6 @@ class GroupMember:
     def _send_data(self, msg_id: MessageId, service: str, payload: Any) -> None:
         data = DataMsg(msg_id, self.view.view_id, service, payload)
         self._bcast(data)
-
-    def _send_join_requests(self) -> None:
-        for contact in self._join_contacts:
-            self.transport.send(contact, JoinReq(self.address))
 
     def _broadcast_stable(self) -> None:
         ready = self.queue.agreed_ready_through()
@@ -352,60 +319,29 @@ class GroupMember:
         if isinstance(payload, Heartbeat):
             self.detector.handle_heartbeat(src, payload)
         elif isinstance(payload, Probe):
-            self._handle_probe(src, payload)
-
-    def _handle_probe(self, src: Address, probe: Probe) -> None:
-        """A foreign group announced itself (partition merge discovery)."""
-        if self.state != NORMAL or self.view is None:
-            return
-        if src in self.view.members or src in self._pending_joiners:
-            return
-        self._known_addresses.add(src)
-        join_them = probe.size > self.view.size or (
-            probe.size == self.view.size and probe.coordinator < self.view.coordinator
-        )
-        if join_them:
-            self.kernel.log.warning(
-                f"gcs@{self.address}",
-                f"foreign group via {src} wins merge; dissolving to rejoin",
-            )
-            self.stats["rejoins"] += 1
-            self._become_joiner([src])
+            self.recovery.handle_probe(src, payload)
 
     def _on_protocol(self, src: Address, msg: Any) -> None:
         if self.state == STOPPED:
             return
         self.detector.heard_from(src)
-        if isinstance(msg, DataMsg):
-            self._gate_by_view(src, msg, msg.view_id, self._handle_data)
-        elif isinstance(msg, OrderMsg):
-            self._gate_by_view(src, msg, msg.view_id, self._handle_order)
-        elif isinstance(msg, StableMsg):
-            self._gate_by_view(src, msg, msg.view_id, self._handle_stable)
-        elif isinstance(msg, TokenMsg):
-            self._gate_by_view(src, msg, msg.view_id, self._handle_token)
-        elif isinstance(msg, JoinReq):
-            self._handle_join_req(src, msg)
-        elif isinstance(msg, LeaveReq):
-            self._handle_leave_req(src, msg)
-        elif isinstance(msg, FlushReq):
-            self._handle_flush_req(src, msg)
-        elif isinstance(msg, FlushOk):
-            self._handle_flush_ok(src, msg)
-        elif isinstance(msg, NewView):
-            self._handle_new_view(src, msg)
-
-    def _gate_by_view(self, src: Address, msg: Any, view_id: int, handler) -> None:
-        """Route ordinary traffic by view: current -> handle, future ->
-        buffer until installed, past -> drop as stale."""
-        current = self.view.view_id if self.view is not None else -1
-        if view_id == current:
+        handler = self._dispatch.get(type(msg))
+        if handler is not None:
             handler(src, msg)
-        elif view_id > current:
-            self._future.setdefault(view_id, []).append((src, msg))
-            if self._future_first_seen is None:
-                self._future_first_seen = self.kernel.now
-        # else: stale view, drop silently
+
+    def _gated(self, handler) -> Callable[[Address, Any], None]:
+        """Wrap *handler* with view gating: current view -> handle, future
+        view -> buffer until installed, past view -> drop as stale."""
+
+        def dispatch(src: Address, msg: Any) -> None:
+            current = self.view.view_id if self.view is not None else -1
+            if msg.view_id == current:
+                handler(src, msg)
+            elif msg.view_id > current:
+                self.recovery.buffer_future(msg.view_id, src, msg)
+            # else: stale view, drop silently
+
+        return dispatch
 
     # -- ordinary traffic ------------------------------------------------
 
@@ -434,235 +370,33 @@ class GroupMember:
             if self.on_deliver is not None:
                 self.on_deliver(msg)
 
-    # -- membership triggers ------------------------------------------------
-
     def _on_suspect(self, peer: Address) -> None:
-        self._maybe_initiate_flush()
+        self.flush.on_suspect(peer)
 
-    def _handle_join_req(self, src: Address, req: JoinReq) -> None:
-        if self.state not in (NORMAL, FLUSHING) or self.view is None:
-            return
-        if req.joiner in self.view.members:
-            # A previous incarnation of this address is still in the view;
-            # its protocol state died with it. Re-admit the new incarnation
-            # through a view change.
-            self._rejoining.add(req.joiner)
-        # The join request itself is proof of life.
-        self.detector.forgive(req.joiner)
-        self._pending_joiners.add(req.joiner)
-        # Make sure the member who will actually coordinate hears about it.
-        candidate = self._initiator_candidate()
-        if candidate is not None and candidate != self.address:
-            self.transport.send(candidate, req)
-        self._maybe_initiate_flush()
+    # ------------------------------------------------------------------
+    # view installation
+    # ------------------------------------------------------------------
 
-    def _handle_leave_req(self, src: Address, req: LeaveReq) -> None:
-        if self.state not in (NORMAL, FLUSHING) or self.view is None:
-            return
-        if req.leaver in self.view.members:
-            self._pending_leavers.add(req.leaver)
-            self._maybe_initiate_flush()
-
-    def _membership_dirty(self) -> bool:
-        if self.view is None:
-            return False
-        members = set(self.view.members)
-        suspects = (self.detector.suspected | self._extra_suspects) & members
-        joiners = self._pending_joiners - members
-        rejoining = self._rejoining & members
-        leavers = self._pending_leavers & members
-        return bool(suspects or joiners or rejoining or leavers)
-
-    def _initiator_candidate(self) -> Address | None:
-        if self.view is None:
-            return None
-        bad = (
-            self.detector.suspected
-            | self._extra_suspects
-            | self._pending_leavers
-            | self._rejoining  # a fresh incarnation has no view history
-        )
-        live = [m for m in self.view.members if m not in bad]
-        return min(live) if live else None
-
-    def _maybe_initiate_flush(self) -> None:
-        if self.state not in (NORMAL, FLUSHING) or self.view is None:
-            return
-        if not self._membership_dirty():
-            return
-        if self._initiator_candidate() != self.address:
-            if self.state == NORMAL:
-                # Remember when we started waiting for someone else's flush,
-                # so the watchdog can take over if they never deliver one.
-                self.state = FLUSHING
-                self._flush_entered_at = self.kernel.now
-            return
-        self._start_flush_attempt()
-
-    def _start_flush_attempt(self) -> None:
-        self._attempt += 1
-        epoch = (self.view.view_id + 1, self._attempt, self.address)
-        bad = self.detector.suspected | self._extra_suspects | self._pending_leavers
-        proposed = (set(self.view.members) - bad - self._rejoining) | (
-            self._pending_joiners - self.detector.suspected - self._extra_suspects
-        )
-        proposed.add(self.address)
-        proposed_tuple = tuple(sorted(proposed))
-        self._flush = _FlushAttempt(epoch, proposed_tuple, self.kernel.now)
-        self.state = FLUSHING
-        self._flush_entered_at = self.kernel.now
-        self.stats["flushes_started"] += 1
-        self.kernel.log.info(
-            f"gcs@{self.address}", f"flush epoch={epoch} proposed={proposed_tuple}"
-        )
-        req = FlushReq(epoch, proposed_tuple)
-        for member in proposed_tuple:
-            if member == self.address:
-                self._handle_flush_req(self.address, req)
-            else:
-                self.transport.send(member, req)
-
-    # -- flush protocol ------------------------------------------------------
-
-    def _handle_flush_req(self, src: Address, req: FlushReq) -> None:
-        if self._max_epoch is not None and req.epoch < self._max_epoch:
-            return  # stale attempt
-        if self.view is not None and req.epoch[0] <= self.view.view_id:
-            return  # requester is behind us; it will recover via rejoin
-        coordinator = req.epoch[2]
-        if self._max_epoch is None or req.epoch > self._max_epoch:
-            self._max_epoch = req.epoch
-            if self._flush is not None and self._flush.epoch < req.epoch:
-                self._flush = None  # our attempt was superseded
-        if self.state in (NORMAL, FLUSHING):
-            self.state = FLUSHING
-            self._flush_entered_at = self.kernel.now
-        known, orderings, delivered = self.queue.flush_report()
-        my_view = self.view.view_id if self.view is not None else -1
-        ok = FlushOk(req.epoch, self.address, known, orderings, delivered, my_view)
-        if coordinator == self.address:
-            self._handle_flush_ok(self.address, ok)
-        else:
-            self.transport.send(coordinator, ok)
-
-    def _handle_flush_ok(self, src: Address, ok: FlushOk) -> None:
-        flush = self._flush
-        if flush is None or ok.epoch != flush.epoch:
-            return
-        if ok.sender not in flush.proposed:
-            return
-        if ok.view_id >= flush.epoch[0]:
-            # A responder already installed the view id we were about to
-            # create: we missed a view entirely. Abort; the exclusion
-            # recovery (future-traffic rejoin) will bring us back in sync.
-            self._flush = None
-            return
-        flush.replies[ok.sender] = ok
-        if flush.complete:
-            self._finalize_flush(flush)
-
-    def _finalize_flush(self, flush: _FlushAttempt) -> None:
-        old_members = set(self.view.members) if self.view is not None else set()
-        # Union of payloads anyone still holds.
-        known: dict[MessageId, tuple[str, Any]] = {}
-        for ok in flush.replies.values():
-            for msg_id, (service, payload) in ok.known:
-                known.setdefault(msg_id, (service, payload))
-        # Sequence assignments from the most-advanced responders (highest
-        # installed view): their order extends every other survivor's prefix.
-        best_vid = max(ok.view_id for ok in flush.replies.values())
-        orderings: dict[int, MessageId] = {}
-        for ok in flush.replies.values():
-            if ok.view_id != best_vid:
-                continue
-            for seq, msg_id in ok.orderings:
-                existing = orderings.get(seq)
-                if existing is not None and existing != msg_id:
-                    raise GroupCommError(
-                        f"flush found conflicting assignment at seq {seq}: "
-                        f"{existing} vs {msg_id}"
-                    )
-                orderings[seq] = msg_id
-        # Messages every surviving *old* member already delivered need not
-        # (must not) be redelivered; fresh joiners (view_id == -1) get state
-        # transfer at the application layer instead and are excluded from
-        # the intersection. Members lagging a view behind deliver the
-        # difference from the closing list (duplicate suppression protects
-        # the advanced members).
-        old_responders = [
-            ok for a, ok in flush.replies.items()
-            if a in old_members and ok.view_id >= 0
-        ]
-        if old_responders:
-            delivered_by_all = set.intersection(
-                *[set(ok.delivered) for ok in old_responders]
-            )
-        else:
-            delivered_by_all = set()
-        ordered_ids = [m for _s, m in sorted(orderings.items())]
-        unordered = sorted(set(known) - set(ordered_ids))
-        closing = tuple(
-            (mid, known[mid][0], known[mid][1])
-            for mid in [*ordered_ids, *unordered]
-            if mid in known and mid not in delivered_by_all
-        )
-        primary = True
-        if self.config.primary_partition and self.view is not None:
-            survivors = set(flush.proposed) & old_members
-            primary = self.view.primary and len(survivors) * 2 > len(old_members)
-        new_view = NewView(
-            flush.epoch, flush.epoch[0], flush.proposed, closing, primary
-        )
-        self.kernel.log.info(
-            f"gcs@{self.address}",
-            f"installing view {flush.epoch[0]} members={flush.proposed} "
-            f"closing={len(closing)}",
-        )
-        for member in flush.proposed:
-            if member == self.address:
-                self._handle_new_view(self.address, new_view)
-            else:
-                self.transport.send(member, new_view)
-
-    def _handle_new_view(self, src: Address, nv: NewView) -> None:
-        if self._max_epoch is not None and nv.epoch < self._max_epoch:
-            return  # superseded by a newer flush we already promised
-        if self.view is not None and nv.view_id <= self.view.view_id:
-            return
-        if self.address not in nv.members:
-            return  # shouldn't happen (coordinator only sends to members)
-        self._max_epoch = max(self._max_epoch or nv.epoch, nv.epoch)
-        view = View(nv.view_id, tuple(sorted(nv.members)), nv.primary)
-        self._install_view(view, nv.closing)
-
-    # -- view installation ------------------------------------------------------
-
-    def _install_view(self, view: View, closing: tuple) -> None:
+    def install_view(self, view: View, closing: tuple) -> None:
+        """Cut over every component to *view*, delivering its closing list
+        as the totally ordered prefix. Called by the flush engine when a
+        ``NewView`` lands (and by :meth:`boot` for the static view)."""
         departed = (
             set(self.view.members) - set(view.members) if self.view is not None else set()
         )
         for gone in departed:
             self.transport.forget_peer(gone)
         self.view = view
-        self._known_addresses |= set(view.members)
-        self._known_addresses.discard(self.address)
+        self.recovery.note_members(view)
         self.queue.start_view(view, closing)
         self.engine.start_view(view, len(closing))
         self.detector.monitor(view.members)
         for member in view.members:
             self.detector.forgive(member)
-        members = set(view.members)
-        self._extra_suspects -= members
-        self._pending_joiners -= members
-        # Any rejoin concern is resolved by this installation one way or the
-        # other; a racing rejoin will resend its JoinReq on its watchdog.
-        self._rejoining.clear()
-        self._pending_leavers &= members
-        self._flush = None
-        self._attempt = 0
+        self.flush.on_view_installed(view)
         self.state = NORMAL
         self._last_stable_sent = -1
-        self._future_first_seen = None
+        self.recovery.future_first_seen = None
         self.stats["view_changes"] += 1
         if self.on_view is not None:
             self.on_view(view)
@@ -676,12 +410,10 @@ class GroupMember:
             if msg_id not in closing_ids and not self.queue.was_delivered(msg_id):
                 self._send_data(msg_id, service, payload)
         # Replay buffered traffic for this view; drop older buffers.
-        buffered = self._future.pop(view.view_id, [])
-        self._future = {v: msgs for v, msgs in self._future.items() if v > view.view_id}
-        for src, msg in buffered:
+        for src, msg in self.recovery.collect_buffered(view.view_id):
             self._on_protocol(src, msg)
         # Residual membership work (e.g. joiners queued during the change)?
-        self._maybe_initiate_flush()
+        self.flush.maybe_initiate()
 
     # ------------------------------------------------------------------
     # watchdog
@@ -695,35 +427,17 @@ class GroupMember:
                 return
             now = self.kernel.now
             if self.state == JOINING:
-                self._send_join_requests()
+                self.recovery.send_join_requests()
             elif self.state == FLUSHING:
-                if now - self._flush_entered_at >= self.config.flush_timeout:
-                    self._flush_entered_at = now
-                    if self._flush is not None:
-                        # Our own attempt stalled: suspect the non-responders
-                        # and retry without them.
-                        missing = set(self._flush.proposed) - set(self._flush.replies)
-                        missing.discard(self.address)
-                        self._extra_suspects |= missing
-                        self._pending_joiners -= missing
-                        self._rejoining -= missing
-                        self._flush = None
-                    self._maybe_initiate_flush()
-                    # If after re-evaluation we are not the initiator and
-                    # nothing is dirty anymore, fall back to normal.
-                    if not self._membership_dirty() and self._flush is None:
-                        self.state = NORMAL
+                if now - self.flush.entered_at >= self.config.flush_timeout:
+                    self.flush.on_watchdog_timeout(now)
             elif self.state == NORMAL:
-                if self._membership_dirty():
-                    self._maybe_initiate_flush()
-                elif (
-                    self._future
-                    and self._future_first_seen is not None
-                    and now - self._future_first_seen >= self.config.flush_timeout
-                ):
-                    self._rejoin_after_exclusion()
+                if self.flush.membership_dirty():
+                    self.flush.maybe_initiate()
+                elif self.recovery.future_stale(now):
+                    self.recovery.rejoin_after_exclusion()
                 else:
-                    self._send_probes()
+                    self.recovery.send_probes()
 
     def _gc_loop(self):
         while True:
@@ -732,52 +446,6 @@ class GroupMember:
                 return
             if self.state == NORMAL:
                 self.stats["gc_released"] = self.stats.get("gc_released", 0) + self.queue.gc()
-
-    def _send_probes(self) -> None:
-        """Anti-entropy: announce our view to known-but-foreign addresses."""
-        if self.view is None:
-            return
-        foreign = self._known_addresses - set(self.view.members)
-        if not foreign:
-            return
-        probe = Probe(self.view.view_id, self.view.size, self.view.coordinator)
-        for address in foreign:
-            self.transport.send_raw(address, probe)
-
-    def _rejoin_after_exclusion(self) -> None:
-        """We keep hearing traffic from views beyond ours: the group moved
-        on without us (false suspicion). Re-enter through whoever is
-        talking."""
-        contacts = sorted({src for msgs in self._future.values() for src, _m in msgs})
-        if not contacts:
-            return
-        self.kernel.log.warning(
-            f"gcs@{self.address}", f"excluded from group; rejoining via {contacts}"
-        )
-        self.stats["rejoins"] += 1
-        self._become_joiner(contacts)
-
-    def _become_joiner(self, contacts: list[Address]) -> None:
-        """Dissolve our current membership and re-enter as a fresh joiner.
-
-        Delivered-message ids are retained (duplicate suppression must span
-        the rejoin); everything view-scoped is discarded.
-        """
-        self.state = JOINING
-        self.view = None
-        self.engine.stop()
-        self._flush = None
-        self._max_epoch = None
-        self._attempt = 0
-        self._pending_joiners.clear()
-        self._pending_leavers.clear()
-        self._rejoining.clear()
-        self._extra_suspects.clear()
-        self._future.clear()
-        self._future_first_seen = None
-        self.detector.monitor(())
-        self._join_contacts = [c for c in contacts if c != self.address]
-        self._send_join_requests()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<GroupMember {self.address} {self.state} view={self.view}>"

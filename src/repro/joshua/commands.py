@@ -15,11 +15,15 @@ invocation:
 Commands may run from any node — a head node, a compute node, or a login
 node (paper: "The JOSHUA control commands may be invoked on any of the
 active head nodes or from a separate login node").
+
+Failover rides on :func:`repro.rpc.failover_call`; command UUIDs come from
+the per-simulation allocator (:func:`repro.rpc.rpc_state`), so back-to-back
+simulations in one interpreter see identical uuid strings (which matter:
+they are on the wire and charged by size).
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import Generator
 
 from repro.joshua.wire import JDelReq, JStatReq, JSubReq
@@ -27,12 +31,11 @@ from repro.net.address import Address
 from repro.net.network import Network
 from repro.pbs.job import JobSpec
 from repro.pbs.service_times import ERA_2006, ServiceTimes
-from repro.pbs.wire import RpcTimeout, rpc_call
-from repro.util.errors import NoActiveHeadError, PBSError
+from repro.rpc import failover_call, rpc_state
+from repro.util.errors import NoActiveHeadError
 
 __all__ = ["JoshuaClient"]
 
-_UUID_COUNTER = itertools.count(1)
 _JOSHUA_PORT = 4412
 
 
@@ -60,7 +63,7 @@ class JoshuaClient:
         self.stats = {"failovers": 0}
 
     def _uuid(self, kind: str) -> str:
-        return f"{kind}-{self.node}-{next(_UUID_COUNTER)}"
+        return f"{kind}-{self.node}-{rpc_state(self.network).next_id('joshua-uuid')}"
 
     def _ordered_heads(self) -> list[str]:
         heads = list(self.heads)
@@ -71,32 +74,19 @@ class JoshuaClient:
 
     def _call(self, payload) -> Generator:
         yield self.network.kernel.timeout(self.times.client_startup)
-        last_error: Exception | None = None
-        for head in self._ordered_heads():
-            if not self.network.node_is_up(head):
-                # Models the instant connection-refused a dead node's TCP
-                # stack (or ARP failure) produces, vs. a full RPC timeout.
-                self.stats["failovers"] += 1
-                continue
-            try:
-                response = yield from rpc_call(
-                    self.network, self.node, Address(head, _JOSHUA_PORT),
-                    payload, timeout=self.timeout, retries=0,
-                )
-                return response
-            except RpcTimeout as exc:
-                last_error = exc
-                self.stats["failovers"] += 1
-                continue
-            except PBSError as exc:
-                if "joining" in str(exc):
-                    last_error = exc
-                    self.stats["failovers"] += 1
-                    continue
-                raise
-        raise NoActiveHeadError(
-            f"no active head answered {type(payload).__name__}: {last_error}"
+        # Skipping a down head models the instant connection-refused a dead
+        # node's TCP stack (or ARP failure) produces, vs. a full RPC timeout;
+        # a head answering "joining" cannot order commands yet — move on.
+        response = yield from failover_call(
+            self.network, self.node,
+            [Address(h, _JOSHUA_PORT) for h in self._ordered_heads()],
+            payload,
+            timeout=self.timeout,
+            retry_error=lambda exc: "joining" in str(exc),
+            stats=self.stats,
+            what=f"no active head answered {type(payload).__name__}",
         )
+        return response
 
     def jsub(self, spec: JobSpec | None = None, **spec_kwargs) -> Generator:
         """Submit a job to the replicated service; returns the job id."""
@@ -124,21 +114,15 @@ class JoshuaClient:
         qsig against the first live head's local PBS server, bypassing the
         group entirely.
         """
-        from repro.pbs.wire import SignalReq, rpc_call
         from repro.pbs.server import PBS_SERVER_PORT
+        from repro.pbs.wire import SignalReq
 
         yield self.network.kernel.timeout(self.times.client_startup)
-        last: Exception | None = None
-        for head in self._ordered_heads():
-            if not self.network.node_is_up(head):
-                continue
-            try:
-                response = yield from rpc_call(
-                    self.network, self.node, Address(head, PBS_SERVER_PORT),
-                    SignalReq(job_id, signal), timeout=self.timeout,
-                )
-                return response.detail
-            except RpcTimeout as exc:
-                last = exc
-                continue
-        raise NoActiveHeadError(f"no head answered qsig: {last}")
+        response = yield from failover_call(
+            self.network, self.node,
+            [Address(h, PBS_SERVER_PORT) for h in self._ordered_heads()],
+            SignalReq(job_id, signal),
+            timeout=self.timeout,
+            what="no head answered qsig",
+        )
+        return response.detail

@@ -1,0 +1,132 @@
+"""Serial command execution and the delivered-once output cache.
+
+Extracted from :class:`~repro.joshua.server.JoshuaServer`: the replication
+hot path of paper §4. Client commands are deduplicated by UUID (across
+client retries *and* head failovers), multicast through the GCS with SAFE
+service, and applied to the **local** TORQUE server by a strictly serial
+executor — identical command order + deterministic server/scheduler =
+identical replica state. The head that took the client connection replays
+its cached local output back, exactly once.
+
+The executor also drains two non-command work items that must serialise
+with the command stream: launch-mutex revocations (delegated to
+:class:`~repro.joshua.mutex.MutexArbiter`) and state-transfer markers
+(delegated to the server's marker path, see :mod:`repro.joshua.xfer`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.gcs.messages import SAFE
+from repro.joshua.wire import Command, JDelReq, JSubReq, XferMarker
+from repro.net.address import Address
+from repro.pbs.wire import DeleteReq, ErrorResp, StatReq, SubmitReq, rpc_call
+from repro.sim.resources import Store
+from repro.util.errors import PBSError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.joshua.server import JoshuaServer
+
+__all__ = ["SerialExecutor"]
+
+
+class SerialExecutor:
+    """Command intake, dedup cache and serial executor for one server."""
+
+    def __init__(self, server: "JoshuaServer"):
+        self.s = server
+        self.queue: Store = Store(server.kernel)
+        #: uuid -> cached local result (output dedup across retries).
+        self.results: dict[str, object] = {}
+        #: uuid -> [(client src, rpc id)] awaiting the result.
+        self._pending_replies: dict[str, list[tuple[Address, int]]] = {}
+        #: uuids this server has multicast (avoid re-multicast on retry).
+        self._multicast_uuids: set[str] = set()
+        #: Replicated command log (delivered order) — used by tests and by
+        #: replay-mode diagnostics; state transfer itself snapshots the
+        #: local queue rather than replaying from time zero.
+        self.command_log: list[Command] = []
+
+    # -- client command intake ----------------------------------------------
+
+    def submit(self, src: Address, request_id: int, payload):
+        """Dedup an incoming ``jsub``/``jdel``/``jstat`` and multicast it."""
+        s = self.s
+        if not s.active or not s.group.can_multicast:
+            # Inactive (state transfer in progress) or mid-(re)join after an
+            # exclusion: either way we cannot order the command — send the
+            # client to another head instead of crashing on the multicast.
+            return ErrorResp("joining", "head is joining; retry another")
+        uuid = payload.uuid
+        if uuid in self.results:
+            return self.results[uuid]
+        self._pending_replies.setdefault(uuid, []).append((src, request_id))
+        if uuid in self._multicast_uuids:
+            return None  # already in flight; the delivery will answer
+        self._multicast_uuids.add(uuid)
+        if isinstance(payload, JSubReq):
+            command = Command(uuid, "jsub", payload.spec)
+        elif isinstance(payload, JDelReq):
+            command = Command(uuid, "jdel", payload.job_id)
+        else:
+            command = Command(uuid, "jstat", payload.job_id)
+        s.stats["commands"] += 1
+        s.group.multicast(command, service=SAFE)
+        return None
+
+    # -- serial executor ------------------------------------------------------
+
+    def loop(self):
+        s = self.s
+        while True:
+            item = yield self.queue.get()
+            if isinstance(item, tuple) and item and item[0] == "revoke":
+                yield from s.arbiter.execute_revoke(item[1])
+                continue
+            payload = item.payload
+            if isinstance(payload, XferMarker):
+                yield from s._execute_marker(payload)
+            elif isinstance(payload, Command):
+                if not s.active and s.xfer.syncing_marker is not None:
+                    # Commands queued between an abandoned marker and its
+                    # replacement are covered by the fresh capture.
+                    continue
+                yield from self.execute_command(payload)
+
+    def local_rpc(self, payload, *, timeout: float = 3.0, retries: int = 2):
+        s = self.s
+        response = yield from rpc_call(
+            s.node.network, s.node.name, s.local_pbs, payload,
+            timeout=timeout, retries=retries,
+        )
+        return response
+
+    def execute_command(self, command: Command):
+        if command.uuid in self.results:
+            self.answer(command.uuid)
+            return
+        self.command_log.append(command)
+        try:
+            if command.kind == "jsub":
+                response = yield from self.local_rpc(SubmitReq(command.payload))
+                result = response
+            elif command.kind == "jdel":
+                response = yield from self.local_rpc(DeleteReq(command.payload))
+                result = response
+            elif command.kind == "jstat":
+                response = yield from self.local_rpc(StatReq(command.payload))
+                result = response
+            else:  # pragma: no cover - protocol guard
+                result = ErrorResp("bad-command", command.kind)
+        except PBSError as exc:
+            result = ErrorResp("pbs-error", str(exc))
+        self.results[command.uuid] = result
+        self.s.stats["executed"] += 1
+        yield self.s.kernel.timeout(self.s.times.cmd_reply)
+        self.answer(command.uuid)
+
+    def answer(self, uuid: str) -> None:
+        result = self.results.get(uuid)
+        for src, request_id in self._pending_replies.pop(uuid, []):
+            self.s._reply(src, request_id, result)

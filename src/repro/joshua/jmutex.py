@@ -34,8 +34,9 @@ from __future__ import annotations
 from repro.joshua.wire import JDoneReq, JMutexReq, JStartedReq
 from repro.net.address import Address
 from repro.pbs.mom import PBSMom
-from repro.pbs.wire import JobStartReq, JobObit, RpcTimeout, rpc_call
-from repro.util.errors import PBSError
+from repro.pbs.wire import JobStartReq, JobObit
+from repro.rpc import RpcTimeout, call as rpc_call, failover_call
+from repro.util.errors import NoActiveHeadError, PBSError
 
 __all__ = ["install_jmutex"]
 
@@ -89,19 +90,26 @@ def install_jmutex(
         def notifier():
             delay = notify_backoff
             for sweep in range(notify_passes):
-                for head in sorted({s.node for s in mom.servers}):
-                    try:
-                        response = yield from rpc_call(
-                            mom.node.network, mom.node.name,
-                            Address(head, _JOSHUA_PORT), request, timeout=timeout,
-                        )
-                        # Only a real acceptance counts: a (re)joining head
-                        # answers with an error instead of recording the
-                        # event, and the sweep must move on.
-                        if getattr(response, "decision", None) == "ok":
-                            return
-                    except (RpcTimeout, PBSError):
-                        continue
+                try:
+                    # One acceptance pass over the head list. Down heads are
+                    # still attempted (skip_down=False): the mom has no
+                    # liveness oracle for heads, only the RPC timeout. Only a
+                    # real acceptance counts — a (re)joining head answers
+                    # with an error instead of recording the event, and the
+                    # sweep must move on.
+                    yield from failover_call(
+                        mom.node.network, mom.node.name,
+                        [Address(head, _JOSHUA_PORT)
+                         for head in sorted({s.node for s in mom.servers})],
+                        request,
+                        timeout=timeout,
+                        skip_down=False,
+                        retry_error=lambda exc: True,
+                        reject=lambda r: getattr(r, "decision", None) != "ok",
+                    )
+                    return
+                except NoActiveHeadError:
+                    pass
                 if sweep + 1 < notify_passes:
                     yield mom.kernel.timeout(delay)
                     delay = min(delay * 2, notify_backoff_cap)

@@ -6,44 +6,35 @@ system with SAFE service (totally ordered *and* stable — the delivered-once
 output guarantee rides on stability), and a strictly serial executor applies
 delivered commands to the **local** TORQUE server through the ordinary PBS
 wire protocol. Identical command order + deterministic server/scheduler =
-identical replica state; the head that took the client connection relays
-its local output back — exactly once, because commands are deduplicated by
-UUID across client retries and head failovers.
+identical replica state.
 
-Launch mutual exclusion (``jmutex``/``jdone``): every head's scheduler
-independently dispatches each job, so the mom receives one start attempt
-per head. Each attempt's prologue asks its head's joshua server, which
-multicasts a SAFE :class:`~repro.joshua.wire.Claim`; the first claim in the
-total order wins and only that head's attempt replies ``"run"`` — the rest
-emulate. ``jdone`` (from the mom's epilogue) releases the mutex. If a
-winner head dies *before* its launch actually happened, every surviving
-server notices at the next view change (claim present, no
-:class:`~repro.joshua.wire.Started`, winner not in view) and issues a local
-``qrerun``, so the job is re-dispatched and re-arbitrated rather than
-stranded in an emulated RUNNING state.
+The daemon is a façade over three protocol engines plus the shared RPC
+dispatch substrate:
 
-Join protocol: a joining server enters the group, multicasts an
-:class:`~repro.joshua.wire.XferMarker` to pin a cut in the command stream,
-discards deliveries ordered before its own marker, and asks the *sponsor*
-(lowest-ranked other member) for the state as of the marker. The sponsor
-captures its local queue exactly when its serial executor reaches the
-marker, so joiner state + post-marker commands ≡ sponsor state. Two
-transfer modes: ``"replay"`` re-submits live jobs through the PBS interface
-(the prototype's approach; held jobs cannot be transferred — reproduced
-limitation), ``"snapshot"`` bulk-loads job records (the future-work mode).
+* :class:`~repro.joshua.executor.SerialExecutor` — command dedup by UUID,
+  SAFE multicast, the serial executor, the delivered-once output cache;
+* :class:`~repro.joshua.mutex.MutexArbiter` — launch mutual exclusion
+  (``jmutex``/``jdone``) claim arbitration and orphan-winner rerun;
+* :class:`~repro.joshua.xfer.StateTransfer` — join/resync marker pinning,
+  state capture at the marker cut, and the replay/snapshot transfer modes.
+
+The façade owns what crosses all of them: the GCS membership (delivery and
+view callbacks fan out to the engines in a fixed order), the typed RPC
+dispatcher, and the post-view-change mom announcements.
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING
 
 from repro.cluster.daemon import Daemon
 from repro.gcs.config import GroupConfig
 from repro.gcs.member import GroupMember
-from repro.gcs.messages import SAFE, DeliveredMessage
+from repro.gcs.messages import DeliveredMessage
 from repro.gcs.view import View
 from repro.joshua.config import ERA_2006_JOSHUA, JOSHUA_GROUP_CONFIG, JoshuaTimes
+from repro.joshua.executor import SerialExecutor
+from repro.joshua.mutex import MutexArbiter, _MutexEntry  # noqa: F401 (re-export)
 from repro.joshua.wire import (
     Claim,
     Command,
@@ -57,26 +48,14 @@ from repro.joshua.wire import (
     JSubReq,
     Started,
     StateXferReq,
-    StateXferResp,
     XferMarker,
 )
+from repro.joshua.xfer import StateTransfer
 from repro.net.address import Address
-from repro.pbs.job import JobSpec
 from repro.pbs.server import PBS_SERVER_PORT
-from repro.pbs.wire import (
-    DeleteReq,
-    ErrorResp,
-    LoadStateReq,
-    PurgeReq,
-    RerunReq,
-    RpcTimeout,
-    StatReq,
-    SubmitReq,
-    rpc_call,
-)
-from repro.pbs.job import Job, JobState
-from repro.sim.resources import Store
-from repro.util.errors import JoshuaError, PBSError
+from repro.pbs.wire import ErrorResp
+from repro.rpc import RpcDispatcher
+from repro.util.errors import JoshuaError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
@@ -85,16 +64,6 @@ __all__ = ["JoshuaServer", "JOSHUA_PORT", "JOSHUA_GCS_PORT"]
 
 JOSHUA_PORT = 4412
 JOSHUA_GCS_PORT = 4413
-
-_MARKER_COUNTER = itertools.count(1)
-
-
-class _MutexEntry:
-    __slots__ = ("winner", "started")
-
-    def __init__(self, winner: str, started: bool = False):
-        self.winner = winner
-        self.started = started
 
 
 class JoshuaServer(Daemon):
@@ -149,44 +118,36 @@ class JoshuaServer(Daemon):
 
         #: Fully in service (joined + state transferred).
         self.active = False
-        #: While syncing: drop deliveries ordered before our own marker.
-        self._syncing_marker: str | None = None
-        self._marker_seen = False
-        self._xfer_responses: dict[str, StateXferResp] = {}
-        self._xfer_waiters: dict[str, object] = {}
-        self._applied_markers: set[str] = set()
-        self._seen_rejoins = 0
-        #: Set when a partition re-merge demotes us: an *established* member
-        #: (no contacts) that must nevertheless pin a transfer marker.
-        self._needs_resync = False
-
-        #: uuid -> cached local result (output dedup across retries).
-        self.results: dict[str, object] = {}
-        #: uuid -> [(client src, rpc id)] awaiting the result.
-        self._pending_replies: dict[str, list[tuple[Address, int]]] = {}
-        #: uuids this server has multicast (avoid re-multicast on retry).
-        self._multicast_uuids: set[str] = set()
-
-        #: Launch mutual exclusion state: job_id -> entry.
-        self.mutex: dict[str, _MutexEntry] = {}
-        self._claimed: set[str] = set()  # job_ids we have claimed ourselves
-        self._mutex_waiters: dict[str, list[tuple[Address, int]]] = {}
-
-        #: Replicated command log (delivered order) — used by tests and by
-        #: replay-mode diagnostics; state transfer itself snapshots the
-        #: local queue rather than replaying from time zero.
-        self.command_log: list[Command] = []
-
-        self._executor_queue: Store = Store(self.kernel)
         self.stats = {"commands": 0, "executed": 0, "claims": 0, "revocations": 0,
                       "state_transfers_served": 0}
+        self.executor = SerialExecutor(self)
+        self.arbiter = MutexArbiter(self)
+        self.xfer = StateTransfer(self)
+        self.rpc = self._build_dispatcher()
+
+    # -- component state, exposed under the historical names ------------------
+
+    @property
+    def results(self) -> dict[str, object]:
+        """uuid -> cached local result (output dedup across retries)."""
+        return self.executor.results
+
+    @property
+    def command_log(self) -> list[Command]:
+        """Replicated command log in delivered order."""
+        return self.executor.command_log
+
+    @property
+    def mutex(self) -> dict[str, _MutexEntry]:
+        """Launch mutual exclusion state: job_id -> entry."""
+        return self.arbiter.entries
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
 
     def on_start(self) -> None:
-        self.spawn(self._executor(), name=f"{self.tag}-executor")
+        self.spawn(self.executor.loop(), name=f"{self.tag}-executor")
         if self.initial_heads:
             self.group.boot(
                 [Address(h, JOSHUA_GCS_PORT) for h in self.initial_heads]
@@ -218,97 +179,54 @@ class JoshuaServer(Daemon):
             frame = delivery.payload
             if not isinstance(frame, tuple) or not frame:
                 continue
-            if frame[0] == "RPC":
-                _tag, request_id, payload = frame
-                self.spawn(
-                    self._handle_rpc(delivery.src, request_id, payload),
-                    name=f"{self.tag}-rpc{request_id}",
-                )
-            elif frame[0] == "XFER":
-                self._handle_xfer_response(frame[1])
+            if self.rpc.handle_frame(delivery.src, frame):
+                continue
+            if frame[0] == "XFER":
+                self.xfer.handle_response(frame[1])
+
+    def _build_dispatcher(self) -> RpcDispatcher:
+        """Typed request routing with the calibrated receive delays."""
+        t = self.times
+
+        def fallback(src, request_id, payload):
+            return ErrorResp("bad-request", str(type(payload)))
+
+        rpc = RpcDispatcher(self, fallback=fallback)
+        rpc.register((JSubReq, JDelReq, JStatReq), self._handle_command,
+                     delay=t.cmd_receive)
+        rpc.register(JMutexReq, self._handle_jmutex, delay=t.mutex_process)
+        rpc.register(JStartedReq, self._handle_started, delay=t.mutex_process)
+        rpc.register(JDoneReq, self._handle_done, delay=t.mutex_process)
+        rpc.register(StateXferReq, self._handle_xfer_req, delay=t.cmd_receive)
+        return rpc
 
     def _reply(self, dst: Address, request_id: int, response) -> None:
-        if self.running and not self.endpoint.closed:
-            self.endpoint.send(dst, ("RPC-R", request_id, response))
+        self.rpc.reply(dst, request_id, response)
 
-    def _handle_rpc(self, src: Address, request_id: int, payload):
-        if isinstance(payload, (JSubReq, JDelReq, JStatReq)):
-            yield self.kernel.timeout(self.times.cmd_receive)
-            self._handle_command(src, request_id, payload)
-        elif isinstance(payload, JMutexReq):
-            yield self.kernel.timeout(self.times.mutex_process)
-            self._handle_jmutex(src, request_id, payload)
-        elif isinstance(payload, JStartedReq):
-            yield self.kernel.timeout(self.times.mutex_process)
-            if self.active and self.group.can_multicast:
-                self.group.multicast(Started(payload.job_id))
-                self._reply(src, request_id, JMutexResp("ok"))
-            else:
-                # Refuse rather than ack-and-drop: the mom's notifier must
-                # move on to a head that can actually record the event.
-                self._reply(src, request_id, ErrorResp("joining", "not in view"))
-        elif isinstance(payload, JDoneReq):
-            yield self.kernel.timeout(self.times.mutex_process)
-            if self.active and self.group.can_multicast:
-                self.group.multicast(Done(payload.job_id))
-                self._reply(src, request_id, JMutexResp("ok"))
-            else:
-                self._reply(src, request_id, ErrorResp("joining", "not in view"))
-        elif isinstance(payload, StateXferReq):
-            yield self.kernel.timeout(self.times.cmd_receive)
-            # Served from the executor when it reaches the marker; a direct
-            # request here means the joiner retried — re-serve if captured.
-            self._reply(src, request_id, ErrorResp("retry", "marker not reached"))
-        else:
-            self._reply(src, request_id, ErrorResp("bad-request", str(type(payload))))
-
-    def _handle_command(self, src: Address, request_id: int, payload) -> None:
-        if not self.active or not self.group.can_multicast:
-            # Inactive (state transfer in progress) or mid-(re)join after an
-            # exclusion: either way we cannot order the command — send the
-            # client to another head instead of crashing on the multicast.
-            self._reply(src, request_id, ErrorResp("joining", "head is joining; retry another"))
-            return
-        uuid = payload.uuid
-        if uuid in self.results:
-            self._reply(src, request_id, self.results[uuid])
-            return
-        self._pending_replies.setdefault(uuid, []).append((src, request_id))
-        if uuid in self._multicast_uuids:
-            return  # already in flight; the delivery will answer
-        self._multicast_uuids.add(uuid)
-        if isinstance(payload, JSubReq):
-            command = Command(uuid, "jsub", payload.spec)
-        elif isinstance(payload, JDelReq):
-            command = Command(uuid, "jdel", payload.job_id)
-        else:
-            command = Command(uuid, "jstat", payload.job_id)
-        self.stats["commands"] += 1
-        self.group.multicast(command, service=SAFE)
-
-    # ------------------------------------------------------------------
-    # jmutex
-    # ------------------------------------------------------------------
+    def _handle_command(self, src: Address, request_id: int, payload):
+        return self.executor.submit(src, request_id, payload)
 
     def _handle_jmutex(self, src: Address, request_id: int, req: JMutexReq) -> None:
-        entry = self.mutex.get(req.job_id)
-        if entry is not None:
-            decision = "run" if entry.winner == req.head else "emulate"
-            self._reply(src, request_id, JMutexResp(decision, entry.winner))
-            return
-        self._mutex_waiters.setdefault(req.job_id, []).append((src, request_id))
-        if req.job_id not in self._claimed and self.group.can_multicast:
-            self._claimed.add(req.job_id)
-            self.stats["claims"] += 1
-            self.group.multicast(Claim(req.job_id, self.head_name), service=SAFE)
+        self.arbiter.handle_jmutex(src, request_id, req)
 
-    def _flush_mutex_waiters(self, job_id: str) -> None:
-        entry = self.mutex.get(job_id)
-        if entry is None:
-            return
-        for src, request_id in self._mutex_waiters.pop(job_id, []):
-            decision = "run" if entry.winner == self.head_name else "emulate"
-            self._reply(src, request_id, JMutexResp(decision, entry.winner))
+    def _handle_started(self, src: Address, request_id: int, payload: JStartedReq):
+        if self.active and self.group.can_multicast:
+            self.group.multicast(Started(payload.job_id))
+            return JMutexResp("ok")
+        # Refuse rather than ack-and-drop: the mom's notifier must
+        # move on to a head that can actually record the event.
+        return ErrorResp("joining", "not in view")
+
+    def _handle_done(self, src: Address, request_id: int, payload: JDoneReq):
+        if self.active and self.group.can_multicast:
+            self.group.multicast(Done(payload.job_id))
+            return JMutexResp("ok")
+        return ErrorResp("joining", "not in view")
+
+    def _handle_xfer_req(self, src: Address, request_id: int, payload: StateXferReq):
+        # Served from the executor when it reaches the marker; a direct
+        # request here means the joiner retried — re-serve if captured.
+        return ErrorResp("retry", "marker not reached")
 
     # ------------------------------------------------------------------
     # group delivery
@@ -316,70 +234,21 @@ class JoshuaServer(Daemon):
 
     def _on_deliver(self, msg: DeliveredMessage) -> None:
         payload = msg.payload
-        if self._syncing_marker is not None and not self._marker_seen:
-            # Everything ordered before our own marker is covered by the
-            # state transfer; drop it.
-            if not (
-                isinstance(payload, XferMarker)
-                and payload.marker_uuid == self._syncing_marker
-            ):
-                return
+        if self.xfer.should_drop(payload):
+            return
         if isinstance(payload, (Command, XferMarker)):
-            self._executor_queue.put_nowait(msg)
-            if isinstance(payload, XferMarker) and payload.marker_uuid == self._syncing_marker:
-                self._marker_seen = True
+            self.executor.queue.put_nowait(msg)
+            self.xfer.note_enqueued(payload)
         elif isinstance(payload, Claim):
-            if payload.job_id not in self.mutex:
-                self.mutex[payload.job_id] = _MutexEntry(payload.head)
-            self._flush_mutex_waiters(payload.job_id)
+            self.arbiter.on_claim(payload)
         elif isinstance(payload, Started):
-            entry = self.mutex.get(payload.job_id)
-            if entry is not None:
-                entry.started = True
+            self.arbiter.on_started(payload)
         elif isinstance(payload, Done):
-            self.mutex.pop(payload.job_id, None)
-            self._claimed.discard(payload.job_id)
+            self.arbiter.on_done(payload)
 
     def _on_view(self, view: View) -> None:
-        rejoins = self.group.stats.get("rejoins", 0)
-        if rejoins > self._seen_rejoins:
-            self._seen_rejoins = rejoins
-            if self.active and view.size > 1:
-                # Our GCS member lost a partition merge and dissolved into
-                # the surviving component (e.g. after a NIC blackout). Our
-                # replica may have missed commands — or executed client
-                # retries the majority already answered under different job
-                # ids. The survivors are authoritative: demote and resync.
-                self.log.warning(
-                    self.tag, "re-merged from losing partition side; resyncing"
-                )
-                self.active = False
-                self._syncing_marker = None
-                self._needs_resync = True
-        if self._syncing_marker is None and not self.active and (
-            self.contacts or self._needs_resync
-        ) and self.group.can_multicast:
-            # First view containing us after a join: pin the transfer cut.
-            marker = XferMarker(
-                f"xfer-{self.node.name}-{next(_MARKER_COUNTER)}",
-                self.address,
-            )
-            self._syncing_marker = marker.marker_uuid
-            self._marker_seen = False
-            self.group.multicast(marker)
-        # Launch-mutex revocation: claims whose winner left the view without
-        # the job having started will never launch; requeue deterministically.
-        member_nodes = {m.node for m in view.members}
-        doomed = sorted(
-            job_id
-            for job_id, entry in self.mutex.items()
-            if entry.winner not in member_nodes and not entry.started
-        )
-        for job_id in doomed:
-            self.mutex.pop(job_id, None)
-            self._claimed.discard(job_id)
-            self.stats["revocations"] += 1
-            self._executor_queue.put_nowait(("revoke", job_id))
+        self.xfer.on_view(view)
+        self.arbiter.revoke_for_view(view)
         # Tell every mom the current server set, so obituaries (and future
         # start attempts) reach exactly the live heads.
         if view.members and view.coordinator == self.group.address:
@@ -389,70 +258,7 @@ class JoshuaServer(Daemon):
                     self.endpoint.send(mom, ("ADMIN-SERVERS", servers))
 
     # ------------------------------------------------------------------
-    # serial executor
-    # ------------------------------------------------------------------
-
-    def _executor(self):
-        while True:
-            item = yield self._executor_queue.get()
-            if isinstance(item, tuple) and item and item[0] == "revoke":
-                yield from self._execute_revoke(item[1])
-                continue
-            payload = item.payload
-            if isinstance(payload, XferMarker):
-                yield from self._execute_marker(payload)
-            elif isinstance(payload, Command):
-                if not self.active and self._syncing_marker is not None:
-                    # Commands queued between an abandoned marker and its
-                    # replacement are covered by the fresh capture.
-                    continue
-                yield from self._execute_command(payload)
-
-    def _local_rpc(self, payload, *, timeout: float = 3.0, retries: int = 2):
-        response = yield from rpc_call(
-            self.node.network, self.node.name, self.local_pbs, payload,
-            timeout=timeout, retries=retries,
-        )
-        return response
-
-    def _execute_command(self, command: Command):
-        if command.uuid in self.results:
-            self._answer(command.uuid)
-            return
-        self.command_log.append(command)
-        try:
-            if command.kind == "jsub":
-                response = yield from self._local_rpc(SubmitReq(command.payload))
-                result = response
-            elif command.kind == "jdel":
-                response = yield from self._local_rpc(DeleteReq(command.payload))
-                result = response
-            elif command.kind == "jstat":
-                response = yield from self._local_rpc(StatReq(command.payload))
-                result = response
-            else:  # pragma: no cover - protocol guard
-                result = ErrorResp("bad-command", command.kind)
-        except PBSError as exc:
-            result = ErrorResp("pbs-error", str(exc))
-        self.results[command.uuid] = result
-        self.stats["executed"] += 1
-        yield self.kernel.timeout(self.times.cmd_reply)
-        self._answer(command.uuid)
-
-    def _answer(self, uuid: str) -> None:
-        result = self.results.get(uuid)
-        for src, request_id in self._pending_replies.pop(uuid, []):
-            self._reply(src, request_id, result)
-
-    def _execute_revoke(self, job_id: str):
-        try:
-            yield from self._local_rpc(RerunReq(job_id), retries=1)
-            self.log.warning(self.tag, f"requeued {job_id}: launch winner died pre-start")
-        except PBSError:
-            pass  # job not running locally (already finished or unknown)
-
-    # ------------------------------------------------------------------
-    # state transfer
+    # state transfer (kept as thin methods so tests can hook/override)
     # ------------------------------------------------------------------
 
     def _execute_marker(self, marker: XferMarker):
@@ -462,146 +268,14 @@ class JoshuaServer(Daemon):
             yield from self._serve_state(marker)
 
     def _serve_state(self, marker: XferMarker):
-        # Preferred sponsor = lowest-ranked *active* member other than the
-        # joiner; but every active member serves (replicas are identical at
-        # the marker cut, so the captures are too, and the joiner dedups).
-        # A single designated sponsor can deadlock: two heads resyncing at
-        # once would each elect the other — inactive and unable to serve.
-        view = self.group.view
-        if view is None or not self.active:
-            return
-        # marker.joiner is the joiner's *joshua* endpoint; members are GCS
-        # endpoints — compare by node.
-        others = [m for m in view.members if m.node != marker.joiner.node]
-        if not others:
-            return
-        response = yield from self._capture_state(marker)
-        self.stats["state_transfers_served"] += 1
-        if not self.endpoint.closed:
-            self.endpoint.send(marker.joiner, ("XFER", response))
-
-    def _capture_state(self, marker: XferMarker):
-        stat = yield from self._local_rpc(StatReq(None))
-        rows = list(stat.rows)
-        next_seq = 1 + max((int(r["job_id"].split(".")[0]) for r in rows), default=0)
-        live = [r for r in rows if r["state"] in ("Q", "R", "E", "H", "W")]
-        skipped: list[str] = []
-        items: list = []
-        if self.state_transfer == "replay":
-            for row in live:
-                if row["state"] == "H":
-                    # The paper's documented limitation: command replay
-                    # cannot reconstruct held jobs consistently.
-                    skipped.append(row["job_id"])
-                    continue
-                items.append(("submit", self._spec_from_row(row), row["job_id"]))
-        else:
-            for row in live:
-                items.append(self._job_from_row(row))
-        mutex = tuple(
-            (job_id, entry.winner, entry.started)
-            for job_id, entry in sorted(self.mutex.items())
-        )
-        return StateXferResp(
-            marker.marker_uuid,
-            self.state_transfer,
-            tuple(items),
-            next_seq,
-            mutex,
-            tuple(skipped),
-            tuple(sorted(self.results.items())),
-        )
-
-    @staticmethod
-    def _spec_from_row(row: dict) -> JobSpec:
-        return JobSpec(
-            name=row["name"],
-            owner=row["owner"],
-            nodes=row["nodes"],
-            walltime=row["walltime"],
-            queue=row["queue"],
-        )
-
-    def _job_from_row(self, row: dict) -> Job:
-        state = JobState(row["state"])
-        job = Job(
-            row["job_id"],
-            self._spec_from_row(row),
-            submit_time=self.kernel.now,
-            comment="state transfer",
-        )
-        if state in (JobState.RUNNING, JobState.EXITING):
-            job = job.transition(
-                JobState.RUNNING,
-                start_time=self.kernel.now,
-                exec_nodes=tuple(row["exec_nodes"]),
-                run_count=1,
-            )
-        elif state is JobState.HELD:
-            job = job.transition(JobState.HELD)
-        elif state is JobState.WAITING:
-            job = job.transition(JobState.WAITING)
-        return job
-
-    def _handle_xfer_response(self, response: StateXferResp) -> None:
-        self._xfer_responses[response.marker_uuid] = response
-        waiter = self._xfer_waiters.pop(response.marker_uuid, None)
-        if waiter is not None and not waiter.triggered:
-            waiter.succeed(response)
+        yield from self.xfer.serve_state(marker)
 
     def _receive_state(self, marker: XferMarker):
-        uuid = marker.marker_uuid
-        if uuid in self._applied_markers or uuid != self._syncing_marker:
-            return  # stale marker; we moved on to a fresh cut
-        if uuid not in self._xfer_responses:
-            waiter = self.kernel.event()
-            self._xfer_waiters[uuid] = waiter
-            deadline = self.kernel.timeout(self.group.config.flush_timeout * 4)
-            yield self.kernel.any_of([waiter, deadline])
-            if not waiter.triggered:
-                # Sponsor silent (likely died mid-capture): pin a fresh cut.
-                self._xfer_waiters.pop(uuid, None)
-                if not self.group.can_multicast:
-                    # The group itself is mid-(re)join; a marker cannot be
-                    # ordered right now. Drop the stale cut — the view that
-                    # ends the join re-enters _on_view, which pins a new one.
-                    self._syncing_marker = None
-                    return
-                fresh = XferMarker(
-                    f"xfer-{self.node.name}-{next(_MARKER_COUNTER)}", self.address
-                )
-                self._syncing_marker = fresh.marker_uuid
-                self._marker_seen = False
-                self.group.multicast(fresh)
-                return  # the fresh marker's delivery re-enters here
-        response = self._xfer_responses[uuid]
-        self._applied_markers.add(uuid)
-        # Discard any stale local state (a rejoining head recovered its old
-        # queue from disk; the transferred state supersedes it).
-        yield from self._local_rpc(PurgeReq())
-        if response.mode == "replay":
-            # "Configuration file modification": align the id counter first,
-            # then replay the live jobs through the ordinary PBS interface.
-            yield from self._local_rpc(LoadStateReq((), response.next_seq))
-            for _kind, spec, job_id in response.items:
-                try:
-                    yield from self._local_rpc(SubmitReq(spec, force_job_id=job_id))
-                except PBSError as exc:  # pragma: no cover - replay guard
-                    self.log.error(self.tag, f"replay of {job_id} failed: {exc}")
-            if response.skipped:
-                self.log.warning(
-                    self.tag,
-                    f"replay could not transfer held jobs: {list(response.skipped)}",
-                )
-        else:
-            yield from self._local_rpc(
-                LoadStateReq(tuple(response.items), response.next_seq)
-            )
-        for job_id, winner, started in response.mutex:
-            self.mutex.setdefault(job_id, _MutexEntry(winner, started))
-        for uuid, cached in response.results:
-            self.results.setdefault(uuid, cached)
-        self._syncing_marker = None
-        self._needs_resync = False
-        self.active = True
-        self.log.info(self.tag, f"state transfer complete ({response.mode}), now active")
+        yield from self.xfer.receive_state(marker)
+
+    @staticmethod
+    def _spec_from_row(row: dict):
+        return StateTransfer.spec_from_row(row)
+
+    def _job_from_row(self, row: dict):
+        return self.xfer.job_from_row(row)

@@ -1,0 +1,252 @@
+"""State transfer: marker pinning, capture, and the replay/snapshot modes.
+
+Extracted from :class:`~repro.joshua.server.JoshuaServer`: the join
+protocol of paper §4. A joining server enters the group, multicasts an
+:class:`~repro.joshua.wire.XferMarker` to pin a cut in the command stream,
+discards deliveries ordered before its own marker, and asks the group for
+the state as of the marker. Every active member captures its local queue
+exactly when its serial executor reaches the marker (replicas are
+identical at the cut, so the captures are too, and the joiner dedups).
+
+Two transfer modes: ``"replay"`` re-submits live jobs through the PBS
+interface (the prototype's approach; held jobs cannot be transferred —
+reproduced limitation), ``"snapshot"`` bulk-loads job records (the
+future-work mode).
+
+The tracker also detects partition-merge demotion: an *established*
+member whose GCS dissolved into the surviving component may have missed
+commands, so the survivors are authoritative — it deactivates and resyncs
+through a fresh marker even though it has no join contacts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.gcs.view import View
+from repro.joshua.mutex import _MutexEntry
+from repro.joshua.wire import StateXferResp, XferMarker
+from repro.pbs.job import Job, JobSpec, JobState
+from repro.pbs.wire import LoadStateReq, PurgeReq, StatReq, SubmitReq
+from repro.rpc import rpc_state
+from repro.util.errors import PBSError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.joshua.server import JoshuaServer
+
+__all__ = ["StateTransfer"]
+
+
+class StateTransfer:
+    """Marker-cut state transfer (both sponsor and joiner sides)."""
+
+    def __init__(self, server: "JoshuaServer"):
+        self.s = server
+        #: While syncing: drop deliveries ordered before our own marker.
+        self.syncing_marker: str | None = None
+        self.marker_seen = False
+        self._responses: dict[str, StateXferResp] = {}
+        self._waiters: dict[str, object] = {}
+        self._applied: set[str] = set()
+        self._seen_rejoins = 0
+        #: Set when a partition re-merge demotes us: an *established* member
+        #: (no contacts) that must nevertheless pin a transfer marker.
+        self.needs_resync = False
+
+    def next_marker_uuid(self) -> str:
+        marker_id = rpc_state(self.s.node.network).next_id("joshua-marker")
+        return f"xfer-{self.s.node.name}-{marker_id}"
+
+    # -- delivery gating ------------------------------------------------------
+
+    def should_drop(self, payload) -> bool:
+        """Everything ordered before our own marker is covered by the
+        state transfer; drop it."""
+        if self.syncing_marker is not None and not self.marker_seen:
+            return not (
+                isinstance(payload, XferMarker)
+                and payload.marker_uuid == self.syncing_marker
+            )
+        return False
+
+    def note_enqueued(self, payload) -> None:
+        if isinstance(payload, XferMarker) and payload.marker_uuid == self.syncing_marker:
+            self.marker_seen = True
+
+    # -- view hook ------------------------------------------------------------
+
+    def on_view(self, view: View) -> None:
+        s = self.s
+        rejoins = s.group.stats.get("rejoins", 0)
+        if rejoins > self._seen_rejoins:
+            self._seen_rejoins = rejoins
+            if s.active and view.size > 1:
+                # Our GCS member lost a partition merge and dissolved into
+                # the surviving component (e.g. after a NIC blackout). Our
+                # replica may have missed commands — or executed client
+                # retries the majority already answered under different job
+                # ids. The survivors are authoritative: demote and resync.
+                s.log.warning(
+                    s.tag, "re-merged from losing partition side; resyncing"
+                )
+                s.active = False
+                self.syncing_marker = None
+                self.needs_resync = True
+        if self.syncing_marker is None and not s.active and (
+            s.contacts or self.needs_resync
+        ) and s.group.can_multicast:
+            # First view containing us after a join: pin the transfer cut.
+            marker = XferMarker(self.next_marker_uuid(), s.address)
+            self.syncing_marker = marker.marker_uuid
+            self.marker_seen = False
+            s.group.multicast(marker)
+
+    # -- sponsor side ---------------------------------------------------------
+
+    def serve_state(self, marker: XferMarker):
+        # Preferred sponsor = lowest-ranked *active* member other than the
+        # joiner; but every active member serves (replicas are identical at
+        # the marker cut, so the captures are too, and the joiner dedups).
+        # A single designated sponsor can deadlock: two heads resyncing at
+        # once would each elect the other — inactive and unable to serve.
+        s = self.s
+        view = s.group.view
+        if view is None or not s.active:
+            return
+        # marker.joiner is the joiner's *joshua* endpoint; members are GCS
+        # endpoints — compare by node.
+        others = [m for m in view.members if m.node != marker.joiner.node]
+        if not others:
+            return
+        response = yield from self.capture_state(marker)
+        s.stats["state_transfers_served"] += 1
+        if not s.endpoint.closed:
+            s.endpoint.send(marker.joiner, ("XFER", response))
+
+    def capture_state(self, marker: XferMarker):
+        s = self.s
+        stat = yield from s.executor.local_rpc(StatReq(None))
+        rows = list(stat.rows)
+        next_seq = 1 + max((int(r["job_id"].split(".")[0]) for r in rows), default=0)
+        live = [r for r in rows if r["state"] in ("Q", "R", "E", "H", "W")]
+        skipped: list[str] = []
+        items: list = []
+        if s.state_transfer == "replay":
+            for row in live:
+                if row["state"] == "H":
+                    # The paper's documented limitation: command replay
+                    # cannot reconstruct held jobs consistently.
+                    skipped.append(row["job_id"])
+                    continue
+                items.append(("submit", self.spec_from_row(row), row["job_id"]))
+        else:
+            for row in live:
+                items.append(self.job_from_row(row))
+        mutex = tuple(
+            (job_id, entry.winner, entry.started)
+            for job_id, entry in sorted(s.arbiter.entries.items())
+        )
+        return StateXferResp(
+            marker.marker_uuid,
+            s.state_transfer,
+            tuple(items),
+            next_seq,
+            mutex,
+            tuple(skipped),
+            tuple(sorted(s.executor.results.items())),
+        )
+
+    @staticmethod
+    def spec_from_row(row: dict) -> JobSpec:
+        return JobSpec(
+            name=row["name"],
+            owner=row["owner"],
+            nodes=row["nodes"],
+            walltime=row["walltime"],
+            queue=row["queue"],
+        )
+
+    def job_from_row(self, row: dict) -> Job:
+        state = JobState(row["state"])
+        job = Job(
+            row["job_id"],
+            self.spec_from_row(row),
+            submit_time=self.s.kernel.now,
+            comment="state transfer",
+        )
+        if state in (JobState.RUNNING, JobState.EXITING):
+            job = job.transition(
+                JobState.RUNNING,
+                start_time=self.s.kernel.now,
+                exec_nodes=tuple(row["exec_nodes"]),
+                run_count=1,
+            )
+        elif state is JobState.HELD:
+            job = job.transition(JobState.HELD)
+        elif state is JobState.WAITING:
+            job = job.transition(JobState.WAITING)
+        return job
+
+    # -- joiner side ----------------------------------------------------------
+
+    def handle_response(self, response: StateXferResp) -> None:
+        self._responses[response.marker_uuid] = response
+        waiter = self._waiters.pop(response.marker_uuid, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(response)
+
+    def receive_state(self, marker: XferMarker):
+        s = self.s
+        uuid = marker.marker_uuid
+        if uuid in self._applied or uuid != self.syncing_marker:
+            return  # stale marker; we moved on to a fresh cut
+        if uuid not in self._responses:
+            waiter = s.kernel.event()
+            self._waiters[uuid] = waiter
+            deadline = s.kernel.timeout(s.group.config.flush_timeout * 4)
+            yield s.kernel.any_of([waiter, deadline])
+            if not waiter.triggered:
+                # Sponsor silent (likely died mid-capture): pin a fresh cut.
+                self._waiters.pop(uuid, None)
+                if not s.group.can_multicast:
+                    # The group itself is mid-(re)join; a marker cannot be
+                    # ordered right now. Drop the stale cut — the view that
+                    # ends the join re-enters on_view, which pins a new one.
+                    self.syncing_marker = None
+                    return
+                fresh = XferMarker(self.next_marker_uuid(), s.address)
+                self.syncing_marker = fresh.marker_uuid
+                self.marker_seen = False
+                s.group.multicast(fresh)
+                return  # the fresh marker's delivery re-enters here
+        response = self._responses[uuid]
+        self._applied.add(uuid)
+        # Discard any stale local state (a rejoining head recovered its old
+        # queue from disk; the transferred state supersedes it).
+        yield from s.executor.local_rpc(PurgeReq())
+        if response.mode == "replay":
+            # "Configuration file modification": align the id counter first,
+            # then replay the live jobs through the ordinary PBS interface.
+            yield from s.executor.local_rpc(LoadStateReq((), response.next_seq))
+            for _kind, spec, job_id in response.items:
+                try:
+                    yield from s.executor.local_rpc(SubmitReq(spec, force_job_id=job_id))
+                except PBSError as exc:  # pragma: no cover - replay guard
+                    s.log.error(s.tag, f"replay of {job_id} failed: {exc}")
+            if response.skipped:
+                s.log.warning(
+                    s.tag,
+                    f"replay could not transfer held jobs: {list(response.skipped)}",
+                )
+        else:
+            yield from s.executor.local_rpc(
+                LoadStateReq(tuple(response.items), response.next_seq)
+            )
+        for job_id, winner, started in response.mutex:
+            s.arbiter.entries.setdefault(job_id, _MutexEntry(winner, started))
+        for uuid, cached in response.results:
+            s.executor.results.setdefault(uuid, cached)
+        self.syncing_marker = None
+        self.needs_resync = False
+        s.active = True
+        s.log.info(s.tag, f"state transfer complete ({response.mode}), now active")

@@ -31,7 +31,17 @@ from repro.util.errors import NetworkError
 
 __all__ = ["Transport", "ReliableChannel"]
 
-_EPOCH_COUNTER = itertools.count(1)
+def _next_epoch(network) -> int:
+    """Allocate a channel epoch unique within *network*'s simulation.
+
+    Per-network (not module-level) so that two simulations in one
+    interpreter draw identical epoch numbers — epochs ride in every frame
+    and frame bytes feed the bandwidth model.
+    """
+    counter = getattr(network, "_transport_epochs", None)
+    if counter is None:
+        counter = network._transport_epochs = itertools.count(1)
+    return next(counter)
 
 
 class ReliableChannel:
@@ -82,7 +92,7 @@ class Transport:
         self.endpoint = endpoint
         self.kernel = endpoint.network.kernel
         self.retransmit_interval = retransmit_interval
-        self.epoch = next(_EPOCH_COUNTER)
+        self.epoch = _next_epoch(endpoint.network)
         self._channels: dict[Address, ReliableChannel] = {}
         #: dst -> epoch to use when a channel dropped by forget_peer is
         #: recreated (see forget_peer).
@@ -149,7 +159,7 @@ class Transport:
         ``next_expected``, and every frame on the reopened channel — join
         requests included — would be discarded as a duplicate forever."""
         if self._channels.pop(dst, None) is not None:
-            self._reopen_epochs[dst] = next(_EPOCH_COUNTER)
+            self._reopen_epochs[dst] = _next_epoch(self.endpoint.network)
 
     def close(self) -> None:
         """Stop retransmitting and detach from the endpoint."""

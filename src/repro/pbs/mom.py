@@ -23,7 +23,6 @@ Reproduces the behaviours the paper's prototype leaned on:
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Callable, Generator
 
 from repro.cluster.daemon import Daemon
@@ -31,6 +30,7 @@ from repro.net.address import Address
 from repro.pbs.job import KILLED_EXIT_STATUS
 from repro.pbs.service_times import ERA_2006, ServiceTimes
 from repro.pbs.wire import JobObit, JobStartReq, JobStartResp, KillJobReq, SimpleResp
+from repro.rpc import rpc_state
 from repro.sim.process import Process
 from repro.util.errors import Interrupt
 
@@ -39,8 +39,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["PBSMom", "PrologueHook"]
 
-#: Ephemeral ports for per-obituary acknowledgement endpoints.
-_OBIT_PORT = itertools.count(16000)
+#: Family name for per-obituary acknowledgement ports (allocated from the
+#: simulation-scoped counter state — see :func:`repro.rpc.rpc_state`).
+_OBIT_PORT_FAMILY = "obit-port"
+_OBIT_PORT_START = 16000
 
 #: A prologue hook: generator taking (mom, start request) and returning
 #: "run" or "emulate".
@@ -269,7 +271,10 @@ class PBSMom(Daemon):
 
         # Acks arrive on a dedicated per-obit endpoint so the daemon's main
         # mailbox never has to demultiplex them.
-        ack_endpoint = self.node.network.bind(self.node.name, next(_OBIT_PORT))
+        port = rpc_state(self.node.network).next_id(
+            _OBIT_PORT_FAMILY, _OBIT_PORT_START
+        )
+        ack_endpoint = self.node.network.bind(self.node.name, port)
         ack_endpoint.on_delivery(on_ack)
         started = self.kernel.now
         try:

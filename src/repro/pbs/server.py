@@ -51,6 +51,7 @@ from repro.pbs.wire import (
     SubmitResp,
     rpc_call,
 )
+from repro.rpc import ResponseCache, RpcDispatcher
 from repro.util.errors import InvalidJobStateError, PBSError, UnknownJobError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -106,11 +107,58 @@ class PBSServer(Daemon):
         self.allocations: dict[str, str | None] = {
             mom.node: None for mom in self.moms
         }
-        self._rpc_cache: dict[int, object] = {}
         #: Observers of job lifecycle events: callback(event, job).
         self._observers = []
         self.stats = {"submitted": 0, "completed": 0, "deleted": 0, "recovered": 0}
+        self.rpc = self._build_dispatcher()
         self._recover()
+
+    def _build_dispatcher(self) -> RpcDispatcher:
+        """Typed request routing with the calibrated per-request delays.
+
+        The response cache makes request handling idempotent per RPC id (a
+        cached response is replayed on client retry), so client-side
+        retransmission cannot double-submit a job.
+        """
+        t = self.times
+
+        def on_error(exc):
+            if isinstance(exc, UnknownJobError):
+                return ErrorResp("unknown-job", str(exc))
+            if isinstance(exc, InvalidJobStateError):
+                return ErrorResp("bad-state", str(exc))
+            if isinstance(exc, PBSError):
+                return ErrorResp("pbs-error", str(exc))
+            return None  # re-raise
+
+        def fallback(src, request_id, payload):
+            return ErrorResp(
+                "bad-request", f"unknown request {type(payload).__name__}"
+            )
+
+        rpc = RpcDispatcher(
+            self, cache=ResponseCache(), on_error=on_error, fallback=fallback
+        )
+        reg = rpc.register
+        reg(SubmitReq, lambda s, r, p: self._do_submit(p),
+            delay=t.qsub_process + t.disk_write)
+        reg(StatReq, lambda s, r, p: self._do_stat(p), delay=t.qstat_process)
+        reg(DeleteReq, lambda s, r, p: self._do_delete(p),
+            delay=t.qdel_process + t.disk_write)
+        reg(HoldReq, lambda s, r, p: self._do_hold(p),
+            delay=t.qdel_process + t.disk_write)
+        reg(ReleaseReq, lambda s, r, p: self._do_release(p),
+            delay=t.qdel_process + t.disk_write)
+        reg(SignalReq, lambda s, r, p: self._do_signal(p), delay=t.qdel_process)
+        reg(RerunReq, lambda s, r, p: self._do_rerun(p),
+            delay=t.qdel_process + t.disk_write)
+        reg(LoadStateReq, lambda s, r, p: self._do_load_state(p),
+            delay=t.disk_write)
+        reg(PurgeReq, lambda s, r, p: self._do_purge(), delay=t.disk_write)
+        reg(SchedPollReq, lambda s, r, p: self._do_sched_poll(),
+            delay=t.qstat_process)
+        reg(RunJobReq, lambda s, r, p: self._do_run(p), delay=t.run_process)
+        return rpc
 
     # -- persistence -------------------------------------------------------
 
@@ -166,70 +214,10 @@ class PBSServer(Daemon):
             frame = delivery.payload
             if not isinstance(frame, tuple) or not frame:
                 continue
-            if frame[0] == "RPC":
-                _tag, request_id, payload = frame
-                self.spawn(
-                    self._handle_rpc(delivery.src, request_id, payload),
-                    name=f"{self.tag}-rpc{request_id}",
-                )
-            elif frame[0] == "OBIT":
+            if self.rpc.handle_frame(delivery.src, frame):
+                continue
+            if frame[0] == "OBIT":
                 self._handle_obit(delivery.src, frame[1])
-
-    def _reply(self, dst: Address, request_id: int, response) -> None:
-        self._rpc_cache[request_id] = response
-        if len(self._rpc_cache) > 4096:
-            for key in list(self._rpc_cache)[:2048]:
-                del self._rpc_cache[key]
-        if self.running and not self.endpoint.closed:
-            self.endpoint.send(dst, ("RPC-R", request_id, response))
-
-    def _handle_rpc(self, src: Address, request_id: int, payload):
-        if request_id in self._rpc_cache:
-            self.endpoint.send(src, ("RPC-R", request_id, self._rpc_cache[request_id]))
-            return
-        try:
-            if isinstance(payload, SubmitReq):
-                yield self.kernel.timeout(self.times.qsub_process + self.times.disk_write)
-                response = self._do_submit(payload)
-            elif isinstance(payload, StatReq):
-                yield self.kernel.timeout(self.times.qstat_process)
-                response = self._do_stat(payload)
-            elif isinstance(payload, DeleteReq):
-                yield self.kernel.timeout(self.times.qdel_process + self.times.disk_write)
-                response = yield from self._do_delete(payload)
-            elif isinstance(payload, HoldReq):
-                yield self.kernel.timeout(self.times.qdel_process + self.times.disk_write)
-                response = self._do_hold(payload)
-            elif isinstance(payload, ReleaseReq):
-                yield self.kernel.timeout(self.times.qdel_process + self.times.disk_write)
-                response = self._do_release(payload)
-            elif isinstance(payload, SignalReq):
-                yield self.kernel.timeout(self.times.qdel_process)
-                response = self._do_signal(payload)
-            elif isinstance(payload, RerunReq):
-                yield self.kernel.timeout(self.times.qdel_process + self.times.disk_write)
-                response = self._do_rerun(payload)
-            elif isinstance(payload, LoadStateReq):
-                yield self.kernel.timeout(self.times.disk_write)
-                response = self._do_load_state(payload)
-            elif isinstance(payload, PurgeReq):
-                yield self.kernel.timeout(self.times.disk_write)
-                response = self._do_purge()
-            elif isinstance(payload, SchedPollReq):
-                yield self.kernel.timeout(self.times.qstat_process)
-                response = self._do_sched_poll()
-            elif isinstance(payload, RunJobReq):
-                yield self.kernel.timeout(self.times.run_process)
-                response = yield from self._do_run(payload)
-            else:
-                response = ErrorResp("bad-request", f"unknown request {type(payload).__name__}")
-        except UnknownJobError as exc:
-            response = ErrorResp("unknown-job", str(exc))
-        except InvalidJobStateError as exc:
-            response = ErrorResp("bad-state", str(exc))
-        except PBSError as exc:
-            response = ErrorResp("pbs-error", str(exc))
-        self._reply(src, request_id, response)
 
     # -- command implementations ---------------------------------------------------
 

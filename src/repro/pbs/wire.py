@@ -1,22 +1,25 @@
-"""PBS wire protocol: request/response frames and the RPC helper.
+"""PBS wire protocol: the request/response frame types.
 
 All client↔server and server↔mom traffic is datagrams of
 ``("RPC", request_id, payload)`` / ``("RPC-R", request_id, payload)``
-tuples. :func:`rpc_call` is the client-side coroutine: bind an ephemeral
-port, send, await the matching response, retry on timeout (requests are
-idempotent or deduplicated server-side via the request id).
+tuples, carried by the shared :mod:`repro.rpc` substrate. :func:`rpc_call`
+and :class:`RpcTimeout` are kept here as thin aliases for backward
+compatibility — the implementation (ephemeral-port/request-id allocation,
+timeout/retry policy, per-simulation counters) lives in
+:mod:`repro.rpc.client`.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator
 
 from repro.net.address import Address
 from repro.net.network import Network
 from repro.pbs.job import JobSpec
-from repro.util.errors import PBSError
+from repro.rpc import call as _substrate_call
+from repro.rpc.client import register_error_response
+from repro.rpc.errors import RpcTimeout
 
 __all__ = [
     "SubmitReq", "SubmitResp",
@@ -30,9 +33,6 @@ __all__ = [
     "ErrorResp",
     "rpc_call", "RpcTimeout",
 ]
-
-_RPC_COUNTER = itertools.count(1)
-_EPHEMERAL_PORT = itertools.count(30000)
 
 
 # -- user command requests ---------------------------------------------------
@@ -195,14 +195,8 @@ class JobObit:
     finished_at: float
 
 
-class RpcTimeout(PBSError):
-    """No response within the deadline (server down or unreachable)."""
-
-
-@dataclass
-class _Pending:
-    response: Any = None
-    done: bool = False
+# Responses of this type are re-raised client-side as PBSError.
+register_error_response(ErrorResp)
 
 
 def rpc_call(
@@ -216,38 +210,12 @@ def rpc_call(
 ) -> Generator:
     """Coroutine: one request/response against *server* from *node*.
 
-    Yields simulation events; returns the response payload. Raises
-    :class:`RpcTimeout` after ``1 + retries`` unanswered attempts and
-    :class:`PBSError` if the server answered with :class:`ErrorResp`.
+    Backward-compatible alias for :func:`repro.rpc.call`. Yields simulation
+    events; returns the response payload. Raises :class:`RpcTimeout` after
+    ``1 + retries`` unanswered attempts and :class:`PBSError` if the server
+    answered with :class:`ErrorResp`.
     """
-    kernel = network.kernel
-    endpoint = network.bind(node, next(_EPHEMERAL_PORT))
-    try:
-        request_id = next(_RPC_COUNTER)
-        # One persistent receive event, re-armed after each delivery, so no
-        # stale mailbox getter can swallow a response.
-        recv_ev = endpoint.recv()
-        for _attempt in range(1 + retries):
-            endpoint.send(server, ("RPC", request_id, payload))
-            deadline = kernel.timeout(timeout)
-            while True:
-                yield kernel.any_of([recv_ev, deadline])
-                if recv_ev.processed:
-                    frame = recv_ev.value.payload
-                    recv_ev = endpoint.recv()
-                    if (
-                        isinstance(frame, tuple)
-                        and len(frame) == 3
-                        and frame[0] == "RPC-R"
-                        and frame[1] == request_id
-                    ):
-                        response = frame[2]
-                        if isinstance(response, ErrorResp):
-                            raise PBSError(f"{response.kind}: {response.message}")
-                        return response
-                    continue
-                if deadline.processed:
-                    break  # retry (same request id: server-side idempotent)
-        raise RpcTimeout(f"no response from {server} for {type(payload).__name__}")
-    finally:
-        endpoint.close()
+    response = yield from _substrate_call(
+        network, node, server, payload, timeout=timeout, retries=retries
+    )
+    return response

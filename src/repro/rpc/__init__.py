@@ -1,0 +1,44 @@
+"""``repro.rpc`` — the shared typed RPC/dispatch substrate.
+
+Every request/response conversation in the reproduction (PBS user commands,
+scheduler polls, server→mom dispatch, JOSHUA client/mom traffic, the generic
+active/active client) rides on this one layer instead of re-implementing
+framing, retries and dedup per stack:
+
+* :func:`~repro.rpc.client.call` — the client coroutine: ephemeral-port
+  bind, ``("RPC", id, payload)`` framing, timeout/retry/backoff per a
+  :class:`~repro.rpc.policy.RetryPolicy`;
+* :func:`~repro.rpc.client.failover_call` — the same, iterated over a
+  replica list with pluggable skip/reject rules (exactly-once clients);
+* :class:`~repro.rpc.server.RpcDispatcher` — server side: a typed
+  handler registry with per-request-type service delays, an optional
+  request-id dedup :class:`~repro.rpc.server.ResponseCache`, and pre/post
+  dispatch hook points for tracing and metrics;
+* :func:`~repro.rpc.state.rpc_state` — per-simulation allocators (request
+  ids, ephemeral ports, uuid/marker families) plus the bounded
+  :class:`~repro.rpc.state.TimeoutRecord` log chaos reports surface.
+
+Layering: ``util → sim → net → rpc → gcs → pbs → joshua`` — this package
+sits directly on :mod:`repro.net` and knows nothing about the protocol
+stacks above it.
+"""
+
+from repro.rpc.client import call, failover_call
+from repro.rpc.errors import RpcTimeout
+from repro.rpc.policy import DEFAULT_POLICY, RetryPolicy
+from repro.rpc.server import RequestHandler, ResponseCache, RpcDispatcher
+from repro.rpc.state import RpcState, TimeoutRecord, rpc_state
+
+__all__ = [
+    "call",
+    "failover_call",
+    "RpcTimeout",
+    "RetryPolicy",
+    "DEFAULT_POLICY",
+    "RpcDispatcher",
+    "RequestHandler",
+    "ResponseCache",
+    "RpcState",
+    "TimeoutRecord",
+    "rpc_state",
+]

@@ -1,0 +1,187 @@
+"""Client-side RPC coroutines: single call and replica failover.
+
+:func:`call` is the one request/response primitive everything uses: bind an
+ephemeral port, send ``("RPC", request_id, payload)``, await the matching
+``("RPC-R", request_id, response)``, retry per the
+:class:`~repro.rpc.policy.RetryPolicy` (same request id — servers dedup or
+handlers are idempotent). :func:`failover_call` iterates :func:`call` over a
+replica list with the skip/retry/reject rules the exactly-once clients
+(JOSHUA commands, the generic active/active client, the jmutex notifiers)
+previously each hand-rolled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Sequence
+
+from repro.net.address import Address
+from repro.net.network import Network
+from repro.rpc.errors import RpcTimeout
+from repro.rpc.policy import DEFAULT_POLICY, RetryPolicy
+from repro.rpc.state import TimeoutRecord, rpc_state
+from repro.util.errors import NoActiveHeadError, PBSError
+
+__all__ = ["call", "failover_call", "ErrorRelay"]
+
+
+class ErrorRelay:
+    """Marker protocol: response types whose ``kind``/``message`` should be
+    re-raised client-side as :class:`PBSError` instead of returned.
+
+    :class:`repro.pbs.wire.ErrorResp` is registered via
+    :func:`register_error_response`; the rpc layer itself defines no wire
+    types (they belong to the stacks above).
+    """
+
+
+_ERROR_RESPONSE_TYPES: tuple[type, ...] = ()
+
+
+def register_error_response(cls: type) -> type:
+    """Register *cls* as a server-error relay (re-raised as PBSError)."""
+    global _ERROR_RESPONSE_TYPES
+    if cls not in _ERROR_RESPONSE_TYPES:
+        _ERROR_RESPONSE_TYPES = _ERROR_RESPONSE_TYPES + (cls,)
+    return cls
+
+
+def call(
+    network: Network,
+    node: str,
+    server: Address,
+    payload: Any,
+    *,
+    timeout: float | None = None,
+    retries: int | None = None,
+    policy: RetryPolicy | None = None,
+) -> Generator:
+    """Coroutine: one request/response against *server* from *node*.
+
+    Yields simulation events; returns the response payload. Raises
+    :class:`RpcTimeout` after the policy's attempts are exhausted and
+    :class:`PBSError` if the server answered with an error-relay response.
+    ``timeout``/``retries`` are shorthand overrides of *policy* (default:
+    2 s, no retries — the historical ``rpc_call`` defaults).
+    """
+    if policy is None:
+        policy = DEFAULT_POLICY
+    if timeout is not None or retries is not None:
+        policy = RetryPolicy(
+            timeout=policy.timeout if timeout is None else timeout,
+            retries=policy.retries if retries is None else retries,
+            backoff=policy.backoff,
+            backoff_factor=policy.backoff_factor,
+            backoff_cap=policy.backoff_cap,
+        )
+    kernel = network.kernel
+    state = rpc_state(network)
+    endpoint = network.bind(node, state.next_port())
+    try:
+        request_id = state.next_request_id()
+        # One persistent receive event, re-armed after each delivery, so no
+        # stale mailbox getter can swallow a response.
+        recv_ev = endpoint.recv()
+        for attempt in range(1, policy.attempts + 1):
+            backoff = policy.delay_before(attempt)
+            if backoff > 0:
+                yield kernel.timeout(backoff)
+            for hook in state.on_request:
+                hook(node, server, request_id, payload, attempt)
+            endpoint.send(server, ("RPC", request_id, payload))
+            deadline = kernel.timeout(policy.timeout)
+            while True:
+                yield kernel.any_of([recv_ev, deadline])
+                if recv_ev.processed:
+                    frame = recv_ev.value.payload
+                    recv_ev = endpoint.recv()
+                    if (
+                        isinstance(frame, tuple)
+                        and len(frame) == 3
+                        and frame[0] == "RPC-R"
+                        and frame[1] == request_id
+                    ):
+                        response = frame[2]
+                        for hook in state.on_response:
+                            hook(node, server, request_id, payload, response)
+                        if isinstance(response, _ERROR_RESPONSE_TYPES):
+                            raise PBSError(
+                                f"{response.kind}: {response.message}"
+                            )
+                        return response
+                    continue
+                if deadline.processed:
+                    break  # retry (same request id: server-side idempotent)
+        state.record_timeout(TimeoutRecord(
+            time=kernel.now, src=node, dst=server,
+            request_type=type(payload).__name__, attempts=policy.attempts,
+        ))
+        raise RpcTimeout(server, type(payload).__name__, policy.attempts)
+    finally:
+        endpoint.close()
+
+
+def failover_call(
+    network: Network,
+    node: str,
+    targets: Sequence[Address] | Iterable[Address],
+    payload: Any,
+    *,
+    policy: RetryPolicy | None = None,
+    timeout: float | None = None,
+    skip_down: bool = True,
+    count_skipped: bool = True,
+    retry_error: Callable[[PBSError], bool] | None = None,
+    reject: Callable[[Any], bool] | None = None,
+    stats: dict | None = None,
+    stats_key: str = "failovers",
+    what: str | None = None,
+) -> Generator:
+    """Coroutine: try *payload* against each target until one answers.
+
+    The shared failover loop of every exactly-once client:
+
+    * ``skip_down`` — skip targets whose node is down without burning a
+      full RPC timeout (models the instant connection-refused a dead
+      node's TCP stack produces); ``count_skipped`` controls whether a
+      skip counts as a failover in *stats*;
+    * :class:`RpcTimeout` always fails over to the next target;
+    * other :class:`PBSError`\\ s fail over when ``retry_error(exc)`` is
+      true (e.g. a head answering "joining"), otherwise propagate;
+    * a received response is retried on the next target when
+      ``reject(response)`` is true (e.g. a result carrying a
+      transient error marker) — otherwise it is returned.
+
+    Raises :class:`NoActiveHeadError` (message prefix *what*) when every
+    target was skipped, timed out, or rejected.
+    """
+    last_error: Exception | None = None
+    for target in targets:
+        if skip_down and not network.node_is_up(target.node):
+            if stats is not None and count_skipped:
+                stats[stats_key] = stats.get(stats_key, 0) + 1
+            continue
+        try:
+            response = yield from call(
+                network, node, target, payload,
+                policy=policy, timeout=timeout,
+            )
+        except RpcTimeout as exc:
+            last_error = exc
+            if stats is not None:
+                stats[stats_key] = stats.get(stats_key, 0) + 1
+            continue
+        except PBSError as exc:
+            if retry_error is not None and retry_error(exc):
+                last_error = exc
+                if stats is not None:
+                    stats[stats_key] = stats.get(stats_key, 0) + 1
+                continue
+            raise
+        if reject is not None and reject(response):
+            if stats is not None:
+                stats[stats_key] = stats.get(stats_key, 0) + 1
+            continue
+        return response
+    if what is None:
+        what = f"no target answered {type(payload).__name__}"
+    raise NoActiveHeadError(f"{what}: {last_error}")

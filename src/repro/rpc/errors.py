@@ -1,0 +1,38 @@
+"""RPC-layer errors.
+
+:class:`RpcTimeout` derives from :class:`~repro.util.errors.PBSError` for
+backward compatibility: every pre-substrate call site catches ``PBSError``
+(or ``RpcTimeout`` re-exported from :mod:`repro.pbs.wire`), and both keep
+working unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import PBSError
+
+__all__ = ["RpcTimeout"]
+
+
+class RpcTimeout(PBSError):
+    """No response within the deadline (server down or unreachable).
+
+    Carries enough context to tell *which* conversation stalled: the
+    destination address, the request type and how many attempts were made
+    — chaos-run violation reports surface these fields verbatim.
+    """
+
+    def __init__(self, dst=None, request_type: str | None = None,
+                 attempts: int | None = None, message: str | None = None):
+        if (request_type is None and attempts is None and message is None
+                and isinstance(dst, str)):
+            # Legacy calling convention: RpcTimeout("free-form message").
+            message, dst = dst, None
+        self.dst = dst
+        self.request_type = request_type
+        self.attempts = attempts
+        if message is None:
+            message = (
+                f"no response from {dst} for {request_type} "
+                f"after {attempts} attempt(s)"
+            )
+        super().__init__(message)

@@ -1,0 +1,178 @@
+"""Server-side RPC dispatch: typed handler registry + request-id dedup.
+
+:class:`RpcDispatcher` factors out what every daemon's ``run`` loop used to
+hand-roll: recognise ``("RPC", id, payload)`` frames, spawn one handler
+process per request, charge a per-request-type service delay, convert
+domain exceptions to wire error responses, and (optionally) replay cached
+responses so client retries are idempotent.
+
+Handlers are registered per request *type*:
+
+* a handler may return a response (the dispatcher replies), or ``None``
+  (deferred reply — the handler parks the ``(src, request_id)`` pair and
+  answers later through :meth:`RpcDispatcher.reply`);
+* a handler may be a plain function or a generator (it then runs inside
+  the spawned handler process and may yield simulation events);
+* ``delay`` is a float or a ``callable(payload) -> float`` charged
+  *before* the handler runs (the calibrated service time);
+* ``pre_dispatch`` / ``post_dispatch`` hook lists are the tracing/metrics
+  attachment points — empty by default, zero overhead.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable
+
+from repro.net.address import Address
+
+__all__ = ["RpcDispatcher", "RequestHandler", "ResponseCache"]
+
+_MISSING = object()
+
+#: Cache bounds matching the historical PBS-server dedup cache: trim the
+#: oldest half once the size crosses the limit.
+CACHE_LIMIT = 4096
+CACHE_EVICT = 2048
+
+
+class ResponseCache:
+    """Request-id → response dedup cache (client retries get a replay)."""
+
+    def __init__(self, limit: int = CACHE_LIMIT, evict: int = CACHE_EVICT):
+        self.limit = limit
+        self.evict = evict
+        self._entries: dict[int, object] = {}
+
+    def get(self, request_id: int):
+        return self._entries.get(request_id, _MISSING)
+
+    def put(self, request_id: int, response) -> None:
+        self._entries[request_id] = response
+        if len(self._entries) > self.limit:
+            for key in list(self._entries)[: self.evict]:
+                del self._entries[key]
+
+    def __contains__(self, request_id: int) -> bool:
+        return request_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class RequestHandler:
+    """One registry entry: the handler callable + its service delay."""
+
+    __slots__ = ("fn", "delay")
+
+    def __init__(self, fn: Callable, delay: float | Callable[[Any], float] = 0.0):
+        self.fn = fn
+        self.delay = delay
+
+    def delay_for(self, payload) -> float:
+        return self.delay(payload) if callable(self.delay) else self.delay
+
+
+class RpcDispatcher:
+    """Typed request dispatch for one daemon endpoint.
+
+    Parameters
+    ----------
+    daemon:
+        The owning :class:`~repro.cluster.daemon.Daemon` (provides
+        ``endpoint``, ``kernel``, ``spawn``, ``tag``, ``running``).
+    cache:
+        Optional :class:`ResponseCache`; when present, a request id seen
+        before is answered with the cached response and the handler is
+        *not* re-run.
+    on_error:
+        Optional ``callable(exc) -> response | None`` mapping handler
+        exceptions to wire responses; ``None`` (or absent) re-raises.
+    fallback:
+        Optional ``callable(src, request_id, payload) -> response | None``
+        for unregistered request types (no delay charged).
+    """
+
+    def __init__(
+        self,
+        daemon,
+        *,
+        cache: ResponseCache | None = None,
+        on_error: Callable[[BaseException], Any] | None = None,
+        fallback: Callable[[Address, int, Any], Any] | None = None,
+    ):
+        self.daemon = daemon
+        self.cache = cache
+        self.on_error = on_error
+        self.fallback = fallback
+        self._handlers: dict[type, RequestHandler] = {}
+        #: Called as ``hook(src, request_id, payload)`` before the handler.
+        self.pre_dispatch: list[Callable] = []
+        #: Called as ``hook(src, request_id, payload, response)`` after the
+        #: reply (response is None for deferred replies).
+        self.post_dispatch: list[Callable] = []
+
+    def register(
+        self,
+        req_type: type | tuple[type, ...],
+        fn: Callable,
+        *,
+        delay: float | Callable[[Any], float] = 0.0,
+    ) -> None:
+        """Route requests of *req_type* (a type or tuple of types) to *fn*."""
+        entry = RequestHandler(fn, delay)
+        for cls in req_type if isinstance(req_type, tuple) else (req_type,):
+            self._handlers[cls] = entry
+
+    def handle_frame(self, src: Address, frame: tuple) -> bool:
+        """Dispatch *frame* if it is an RPC request; returns False otherwise
+        (the daemon's run loop handles its other frame kinds)."""
+        if frame[0] != "RPC":
+            return False
+        _tag, request_id, payload = frame
+        self.daemon.spawn(
+            self._handle(src, request_id, payload),
+            name=f"{self.daemon.tag}-rpc{request_id}",
+        )
+        return True
+
+    def reply(self, dst: Address, request_id: int, response) -> None:
+        """Send (and, when a cache is configured, record) a response."""
+        if self.cache is not None:
+            self.cache.put(request_id, response)
+        daemon = self.daemon
+        if daemon.running and not daemon.endpoint.closed:
+            daemon.endpoint.send(dst, ("RPC-R", request_id, response))
+
+    def _handle(self, src: Address, request_id: int, payload):
+        daemon = self.daemon
+        if self.cache is not None:
+            cached = self.cache.get(request_id)
+            if cached is not _MISSING:
+                daemon.endpoint.send(src, ("RPC-R", request_id, cached))
+                return
+        for hook in self.pre_dispatch:
+            hook(src, request_id, payload)
+        entry = self._handlers.get(type(payload))
+        try:
+            if entry is None:
+                response = (
+                    self.fallback(src, request_id, payload)
+                    if self.fallback is not None else None
+                )
+            else:
+                delay = entry.delay_for(payload)
+                if delay:
+                    yield daemon.kernel.timeout(delay)
+                result = entry.fn(src, request_id, payload)
+                if inspect.isgenerator(result):
+                    result = yield from result
+                response = result
+        except BaseException as exc:
+            response = self.on_error(exc) if self.on_error is not None else None
+            if response is None:
+                raise
+        if response is not None:
+            self.reply(src, request_id, response)
+        for hook in self.post_dispatch:
+            hook(src, request_id, payload, response)

@@ -1,0 +1,98 @@
+"""Per-simulation RPC state: id allocators, timeout log, dispatch hooks.
+
+Historically request ids, ephemeral ports and the various uuid/marker
+counters were module-level ``itertools.count`` globals, which made the
+*second* simulation in one interpreter see different wire frames (ids are
+part of the datagram, and :func:`repro.net.network.wire_size` charges the
+shared medium by payload size) and therefore drift in timing. All of them
+now live on an :class:`RpcState` hung off the :class:`~repro.net.network.Network`
+— one per simulation — so back-to-back runs are bit-identical.
+
+The state object also owns the observability surface of the substrate:
+
+* a bounded log of :class:`TimeoutRecord` entries (every exhausted RPC),
+  surfaced by chaos-run reports;
+* ``on_request`` / ``on_response`` client-side hook lists, the tracing/
+  metrics attachment points promised by the ROADMAP.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.net.network import Network
+
+__all__ = ["RpcState", "TimeoutRecord", "rpc_state"]
+
+#: First request id handed out in a fresh simulation (matches the historical
+#: module-level counter so traces are unchanged).
+FIRST_REQUEST_ID = 1
+#: First ephemeral client port (matches the historical module-level counter).
+FIRST_EPHEMERAL_PORT = 30000
+#: How many exhausted-call records the timeout log retains.
+TIMEOUT_LOG_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class TimeoutRecord:
+    """One exhausted RPC conversation (all attempts unanswered)."""
+
+    time: float
+    src: str
+    dst: Any
+    request_type: str
+    attempts: int
+
+    def describe(self) -> str:
+        return (
+            f"t={self.time:.3f} {self.src} -> {self.dst}: "
+            f"{self.request_type} unanswered after {self.attempts} attempt(s)"
+        )
+
+
+class RpcState:
+    """Allocators + hook points for one simulation (one per Network)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, itertools.count] = {}
+        #: Bounded log of exhausted calls, oldest first.
+        self.timeouts: deque[TimeoutRecord] = deque(maxlen=TIMEOUT_LOG_LIMIT)
+        #: Called as ``hook(node, server, request_id, payload, attempt)``
+        #: just before each request datagram is sent.
+        self.on_request: list[Callable] = []
+        #: Called as ``hook(node, server, request_id, payload, response)``
+        #: when a matching response arrives.
+        self.on_response: list[Callable] = []
+
+    def next_id(self, family: str, start: int = 1) -> int:
+        """Next value from the named per-simulation counter family.
+
+        Families in use: ``"request"`` (RPC request ids), ``"port"``
+        (ephemeral client ports), and uuid/marker families owned by the
+        stacks above (e.g. ``"joshua-uuid"``, ``"joshua-marker"``).
+        """
+        counter = self._counters.get(family)
+        if counter is None:
+            counter = self._counters[family] = itertools.count(start)
+        return next(counter)
+
+    def next_request_id(self) -> int:
+        return self.next_id("request", FIRST_REQUEST_ID)
+
+    def next_port(self) -> int:
+        return self.next_id("port", FIRST_EPHEMERAL_PORT)
+
+    def record_timeout(self, record: TimeoutRecord) -> None:
+        self.timeouts.append(record)
+
+
+def rpc_state(network: Network) -> RpcState:
+    """The per-simulation :class:`RpcState` for *network* (lazily created)."""
+    state = getattr(network, "_rpc_state", None)
+    if state is None:
+        state = RpcState()
+        network._rpc_state = state
+    return state

@@ -49,22 +49,54 @@ def run_scenario(seed: int):
 
 class TestDeterminism:
     def test_identical_runs_identical_results(self):
-        """Discrete outcomes are bit-identical; latencies agree to ~1 µs.
+        """Same seed ⇒ *bit-identical* results, even within one interpreter.
 
-        (Exact-to-the-femtosecond latency equality needs a fresh process:
-        module-level UUID/port counters keep advancing within one process,
-        so a command uuid like ``jsub-login-17`` vs ``-9`` is one byte
-        longer on the wire and shifts serialisation by nanoseconds. The
-        bandwidth model being sensitive to real message bytes is a
-        feature; the counters are the per-process analogue of PIDs.)"""
+        This is exact — including latencies to the femtosecond. It used to
+        need a ~1 µs tolerance because module-level UUID/port/epoch
+        counters kept advancing across simulations in one process, so a
+        command uuid like ``jsub-login-17`` vs ``-9`` was one byte longer
+        on the wire and shifted serialisation by nanoseconds. All those
+        counters now live in per-simulation state (see
+        :func:`repro.rpc.rpc_state`), so consecutive simulations draw
+        identical values; any regression back to process-global state
+        shows up here."""
         a = run_scenario(seed=2024)
         b = run_scenario(seed=2024)
-        assert a["events"] == b["events"]
-        assert a["queue"] == b["queue"]
-        assert a["net_sent"] == b["net_sent"]
-        assert a["final_time"] == b["final_time"]
-        for la, lb in zip(a["latencies"], b["latencies"]):
-            assert abs(la - lb) < 1e-5
+        assert a == b
+
+    def test_two_simulations_one_interpreter_identical_traces(self):
+        """Counter-state isolation, checked at the wire level: two
+        fresh simulations must produce identical delivery traces, not just
+        identical summaries. Catches any allocator (request ids, ports,
+        uuids, markers, channel epochs) that leaks across Network
+        instances."""
+        traces = []
+        for _run in range(2):
+            cluster = Cluster(
+                head_count=3, compute_count=2, seed=7, login_node=True
+            )
+            stack = build_joshua_stack(cluster, group_config=FAST_GROUP)
+            kernel = cluster.kernel
+            client = stack.client(node="login")
+            trace: list[tuple] = []
+            original_send = cluster.network.send
+
+            def spy(src, dst, payload, *, _t=trace, _o=original_send, **kw):
+                _t.append((kernel.now, str(src), str(dst), repr(payload)[:120]))
+                return _o(src, dst, payload, **kw)
+
+            cluster.network.send = spy
+
+            def workload():
+                for index in range(4):
+                    yield from client.jsub(name=f"t{index}", walltime=2.0)
+                    yield kernel.timeout(1.0)
+
+            process = kernel.spawn(workload())
+            cluster.run(until=process)
+            cluster.run(until=25.0)
+            traces.append(trace)
+        assert traces[0] == traces[1]
 
     def test_different_seeds_diverge(self):
         """The seed must actually matter (jitter, workload draws)."""

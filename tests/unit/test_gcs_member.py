@@ -418,6 +418,77 @@ class TestPartitions:
         assert not h.members["n2"].is_primary  # 1 of 3: minority
 
 
+class TestCompetingFlushes:
+    """Drive simultaneous flush initiators through the extracted
+    :class:`~repro.gcs.flush.FlushEngine` directly (bypassing initiator
+    election): epochs ``(new_view_id, attempt, initiator)`` are totally
+    ordered, the higher epoch wins, and the loser abandons cleanly."""
+
+    def test_higher_epoch_wins_and_group_converges(self):
+        h = Harness(3, seed=11)
+        h.boot()
+        h.run(until=0.5)
+        e0 = h.members["n0"].flush
+        e1 = h.members["n1"].flush
+        # Both members start an attempt for view 2 at the same instant.
+        e0._start_attempt()
+        e1._start_attempt()
+        assert e0.attempt is not None and e1.attempt is not None
+        # Same (view, attempt) counters -> the initiator address breaks the
+        # tie, and n1 ranks above n0.
+        assert e1.attempt.epoch > e0.attempt.epoch
+        h.run(until=3.0)
+        for name in h.members:
+            member = h.members[name]
+            assert member.state == "normal"
+            assert member.view.view_id == 2
+            assert member.view.size == 3
+            # Everyone ended up promised to the *higher* epoch: n1 won.
+            assert member.flush.max_epoch[2] == h.addr("n1")
+            assert member.flush.attempt is None
+        # One consistent view sequence everywhere — the race produced a
+        # single view 2, not two.
+        sequences = {
+            tuple((v.view_id, v.members) for v in h.views[n]) for n in h.members
+        }
+        assert len(sequences) == 1
+
+    def test_loser_abandons_attempt_on_higher_flush_req(self):
+        from repro.gcs.messages import FlushReq
+
+        h = Harness(3, seed=11)
+        h.boot()
+        h.run(until=0.5)
+        member = h.members["n0"]
+        engine = member.flush
+        engine._start_attempt()
+        losing = engine.attempt
+        assert losing is not None
+        higher = (losing.epoch[0], losing.epoch[1] + 1, h.addr("n1"))
+        engine.on_flush_req(h.addr("n1"), FlushReq(higher, member.view.members))
+        # The lower attempt is dropped, the higher epoch is promised, and
+        # the member stays parked in FLUSHING awaiting the winner's view.
+        assert engine.attempt is None
+        assert engine.max_epoch == higher
+        assert member.state == "flushing"
+
+    def test_stale_flush_req_ignored_after_promise(self):
+        from repro.gcs.messages import FlushReq
+
+        h = Harness(3, seed=11)
+        h.boot()
+        h.run(until=0.5)
+        engine = h.members["n2"].flush
+        view = h.members["n2"].view
+        higher = (view.view_id + 1, 2, h.addr("n1"))
+        lower = (view.view_id + 1, 1, h.addr("n0"))
+        engine.on_flush_req(h.addr("n1"), FlushReq(higher, view.members))
+        assert engine.max_epoch == higher
+        engine.on_flush_req(h.addr("n0"), FlushReq(lower, view.members))
+        # The stale attempt neither demotes the promise nor resets state.
+        assert engine.max_epoch == higher
+
+
 class TestTokenOrdering:
     def make(self, n, seed=2):
         config = GroupConfig(
