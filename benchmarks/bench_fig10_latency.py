@@ -8,16 +8,25 @@ roughly constant increment per added head.
 
 from repro.bench.experiments.latency import PAPER_FIGURE10, figure10
 from repro.bench.reporting import format_table
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import phase_breakdown_lines
 
 
-def test_figure10_latency(benchmark, report):
-    rows = benchmark.pedantic(figure10, kwargs={"trials": 10}, rounds=1, iterations=1)
+def test_figure10_latency(benchmark, report, metrics_snapshot):
+    registry = MetricsRegistry()
+    rows = benchmark.pedantic(
+        figure10, kwargs={"trials": 10, "registry": registry},
+        rounds=1, iterations=1,
+    )
     table = format_table(
         rows,
         ["system", "heads", "measured_ms", "paper_ms",
          "measured_overhead_pct", "paper_overhead_pct"],
     )
     report(benchmark, "Figure 10: job submission latency", table, rows)
+    print("per-phase decomposition (all configurations pooled):")
+    print("\n".join(phase_breakdown_lines(registry)))
+    metrics_snapshot(benchmark, registry)
 
     by_heads = {(r["system"], r["heads"]): r["measured_ms"] for r in rows}
     torque = by_heads[("TORQUE", 1)]

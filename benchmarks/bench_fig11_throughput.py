@@ -8,15 +8,23 @@ queue in 33 s for a 4 head node system is an acceptable trade-off".
 
 from repro.bench.experiments.throughput import PAPER_FIGURE11, figure11
 from repro.bench.reporting import format_table
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import rpc_latency_lines
 
 
-def test_figure11_throughput(benchmark, report):
-    rows = benchmark.pedantic(figure11, rounds=1, iterations=1)
+def test_figure11_throughput(benchmark, report, metrics_snapshot):
+    registry = MetricsRegistry()
+    rows = benchmark.pedantic(
+        figure11, kwargs={"registry": registry}, rounds=1, iterations=1
+    )
     columns = ["system", "heads"] + [
         c for c in rows[0] if c.startswith(("measured", "paper"))
     ]
     table = format_table(rows, columns)
     report(benchmark, "Figure 11: job submission throughput", table, rows)
+    print("rpc conversations (per request type, all bursts pooled):")
+    print("\n".join(rpc_latency_lines(registry)))
+    metrics_snapshot(benchmark, registry)
 
     by_config = {(r["system"], r["heads"]): r for r in rows}
     # Linear in batch size: 100 jobs ~ 10x the 10-job time (sequential client).

@@ -23,3 +23,25 @@ def emit(benchmark, title: str, table: str, rows) -> None:
 @pytest.fixture
 def report():
     return emit
+
+
+def snapshot_metrics(benchmark, registry, *, prefix: str = "") -> None:
+    """Attach a MetricsRegistry snapshot to the benchmark record.
+
+    One ``"metric"``-discriminated dict per series (the same shape the
+    ``--jsonl`` CLI exports use), so ``--benchmark-json`` files carry the
+    per-request-type RPC latency and per-phase job histograms alongside
+    the paper-vs-measured rows.
+    """
+    from repro.obs.export import metric_records
+
+    records = [
+        r for r in metric_records(registry)
+        if not prefix or r["name"].startswith(prefix)
+    ]
+    benchmark.extra_info["metrics"] = records
+
+
+@pytest.fixture
+def metrics_snapshot():
+    return snapshot_metrics

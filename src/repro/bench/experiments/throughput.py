@@ -21,6 +21,8 @@ from __future__ import annotations
 from repro.bench.workloads import BurstWorkload
 from repro.cluster.cluster import Cluster
 from repro.joshua.deploy import build_joshua_stack
+from repro.obs.collector import attach_collector
+from repro.obs.metrics import MetricsRegistry
 from repro.pbs.stack import build_pbs_stack
 
 __all__ = ["PAPER_FIGURE11", "measure_burst", "figure11"]
@@ -35,7 +37,10 @@ PAPER_FIGURE11 = {
 }
 
 
-def measure_burst(system: str, heads: int, jobs: int, *, seed: int = 1) -> float:
+def measure_burst(
+    system: str, heads: int, jobs: int, *, seed: int = 1,
+    registry: MetricsRegistry | None = None,
+) -> float:
     """Simulated seconds to sequentially submit *jobs* jobs."""
     cluster = Cluster(head_count=heads, compute_count=2, seed=seed)
     if system == "TORQUE":
@@ -45,6 +50,9 @@ def measure_burst(system: str, heads: int, jobs: int, *, seed: int = 1) -> float
         stack = build_joshua_stack(cluster)
         client = stack.client(node="head0", prefer="head0")
         submit = client.jsub
+    if registry is not None:
+        # Passive observation — burst timings are unchanged by attaching.
+        attach_collector(cluster.network, registry=registry)
     cluster.run(until=1.0)
     kernel = cluster.kernel
 
@@ -60,15 +68,21 @@ def measure_burst(system: str, heads: int, jobs: int, *, seed: int = 1) -> float
     return kernel.now - start
 
 
-def figure11(*, job_counts=(10, 50, 100), seed: int = 1) -> list[dict]:
-    """Regenerate Figure 11; one row per (system, heads)."""
+def figure11(
+    *, job_counts=(10, 50, 100), seed: int = 1,
+    registry: MetricsRegistry | None = None,
+) -> list[dict]:
+    """Regenerate Figure 11; one row per (system, heads). A *registry*
+    accumulates RPC/GCS/job-phase metrics across every burst."""
     rows = []
     configs = [("TORQUE", 1), ("JOSHUA/TORQUE", 1), ("JOSHUA/TORQUE", 2),
                ("JOSHUA/TORQUE", 3), ("JOSHUA/TORQUE", 4)]
     for system, heads in configs:
         row: dict = {"system": system, "heads": heads}
         for jobs in job_counts:
-            measured = measure_burst(system, heads, jobs, seed=seed)
+            measured = measure_burst(
+                system, heads, jobs, seed=seed, registry=registry
+            )
             row[f"measured_{jobs}_s"] = round(measured, 2)
             paper = PAPER_FIGURE11[(system, heads)].get(jobs)
             if paper is not None:

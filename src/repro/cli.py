@@ -10,11 +10,15 @@
     python -m repro ablations {ordering,batching,detection,slot,all}
     python -m repro chaos run  [--seed S] [--schedule FILE] [...]
     python -m repro chaos soak [--seed S] [--runs N] [...]
+    python -m repro trace [--seed S] [--jobs N] [--jsonl FILE]
 
 Every command prints the same tables the benchmark suite produces; all
 runs are deterministic given ``--seed``. The chaos commands exit non-zero
 on invariant violations and print the offending seed + schedule JSON so
-the exact scenario can be replayed.
+the exact scenario can be replayed. ``trace`` runs a fully observed
+scenario and prints per-job causal timelines plus the Figure-10-style
+per-phase latency breakdown; ``--jsonl`` exports the merged span/log/
+metric stream for offline analysis.
 """
 
 from __future__ import annotations
@@ -88,10 +92,26 @@ def build_parser() -> argparse.ArgumentParser:
                            default="sequencer")
     chaos_run.add_argument("--schedule", metavar="FILE",
                            help="JSON fault schedule (default: random from seed)")
+    chaos_run.add_argument("--jsonl", metavar="FILE",
+                           help="write structured log records + metrics as JSONL")
 
     chaos_soak = chaos_sub.add_parser("soak", help="many seeded scenarios")
     _common_chaos_args(chaos_soak)
     chaos_soak.add_argument("--runs", type=int, default=20)
+
+    trace = sub.add_parser(
+        "trace", help="observed run: per-job timelines + phase breakdown"
+    )
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--heads", type=int, default=3)
+    trace.add_argument("--computes", type=int, default=2)
+    trace.add_argument("--jobs", type=int, default=3)
+    trace.add_argument("--ordering", choices=["sequencer", "token"],
+                       default="sequencer")
+    trace.add_argument("--jsonl", metavar="FILE",
+                       help="write the merged span/log/metric stream as JSONL")
+    trace.add_argument("--rpc", action="store_true",
+                       help="also print the per-request-type RPC table")
     return parser
 
 
@@ -207,6 +227,11 @@ def _cmd_chaos(args):
                 intensity=args.intensity,
             )
             reports = [report]
+            if args.jsonl:
+                from repro.obs.export import metric_records, write_jsonl
+                records = list(report.log_records)
+                records.extend(metric_records(report.registry))
+                write_jsonl(args.jsonl, records)
         else:
             reports = soak(
                 args.seed, args.runs,
@@ -218,8 +243,14 @@ def _cmd_chaos(args):
         # a usage error, not a crash.
         return f"error: {exc}", 2
 
+    from repro.obs.report import rpc_latency_lines
+
     lines = [r.summary() for r in reports]
     failed = [r for r in reports if not r.ok]
+    if args.chaos_command == "run":
+        lines.append("")
+        lines.append("rpc conversations (per request type):")
+        lines.extend(rpc_latency_lines(reports[0].registry))
     for r in failed:
         lines.append("")
         lines.append(f"FAILED seed={r.seed} ordering={r.ordering} — replay with:")
@@ -237,6 +268,44 @@ def _cmd_chaos(args):
     return "\n".join(lines), (1 if failed else 0)
 
 
+def _cmd_trace(args):
+    from repro.joshua.trace import run_traced_scenario
+    from repro.obs.export import collector_records, write_jsonl
+    from repro.obs.report import (
+        job_timeline_lines,
+        phase_breakdown_lines,
+        rpc_latency_lines,
+    )
+
+    run = run_traced_scenario(
+        seed=args.seed, heads=args.heads, computes=args.computes,
+        jobs=args.jobs, ordering=args.ordering,
+    )
+    lines = [
+        f"traced run: seed={run.seed} heads={run.heads} "
+        f"computes={run.computes} ordering={run.ordering} "
+        f"jobs={len(run.submitted)}",
+    ]
+    for trace in run.collector.job_traces():
+        lines.append("")
+        lines.extend(job_timeline_lines(trace))
+    lines.append("")
+    lines.append("per-phase latency breakdown (Figure 10 decomposition):")
+    lines.extend(phase_breakdown_lines(run.registry))
+    if args.rpc:
+        lines.append("")
+        lines.append("rpc conversations (per request type):")
+        lines.extend(rpc_latency_lines(run.registry))
+    if args.jsonl:
+        count = write_jsonl(
+            args.jsonl,
+            collector_records(run.collector, run.cluster.kernel.log),
+        )
+        lines.append("")
+        lines.append(f"wrote {count} records to {args.jsonl}")
+    return "\n".join(lines)
+
+
 _COMMANDS = {
     "figure10": _cmd_figure10,
     "figure11": _cmd_figure11,
@@ -245,6 +314,7 @@ _COMMANDS = {
     "correlated": _cmd_correlated,
     "ablations": _cmd_ablations,
     "chaos": _cmd_chaos,
+    "trace": _cmd_trace,
 }
 
 

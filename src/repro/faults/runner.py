@@ -22,6 +22,8 @@ from repro.faults.invariants import InvariantSuite, Violation
 from repro.faults.schedule import FaultSchedule, random_schedule
 from repro.gcs.config import GroupConfig
 from repro.joshua.deploy import build_joshua_stack
+from repro.obs.collector import attach_collector
+from repro.obs.metrics import MetricsRegistry
 from repro.rpc import TimeoutRecord, rpc_state
 from repro.util.errors import NoActiveHeadError
 
@@ -56,6 +58,13 @@ class ChaosReport:
     #: while heads are down; in a *failed* run they show which dst/request
     #: pairs went dark around the violation.
     rpc_timeouts: list[TimeoutRecord] = field(default_factory=list)
+    #: Metrics accumulated by the run's trace collector (per-request-type
+    #: RPC latency/retry histograms, GCS ordering overhead, job phases).
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Structured log records of the run (``SimLogger.to_dicts`` form) —
+    #: violations are logged under source ``"chaos"`` so failure reports
+    #: and trace spans share one machine-readable stream.
+    log_records: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -82,6 +91,7 @@ def run_chaos(
     intensity: int = 3,
     quiesce: float = 15.0,
     queue_bound: int = 500,
+    registry: MetricsRegistry | None = None,
 ) -> ChaosReport:
     """Run one chaos scenario and return its report.
 
@@ -108,6 +118,7 @@ def run_chaos(
         head_count=heads, compute_count=computes, login_node=True, seed=seed
     )
     stack = build_joshua_stack(cluster, group_config=group)
+    collector = attach_collector(cluster.network, registry=registry)
     cluster.run(until=2.0)  # let the group form before faults begin
 
     suite = InvariantSuite(stack, queue_bound=queue_bound).attach()
@@ -148,6 +159,9 @@ def run_chaos(
     injector.heal_all()
     cluster.run(until=cluster.kernel.now + quiesce)
     suite.final_check()
+    for violation in suite.violations:
+        cluster.kernel.log.error("chaos", str(violation), seed=seed,
+                                 ordering=ordering)
 
     return ChaosReport(
         seed=seed,
@@ -158,6 +172,8 @@ def run_chaos(
         jobs_completed=suite.completed_jobs(),
         violations=list(suite.violations),
         rpc_timeouts=list(rpc_state(cluster.network).timeouts),
+        registry=collector.registry,
+        log_records=cluster.kernel.log.to_dicts(),
     )
 
 

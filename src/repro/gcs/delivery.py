@@ -180,6 +180,15 @@ class DeliveryQueue:
         """Payloads currently held (observability for the GC tests)."""
         return len(self._data)
 
+    def snapshot(self) -> dict:
+        """Read-only queue state for trace collectors / backlog gauges."""
+        return {
+            "cursor": self._cursor,
+            "payloads": len(self._data),
+            "orderings": len(self._order),
+            "stable_through": self.stable_through(),
+        }
+
     # -- flush support -----------------------------------------------------------
 
     def flush_report(self) -> tuple[tuple, tuple, tuple]:

@@ -57,6 +57,7 @@ from repro.gcs.view import View
 from repro.net.address import Address
 from repro.net.network import Endpoint
 from repro.net.transport import Transport
+from repro.obs.collector import collector_of
 from repro.util.errors import GroupCommError, NotInView
 
 __all__ = [
@@ -95,6 +96,7 @@ class GroupMember:
         on_view: Callable[[View], None] | None = None,
     ):
         self.config = config
+        self.network = endpoint.network
         self.kernel = endpoint.network.kernel
         self.address = endpoint.address
         self.on_deliver = on_deliver
@@ -132,6 +134,9 @@ class GroupMember:
             self.transport.send,
             batch_delay=config.sequencer_batch_delay,
         )
+        # Forward ordering assignments to an attached trace collector
+        # (observation only — the engine behaves identically either way).
+        self.engine.observer = self._order_observed
 
         self.state = IDLE
         self.view: View | None = None
@@ -237,6 +242,9 @@ class GroupMember:
         self._msg_counter += 1
         self._own_pending[msg_id] = (service, payload)
         self.stats["multicasts"] += 1
+        collector = collector_of(self.network)
+        if collector is not None:
+            collector.gcs_multicast(self.address.node, msg_id, service, payload)
         if self.state == NORMAL:
             self._send_data(msg_id, service, payload)
         return msg_id
@@ -364,11 +372,19 @@ class GroupMember:
         self.engine.on_token(src, token)
 
     def _deliver_ready(self) -> None:
+        collector = collector_of(self.network)
         for msg in self.queue.pop_deliverable():
             self._own_pending.pop(msg.msg_id, None)
             self.stats["delivered"] += 1
+            if collector is not None:
+                collector.gcs_delivered(self.address.node, msg, self.queue.snapshot())
             if self.on_deliver is not None:
                 self.on_deliver(msg)
+
+    def _order_observed(self, seq: int, msg_id: MessageId) -> None:
+        collector = collector_of(self.network)
+        if collector is not None:
+            collector.gcs_ordered(self.address.node, seq, msg_id)
 
     def _on_suspect(self, peer: Address) -> None:
         self.flush.on_suspect(peer)

@@ -55,6 +55,14 @@ class _EngineBase:
         self.send = send
         self.view: View | None = None
         self.next_seq = 0
+        #: Optional ``callable(seq, msg_id)`` invoked for each assignment
+        #: this engine creates (observation only; wired by the owning
+        #: member to the trace collector when one is attached).
+        self.observer: Callable[[int, MessageId], None] | None = None
+
+    def _observed(self, seq: int, msg_id: MessageId) -> None:
+        if self.observer is not None:
+            self.observer(seq, msg_id)
 
     def start_view(self, view: View, next_seq: int) -> None:
         self.view = view
@@ -105,6 +113,7 @@ class SequencerEngine(_EngineBase):
         self._assigned.add(msg_id)
         assignment = (self.next_seq, msg_id)
         self.next_seq += 1
+        self._observed(assignment[0], msg_id)
         if self.batch_delay <= 0:
             self.broadcast(OrderMsg(self.view.view_id, (assignment,)))
             return
@@ -159,6 +168,8 @@ class TokenRingEngine(_EngineBase):
             assignments = tuple((seq + i, m) for i, m in enumerate(self._pending))
             seq += len(self._pending)
             self._pending = []
+            for assigned_seq, assigned_id in assignments:
+                self._observed(assigned_seq, assigned_id)
             self.broadcast(OrderMsg(self.view.view_id, assignments))
             self._forward(TokenMsg(self.view.view_id, seq), delay=0.0)
         else:

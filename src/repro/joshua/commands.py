@@ -29,6 +29,7 @@ from typing import Generator
 from repro.joshua.wire import JDelReq, JStatReq, JSubReq
 from repro.net.address import Address
 from repro.net.network import Network
+from repro.obs.collector import collector_of
 from repro.pbs.job import JobSpec
 from repro.pbs.service_times import ERA_2006, ServiceTimes
 from repro.rpc import failover_call, rpc_state
@@ -74,18 +75,33 @@ class JoshuaClient:
 
     def _call(self, payload) -> Generator:
         yield self.network.kernel.timeout(self.times.client_startup)
+        collector = collector_of(self.network)
+        uuid = getattr(payload, "uuid", None)
+        if collector is not None and uuid is not None:
+            # The command uuid is the causal trace id: already globally
+            # unique, already on the wire — tracing adds no wire bytes.
+            collector.job_event(self.node, "job.sent", trace_id=uuid,
+                                command=uuid.split("-", 1)[0])
         # Skipping a down head models the instant connection-refused a dead
         # node's TCP stack (or ARP failure) produces, vs. a full RPC timeout;
         # a head answering "joining" cannot order commands yet — move on.
-        response = yield from failover_call(
-            self.network, self.node,
-            [Address(h, _JOSHUA_PORT) for h in self._ordered_heads()],
-            payload,
-            timeout=self.timeout,
-            retry_error=lambda exc: "joining" in str(exc),
-            stats=self.stats,
-            what=f"no active head answered {type(payload).__name__}",
-        )
+        try:
+            response = yield from failover_call(
+                self.network, self.node,
+                [Address(h, _JOSHUA_PORT) for h in self._ordered_heads()],
+                payload,
+                timeout=self.timeout,
+                retry_error=lambda exc: "joining" in str(exc),
+                stats=self.stats,
+                what=f"no active head answered {type(payload).__name__}",
+            )
+        except NoActiveHeadError:
+            if collector is not None and uuid is not None:
+                collector.job_event(self.node, "job.failed", trace_id=uuid)
+            raise
+        if collector is not None and uuid is not None:
+            collector.job_event(self.node, "job.acked", trace_id=uuid,
+                                response=type(response).__name__)
         return response
 
     def jsub(self, spec: JobSpec | None = None, **spec_kwargs) -> Generator:

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 from repro.gcs.messages import SAFE
 from repro.joshua.wire import Command, JDelReq, JSubReq, XferMarker
 from repro.net.address import Address
+from repro.obs.collector import collector_of
 from repro.pbs.wire import DeleteReq, ErrorResp, StatReq, SubmitReq, rpc_call
 from repro.sim.resources import Store
 from repro.util.errors import PBSError
@@ -72,6 +73,10 @@ class SerialExecutor:
         else:
             command = Command(uuid, "jstat", payload.job_id)
         s.stats["commands"] += 1
+        collector = collector_of(s.node.network)
+        if collector is not None:
+            collector.job_event(s.node.name, "job.received",
+                                trace_id=uuid, command=command.kind)
         s.group.multicast(command, service=SAFE)
         return None
 
@@ -88,6 +93,11 @@ class SerialExecutor:
             if isinstance(payload, XferMarker):
                 yield from s._execute_marker(payload)
             elif isinstance(payload, Command):
+                collector = collector_of(s.node.network)
+                if collector is not None:
+                    collector.job_event(s.node.name, "job.ordered",
+                                        trace_id=payload.uuid,
+                                        seq=item.seq, view=item.view_id)
                 if not s.active and s.xfer.syncing_marker is not None:
                     # Commands queued between an abandoned marker and its
                     # replacement are covered by the fresh capture.
@@ -123,6 +133,16 @@ class SerialExecutor:
             result = ErrorResp("pbs-error", str(exc))
         self.results[command.uuid] = result
         self.s.stats["executed"] += 1
+        collector = collector_of(self.s.node.network)
+        if collector is not None:
+            job_id = getattr(result, "job_id", None)
+            if command.kind == "jsub" and job_id is not None:
+                # Later lifecycle events (claims, launches, obits) are
+                # keyed by PBS job id; tie them back to this command.
+                collector.job_alias(command.uuid, job_id)
+            collector.job_event(self.s.node.name, "job.executed",
+                                trace_id=command.uuid, command=command.kind,
+                                result=type(result).__name__)
         yield self.s.kernel.timeout(self.s.times.cmd_reply)
         self.answer(command.uuid)
 

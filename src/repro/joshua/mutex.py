@@ -23,6 +23,7 @@ from repro.gcs.messages import SAFE
 from repro.gcs.view import View
 from repro.joshua.wire import Claim, Done, JMutexReq, JMutexResp, Started
 from repro.net.address import Address
+from repro.obs.collector import collector_of
 from repro.pbs.wire import RerunReq
 from repro.util.errors import PBSError
 
@@ -54,6 +55,10 @@ class MutexArbiter:
 
     def handle_jmutex(self, src: Address, request_id: int, req: JMutexReq) -> None:
         s = self.s
+        collector = collector_of(s.node.network)
+        if collector is not None:
+            collector.job_event(s.node.name, "job.jmutex",
+                                job_id=req.job_id, head=req.head)
         entry = self.entries.get(req.job_id)
         if entry is not None:
             decision = "run" if entry.winner == req.head else "emulate"
@@ -70,8 +75,14 @@ class MutexArbiter:
         entry = self.entries.get(job_id)
         if entry is None:
             return
-        for src, request_id in self._waiters.pop(job_id, []):
-            decision = "run" if entry.winner == s.head_name else "emulate"
+        waiters = self._waiters.pop(job_id, [])
+        decision = "run" if entry.winner == s.head_name else "emulate"
+        if waiters:
+            collector = collector_of(s.node.network)
+            if collector is not None:
+                collector.job_event(s.node.name, "job.decided", job_id=job_id,
+                                    decision=decision, winner=entry.winner)
+        for src, request_id in waiters:
             s._reply(src, request_id, JMutexResp(decision, entry.winner))
 
     # -- delivered (totally ordered) side -------------------------------------
@@ -79,6 +90,10 @@ class MutexArbiter:
     def on_claim(self, claim: Claim) -> None:
         if claim.job_id not in self.entries:
             self.entries[claim.job_id] = _MutexEntry(claim.head)
+            collector = collector_of(self.s.node.network)
+            if collector is not None:
+                collector.job_event(self.s.node.name, "job.claim",
+                                    job_id=claim.job_id, head=claim.head)
         self.flush_waiters(claim.job_id)
 
     def on_started(self, started: Started) -> None:

@@ -1,0 +1,276 @@
+"""The per-simulation trace collector: hooks in, spans + metrics out.
+
+One :class:`TraceCollector` hangs off a :class:`~repro.net.network.Network`
+(like :func:`repro.rpc.rpc_state`) and is fed by the substrate's hook
+points:
+
+* client-side RPC — the ``on_request`` / ``on_response`` hook lists on
+  :class:`~repro.rpc.state.RpcState` (a timed-out conversation reports
+  through the same path with a :class:`~repro.rpc.state.TimeoutRecord`
+  marker, so the collector sees *every* conversation);
+* server-side RPC — the per-simulation ``on_dispatch`` /
+  ``on_dispatch_done`` hooks every :class:`~repro.rpc.server.RpcDispatcher`
+  fires;
+* GCS — :meth:`gcs_multicast` / :meth:`gcs_ordered` / :meth:`gcs_delivered`
+  called by :class:`~repro.gcs.member.GroupMember` when a collector is
+  attached (``collector_of(network)`` returns ``None`` otherwise — one
+  attribute read, the stacks above pay nothing when unobserved);
+* job lifecycle — :meth:`job_event` / :meth:`job_alias` called from the
+  JOSHUA client, serial executor, mutex arbiter and PBS mom.
+
+**Passivity contract.** The collector never spawns a process, never yields
+or schedules a simulation event, never draws from an RNG stream, and never
+changes a wire payload. Attaching it must leave a simulation's event trace
+bit-identical; ``tests/integration/test_obs_passive.py`` enforces exactly
+that across normal / membership-churn / partition scenarios.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.obs.events import PHASE_EDGES, JobTrace, TraceEvent
+from repro.obs.metrics import ATTEMPT_BUCKETS, MetricsRegistry
+from repro.rpc.state import TimeoutRecord, rpc_state
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+__all__ = ["TraceCollector", "attach_collector", "collector_of", "detach_collector"]
+
+#: Bound on the flat event log (oldest events drop first). Job traces and
+#: metrics are aggregate state and not bounded by this.
+EVENT_LOG_LIMIT = 200_000
+
+#: Bound on the multicast-sent timestamp map (see :meth:`gcs_multicast`).
+MCAST_MAP_LIMIT = 50_000
+
+
+class TraceCollector:
+    """Span + metrics sink for one simulation."""
+
+    def __init__(
+        self,
+        network: "Network",
+        *,
+        registry: MetricsRegistry | None = None,
+        event_limit: int = EVENT_LOG_LIMIT,
+    ):
+        self.network = network
+        self.kernel = network.kernel
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Flat, bounded, time-ordered event log.
+        self.events: deque[TraceEvent] = deque(maxlen=event_limit)
+        #: trace_id -> JobTrace, in first-seen order.
+        self.jobs: dict[str, JobTrace] = {}
+        #: job_id -> trace_id (filled by :meth:`job_alias`).
+        self._alias: dict[str, str] = {}
+        #: request_id -> [start time, last attempt seen].
+        self._rpc_open: dict[int, list] = {}
+        #: (daemon tag, request_id) -> dispatch start time.
+        self._dispatch_open: dict[tuple, float] = {}
+        #: msg_id -> multicast-sent time (insertion-ordered, bounded).
+        self._mcast_sent: dict = {}
+        #: msg_ids whose first ORDER assignment was already recorded.
+        self._ordered_ids: set = set()
+
+    # -- event plumbing ------------------------------------------------------
+
+    def record(self, kind: str, node: str, trace_id: str | None = None, **fields) -> TraceEvent:
+        event = TraceEvent(self.kernel.now, kind, node, trace_id, fields)
+        self.events.append(event)
+        return event
+
+    # -- client-side RPC hooks ----------------------------------------------
+
+    def rpc_request(self, node, server, request_id, payload, attempt) -> None:
+        request_type = type(payload).__name__
+        entry = self._rpc_open.get(request_id)
+        if entry is None:
+            self._rpc_open[request_id] = [self.kernel.now, attempt]
+        else:
+            entry[1] = attempt
+            self.registry.counter("rpc.client.retries", request=request_type).inc()
+        self.registry.counter("rpc.client.requests", request=request_type).inc()
+        self.record("rpc.send", node, request=request_type,
+                    dst=str(server), attempt=attempt, request_id=request_id)
+
+    def rpc_response(self, node, server, request_id, payload, response) -> None:
+        request_type = type(payload).__name__
+        started, attempts = self._rpc_open.pop(request_id, (self.kernel.now, 1))
+        latency = self.kernel.now - started
+        timed_out = isinstance(response, TimeoutRecord)
+        outcome = "timeout" if timed_out else "ok"
+        self.registry.histogram("rpc.client.latency_s", request=request_type).observe(latency)
+        self.registry.histogram(
+            "rpc.client.attempts", request=request_type, buckets=ATTEMPT_BUCKETS
+        ).observe(float(attempts))
+        if timed_out:
+            self.registry.counter("rpc.client.timeouts", request=request_type).inc()
+        self.record("rpc.call", node, request=request_type, dst=str(server),
+                    latency_s=latency, attempts=attempts, outcome=outcome,
+                    response=type(response).__name__)
+
+    # -- server-side dispatch hooks -----------------------------------------
+
+    def rpc_dispatch(self, daemon, src, request_id, payload) -> None:
+        self._dispatch_open[(daemon.tag, request_id)] = self.kernel.now
+        self.registry.counter(
+            "rpc.server.dispatch",
+            daemon=daemon.name, request=type(payload).__name__,
+        ).inc()
+        self.record("rpc.dispatch", daemon.node.name,
+                    daemon=daemon.tag, request=type(payload).__name__,
+                    request_id=request_id, src=str(src))
+
+    def rpc_dispatch_done(self, daemon, src, request_id, payload, response) -> None:
+        started = self._dispatch_open.pop((daemon.tag, request_id), None)
+        if started is not None:
+            self.registry.histogram(
+                "rpc.server.handle_s",
+                daemon=daemon.name, request=type(payload).__name__,
+            ).observe(self.kernel.now - started)
+
+    # -- GCS ordering pipeline ----------------------------------------------
+
+    def gcs_multicast(self, node: str, msg_id, service: str, payload) -> None:
+        self._mcast_sent[msg_id] = self.kernel.now
+        if len(self._mcast_sent) > MCAST_MAP_LIMIT:
+            # Trim oldest half; insertion order == send order.
+            for key in list(self._mcast_sent)[: MCAST_MAP_LIMIT // 2]:
+                del self._mcast_sent[key]
+        self.registry.counter("gcs.multicasts", node=node, service=service).inc()
+        self.record("gcs.mcast", node, msg_id=str(msg_id), service=service,
+                    payload=type(payload).__name__)
+
+    def gcs_ordered(self, node: str, seq: int, msg_id) -> None:
+        self.registry.counter("gcs.order.assignments", node=node).inc()
+        if msg_id not in self._ordered_ids:
+            self._ordered_ids.add(msg_id)
+            sent = self._mcast_sent.get(msg_id)
+            if sent is not None:
+                self.registry.histogram("gcs.ordering.delay_s", node=node).observe(
+                    self.kernel.now - sent
+                )
+        self.record("gcs.order", node, seq=seq, msg_id=str(msg_id))
+
+    def gcs_delivered(self, node: str, msg, queue_stats: dict) -> None:
+        self.registry.counter("gcs.delivered", node=node, service=msg.service).inc()
+        self.registry.gauge("gcs.delivery.backlog", node=node).set(
+            queue_stats.get("payloads", 0)
+        )
+        sent = self._mcast_sent.get(msg.msg_id)
+        if sent is not None and msg.sender.node == node:
+            # End-to-end ordering+stability overhead, measured at the sender
+            # (the Transis share of a jsub's latency in Figure 10).
+            self.registry.histogram("gcs.e2e.delay_s", node=node).observe(
+                self.kernel.now - sent
+            )
+        self.record("gcs.deliver", node, msg_id=str(msg.msg_id), seq=msg.seq,
+                    view=msg.view_id, service=msg.service,
+                    payload=type(msg.payload).__name__, sender=msg.sender.node)
+
+    # -- job lifecycle -------------------------------------------------------
+
+    def job_alias(self, trace_id: str, job_id: str) -> None:
+        """Link a PBS job id to the command uuid that created it."""
+        self._alias[job_id] = trace_id
+        trace = self.jobs.get(trace_id)
+        if trace is not None and trace.job_id is None:
+            trace.job_id = job_id
+
+    def job_event(
+        self,
+        node: str,
+        kind: str,
+        trace_id: str | None = None,
+        job_id: str | None = None,
+        **fields,
+    ) -> None:
+        """Record one lifecycle event, resolving *job_id* to its trace.
+
+        Events for a job id never aliased (e.g. plain-PBS jobs in a mixed
+        run) open their own trace keyed by the job id itself.
+        """
+        tid = trace_id if trace_id is not None else self._alias.get(job_id, job_id)
+        if tid is None:
+            return
+        trace = self.jobs.get(tid)
+        if trace is None:
+            trace = self.jobs[tid] = JobTrace(tid)
+        if job_id is not None:
+            fields = {"job_id": job_id, **fields}
+            if trace.job_id is None:
+                trace.job_id = job_id
+        if trace.command is None and "command" in fields:
+            trace.command = fields["command"]
+        fresh = trace.first(kind) is None
+        event = self.record(kind, node, trace_id=tid, **fields)
+        trace.events.append(event)
+        if fresh:
+            self._observe_phase(trace, kind, event.time)
+
+    def _observe_phase(self, trace: JobTrace, end_kind: str, end_time: float) -> None:
+        """Feed the job-phase histograms on the first occurrence of a
+        phase-ending event (per-job breakdowns come from the trace itself)."""
+        for phase, (end, start_kind) in PHASE_EDGES.items():
+            if end != end_kind:
+                continue
+            start = trace.first(start_kind)
+            if start is not None and end_time >= start.time:
+                self.registry.histogram("job.phase_s", phase=phase).observe(
+                    end_time - start.time
+                )
+
+    # -- read side -----------------------------------------------------------
+
+    def job_traces(self) -> list[JobTrace]:
+        """Traces in first-seen order."""
+        return list(self.jobs.values())
+
+
+def attach_collector(
+    network: "Network",
+    *,
+    registry: MetricsRegistry | None = None,
+) -> TraceCollector:
+    """Attach (or return the already-attached) collector for *network*.
+
+    Registers the RPC hook methods and publishes the collector where the
+    GCS / PBS / JOSHUA call sites look it up (:func:`collector_of`).
+    """
+    existing = collector_of(network)
+    if existing is not None:
+        return existing
+    collector = TraceCollector(network, registry=registry)
+    state = rpc_state(network)
+    state.on_request.append(collector.rpc_request)
+    state.on_response.append(collector.rpc_response)
+    state.on_dispatch.append(collector.rpc_dispatch)
+    state.on_dispatch_done.append(collector.rpc_dispatch_done)
+    network._obs_collector = collector
+    return collector
+
+
+def collector_of(network: "Network") -> TraceCollector | None:
+    """The collector attached to *network*, or ``None`` (the common case —
+    unobserved simulations pay one attribute read per hook site)."""
+    return getattr(network, "_obs_collector", None)
+
+
+def detach_collector(network: "Network") -> None:
+    """Remove the attached collector and its RPC hook registrations."""
+    collector = collector_of(network)
+    if collector is None:
+        return
+    state = rpc_state(network)
+    for hooks, fn in (
+        (state.on_request, collector.rpc_request),
+        (state.on_response, collector.rpc_response),
+        (state.on_dispatch, collector.rpc_dispatch),
+        (state.on_dispatch_done, collector.rpc_dispatch_done),
+    ):
+        if fn in hooks:
+            hooks.remove(fn)
+    network._obs_collector = None

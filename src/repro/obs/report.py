@@ -1,0 +1,132 @@
+"""Human-readable reporting: job timelines, phase breakdowns, metric tables.
+
+Pure formatting over collector/registry state — returns lists of lines so
+the CLI surfaces (``repro trace``, ``repro chaos``) stay in charge of
+printing. The phase breakdown table is the Figure-10 analogue: one row per
+lifecycle phase with count/mean/p95 over every traced job, separating the
+Transis-side cost (ordering) from the PBS-side cost (execute/launch/run).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.events import PHASE_ORDER, JobTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "format_table",
+    "job_timeline_lines",
+    "phase_breakdown_lines",
+    "rpc_latency_lines",
+    "metrics_summary_lines",
+]
+
+
+def format_table(headers: list[str], rows: list[list[str]], indent: str = "  ") -> list[str]:
+    """Left-aligned fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def render(cells):
+        return indent + "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [render(headers), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rows)
+    return lines
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000:.2f}ms"
+
+
+def job_timeline_lines(trace: JobTrace) -> list[str]:
+    """One job's causal timeline: every lifecycle event with +delta from
+    the first, then its per-phase decomposition."""
+    title = trace.command or "job"
+    ids = trace.trace_id + (f" -> {trace.job_id}" if trace.job_id and trace.job_id != trace.trace_id else "")
+    lines = [f"{title} {ids}"]
+    start = trace.started_at or 0.0
+    for event in trace.events:
+        extra = {k: v for k, v in event.fields.items() if k not in ("job_id", "command")}
+        detail = "".join(f" {k}={v}" for k, v in sorted(extra.items()))
+        lines.append(
+            f"  t={event.time:>9.4f}s  +{_ms(event.time - start):>9}  "
+            f"{event.kind:<13} @{event.node}{detail}"
+        )
+    phases = trace.phases()
+    if phases:
+        parts = "  ".join(f"{p}={_ms(phases[p])}" for p in PHASE_ORDER if p in phases)
+        lines.append(f"  phases: {parts}")
+    return lines
+
+
+def phase_breakdown_lines(registry: "MetricsRegistry") -> list[str]:
+    """Aggregate per-phase latency table (the Figure-10 decomposition)."""
+    series = dict_by_label(registry.find("job.phase_s"), "phase")
+    rows = []
+    for phase in PHASE_ORDER:
+        hist = series.get(phase)
+        if hist is None or not hist.count:
+            continue
+        s = hist.summary()
+        rows.append([
+            phase, str(s["count"]), _ms(s["mean"]), _ms(s["min"]),
+            _ms(s["p50"]), _ms(s["p95"]), _ms(s["max"]),
+        ])
+    if not rows:
+        return ["  (no job phases observed)"]
+    return format_table(["phase", "count", "mean", "min", "p50", "p95", "max"], rows)
+
+
+def rpc_latency_lines(registry: "MetricsRegistry") -> list[str]:
+    """Per-request-type RPC table: calls, retries, timeouts, latency."""
+    latency = dict_by_label(registry.find("rpc.client.latency_s"), "request")
+    if not latency:
+        return ["  (no rpc conversations observed)"]
+    retries = {
+        labels.get("request"): counter.value
+        for labels, counter in registry.find("rpc.client.retries")
+    }
+    timeouts = {
+        labels.get("request"): counter.value
+        for labels, counter in registry.find("rpc.client.timeouts")
+    }
+    rows = []
+    for request in sorted(latency):
+        hist = latency[request]
+        s = hist.summary()
+        rows.append([
+            request, str(s["count"]),
+            str(retries.get(request, 0)), str(timeouts.get(request, 0)),
+            _ms(s["mean"]), _ms(s["p50"]), _ms(s["p95"]), _ms(s["max"]),
+        ])
+    return format_table(
+        ["request", "calls", "retries", "timeouts", "mean", "p50", "p95", "max"], rows
+    )
+
+
+def metrics_summary_lines(registry: "MetricsRegistry", prefix: str = "") -> list[str]:
+    """Compact one-line-per-series dump of every registered metric."""
+    lines = []
+    for record in registry.snapshot():
+        if prefix and not record["name"].startswith(prefix):
+            continue
+        labels = ",".join(f"{k}={v}" for k, v in sorted(record["labels"].items()))
+        name = f"{record['name']}{{{labels}}}" if labels else record["name"]
+        if record["type"] == "histogram":
+            value = (
+                f"count={record['count']} mean={record['mean']:.6f} "
+                f"p95={record['p95']:.6f} max={record['max']:.6f}"
+            )
+        else:
+            value = f"{record['value']}"
+        lines.append(f"  {name:<50} {value}")
+    return lines or ["  (no metrics recorded)"]
+
+
+def dict_by_label(pairs, label: str) -> dict:
+    """``registry.find()`` output keyed by one label's value."""
+    return {labels.get(label): metric for labels, metric in pairs}

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Callable, Generator
 
 from repro.cluster.daemon import Daemon
 from repro.net.address import Address
+from repro.obs.collector import collector_of
 from repro.pbs.job import KILLED_EXIT_STATUS
 from repro.pbs.service_times import ERA_2006, ServiceTimes
 from repro.pbs.wire import JobObit, JobStartReq, JobStartResp, KillJobReq, SimpleResp
@@ -172,16 +173,24 @@ class PBSMom(Daemon):
                 )
                 return
 
+        collector = collector_of(self.node.network)
         if decision == "emulate":
             self.stats["emulations"] += 1
             self.emulated.setdefault(req.job_id, set())
             if req.server is not None:
                 self.emulated[req.job_id].add(req.server)
+            if collector is not None:
+                collector.job_event(self.node.name, "job.emulated",
+                                    job_id=req.job_id,
+                                    server=str(req.server))
             self._reply_start(src, request_id, JobStartResp(True, "emulate"))
             return
 
         # Actually execute.
         self.stats["runs"] += 1
+        if collector is not None:
+            collector.job_event(self.node.name, "job.launched",
+                                job_id=req.job_id, server=str(req.server))
         process = self.spawn(self._execute(req), name=f"{self.tag}-job-{req.job_id}")
         self.active[req.job_id] = _RunningJob(req, process, self.kernel.now)
         if self.on_job_start is not None:
@@ -213,6 +222,11 @@ class PBSMom(Daemon):
             finished_at=self.kernel.now,
         )
         self.finished[req.job_id] = obit
+        collector = collector_of(self.node.network)
+        if collector is not None:
+            collector.job_event(self.node.name, "job.obit",
+                                job_id=req.job_id, exit_status=exit_status,
+                                ran_s=round(obit.finished_at - obit.started_at, 6))
         if self.on_job_done is not None:
             self.on_job_done(obit)
         self.spawn(self._broadcast_obit(obit), name=f"{self.tag}-obit-{req.job_id}")

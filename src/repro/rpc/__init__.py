@@ -18,9 +18,10 @@ framing, retries and dedup per stack:
   ids, ephemeral ports, uuid/marker families) plus the bounded
   :class:`~repro.rpc.state.TimeoutRecord` log chaos reports surface.
 
-Layering: ``util → sim → net → rpc → gcs → pbs → joshua`` — this package
-sits directly on :mod:`repro.net` and knows nothing about the protocol
-stacks above it.
+Layering: ``util → sim → net → rpc → obs → gcs → pbs → joshua`` — this
+package sits directly on :mod:`repro.net` and knows nothing about the
+protocol stacks above it; :mod:`repro.obs` registers into the hook lists
+on :class:`~repro.rpc.state.RpcState` from one layer up.
 """
 
 from repro.rpc.client import call, failover_call

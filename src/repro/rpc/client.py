@@ -18,7 +18,7 @@ from repro.net.address import Address
 from repro.net.network import Network
 from repro.rpc.errors import RpcTimeout
 from repro.rpc.policy import DEFAULT_POLICY, RetryPolicy
-from repro.rpc.state import TimeoutRecord, rpc_state
+from repro.rpc.state import TimeoutRecord, rpc_state, run_hooks
 from repro.util.errors import NoActiveHeadError, PBSError
 
 __all__ = ["call", "failover_call", "ErrorRelay"]
@@ -85,8 +85,8 @@ def call(
             backoff = policy.delay_before(attempt)
             if backoff > 0:
                 yield kernel.timeout(backoff)
-            for hook in state.on_request:
-                hook(node, server, request_id, payload, attempt)
+            run_hooks(state.on_request, node, server, request_id, payload,
+                      attempt, log=kernel.log, where="rpc.client")
             endpoint.send(server, ("RPC", request_id, payload))
             deadline = kernel.timeout(policy.timeout)
             while True:
@@ -101,8 +101,9 @@ def call(
                         and frame[1] == request_id
                     ):
                         response = frame[2]
-                        for hook in state.on_response:
-                            hook(node, server, request_id, payload, response)
+                        run_hooks(state.on_response, node, server, request_id,
+                                  payload, response, log=kernel.log,
+                                  where="rpc.client")
                         if isinstance(response, _ERROR_RESPONSE_TYPES):
                             raise PBSError(
                                 f"{response.kind}: {response.message}"
@@ -111,10 +112,16 @@ def call(
                     continue
                 if deadline.processed:
                     break  # retry (same request id: server-side idempotent)
-        state.record_timeout(TimeoutRecord(
+        record = TimeoutRecord(
             time=kernel.now, src=node, dst=server,
             request_type=type(payload).__name__, attempts=policy.attempts,
-        ))
+        )
+        state.record_timeout(record)
+        # Exhausted conversations report through the same hook path as
+        # answered ones, with the TimeoutRecord as the response marker —
+        # collectors therefore see every conversation exactly once.
+        run_hooks(state.on_response, node, server, request_id, payload,
+                  record, log=kernel.log, where="rpc.client")
         raise RpcTimeout(server, type(payload).__name__, policy.attempts)
     finally:
         endpoint.close()

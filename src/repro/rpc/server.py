@@ -15,8 +15,12 @@ Handlers are registered per request *type*:
   the spawned handler process and may yield simulation events);
 * ``delay`` is a float or a ``callable(payload) -> float`` charged
   *before* the handler runs (the calibrated service time);
-* ``pre_dispatch`` / ``post_dispatch`` hook lists are the tracing/metrics
-  attachment points — empty by default, zero overhead.
+* ``pre_dispatch`` / ``post_dispatch`` hook lists are per-dispatcher
+  attachment points; additionally every dispatcher fires the
+  *per-simulation* ``on_dispatch`` / ``on_dispatch_done`` hooks on
+  :class:`~repro.rpc.state.RpcState` — the server-side half of the
+  :mod:`repro.obs` tracing surface. All hooks are isolated: a raising
+  hook is logged, never propagated into the dispatch path.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ import inspect
 from typing import Any, Callable
 
 from repro.net.address import Address
+from repro.rpc.state import rpc_state, run_hooks
 
 __all__ = ["RpcDispatcher", "RequestHandler", "ResponseCache"]
 
@@ -111,6 +116,7 @@ class RpcDispatcher:
         #: Called as ``hook(src, request_id, payload, response)`` after the
         #: reply (response is None for deferred replies).
         self.post_dispatch: list[Callable] = []
+        self._state = rpc_state(daemon.node.network)
 
     def register(
         self,
@@ -151,8 +157,10 @@ class RpcDispatcher:
             if cached is not _MISSING:
                 daemon.endpoint.send(src, ("RPC-R", request_id, cached))
                 return
-        for hook in self.pre_dispatch:
-            hook(src, request_id, payload)
+        run_hooks(self.pre_dispatch, src, request_id, payload,
+                  log=daemon.log, where=daemon.tag)
+        run_hooks(self._state.on_dispatch, daemon, src, request_id, payload,
+                  log=daemon.log, where=daemon.tag)
         entry = self._handlers.get(type(payload))
         try:
             if entry is None:
@@ -174,5 +182,7 @@ class RpcDispatcher:
                 raise
         if response is not None:
             self.reply(src, request_id, response)
-        for hook in self.post_dispatch:
-            hook(src, request_id, payload, response)
+        run_hooks(self.post_dispatch, src, request_id, payload, response,
+                  log=daemon.log, where=daemon.tag)
+        run_hooks(self._state.on_dispatch_done, daemon, src, request_id,
+                  payload, response, log=daemon.log, where=daemon.tag)

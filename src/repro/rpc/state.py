@@ -12,8 +12,13 @@ The state object also owns the observability surface of the substrate:
 
 * a bounded log of :class:`TimeoutRecord` entries (every exhausted RPC),
   surfaced by chaos-run reports;
-* ``on_request`` / ``on_response`` client-side hook lists, the tracing/
-  metrics attachment points promised by the ROADMAP.
+* ``on_request`` / ``on_response`` client-side hook lists plus
+  ``on_dispatch`` / ``on_dispatch_done`` server-side lists — the tracing/
+  metrics attachment points :mod:`repro.obs` registers into.
+
+Hooks are observers, never participants: :func:`run_hooks` isolates a
+raising hook (logged, not propagated) so a buggy collector cannot break an
+RPC conversation.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ from typing import Any, Callable
 
 from repro.net.network import Network
 
-__all__ = ["RpcState", "TimeoutRecord", "rpc_state"]
+__all__ = ["RpcState", "TimeoutRecord", "rpc_state", "run_hooks"]
 
 #: First request id handed out in a fresh simulation (matches the historical
 #: module-level counter so traces are unchanged).
@@ -64,8 +69,18 @@ class RpcState:
         #: just before each request datagram is sent.
         self.on_request: list[Callable] = []
         #: Called as ``hook(node, server, request_id, payload, response)``
-        #: when a matching response arrives.
+        #: when a matching response arrives — or, for an exhausted
+        #: conversation, with the :class:`TimeoutRecord` as the response
+        #: marker, so hooks see every conversation exactly once.
         self.on_response: list[Callable] = []
+        #: Called as ``hook(daemon, src, request_id, payload)`` when any
+        #: dispatcher in this simulation starts handling a request
+        #: (cache replays excluded — no handler runs).
+        self.on_dispatch: list[Callable] = []
+        #: Called as ``hook(daemon, src, request_id, payload, response)``
+        #: after the handler finished (response is None for deferred
+        #: replies answered later via ``RpcDispatcher.reply``).
+        self.on_dispatch_done: list[Callable] = []
 
     def next_id(self, family: str, start: int = 1) -> int:
         """Next value from the named per-simulation counter family.
@@ -87,6 +102,21 @@ class RpcState:
 
     def record_timeout(self, record: TimeoutRecord) -> None:
         self.timeouts.append(record)
+
+
+def run_hooks(hooks: list[Callable], *args, log=None, where: str = "rpc") -> None:
+    """Invoke observer *hooks*, isolating failures.
+
+    A raising hook is a bug in the observer, not in the conversation it
+    watches: the exception is logged (when a :class:`~repro.util.simlog.SimLogger`
+    is supplied) and swallowed, never propagated into the RPC path.
+    """
+    for hook in hooks:
+        try:
+            hook(*args)
+        except Exception as exc:
+            if log is not None:
+                log.error(where, f"observer hook {hook!r} raised: {exc!r}")
 
 
 def rpc_state(network: Network) -> RpcState:

@@ -9,6 +9,7 @@ assert on them; it can also mirror to stderr for interactive debugging.
 
 from __future__ import annotations
 
+import json
 import sys
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
@@ -32,6 +33,19 @@ class LogRecord:
         """Render as ``[   12.345s] INFO  source: message k=v``."""
         extra = "".join(f" {k}={v!r}" for k, v in sorted(self.fields.items()))
         return f"[{self.time:>10.4f}s] {self.level:<7} {self.source}: {self.message}{extra}"
+
+    def to_dict(self) -> dict:
+        """Machine-readable form; the ``type`` discriminator keeps log
+        records distinguishable from trace spans in one merged JSONL
+        stream (see :mod:`repro.obs.export`)."""
+        return {
+            "type": "log",
+            "time": self.time,
+            "level": self.level,
+            "source": self.source,
+            "message": self.message,
+            "fields": dict(self.fields),
+        }
 
 
 class SimLogger:
@@ -116,3 +130,18 @@ class SimLogger:
     def dump(self, records: Iterable[LogRecord] | None = None) -> str:
         """Render records (default: all) one per line."""
         return "\n".join(r.format() for r in (self.records if records is None else records))
+
+    def to_dicts(self, records: Iterable[LogRecord] | None = None) -> list[dict]:
+        """Structured export of *records* (default: all retained)."""
+        return [r.to_dict() for r in (self.records if records is None else records)]
+
+    def to_jsonl(self, records: Iterable[LogRecord] | None = None) -> str:
+        """Records as JSONL, one JSON object per line (trailing newline).
+
+        Non-JSON-native field values degrade to their ``repr`` — an export
+        must never fail because a caller logged an address or a message id.
+        """
+        lines = [
+            json.dumps(d, sort_keys=True, default=repr) for d in self.to_dicts(records)
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")

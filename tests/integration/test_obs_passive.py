@@ -1,0 +1,129 @@
+"""Passivity proof: observation leaves the simulation bit-identical.
+
+The obs layer's hard contract (ISSUE 3): attaching the full TraceCollector
++ MetricsRegistry must not schedule a simulation event, draw randomness,
+or change a wire payload. These tests run three representative scenarios
+(normal operation, membership churn, partition + heal) twice — bare and
+fully observed — and demand *exact* equality of the wire-level send trace
+and the kernel/network counters. Back-to-back runs of the same seed are
+already bit-identical (see test_determinism), so any difference here is
+caused by observation itself.
+
+Each observed run also has to produce non-trivial traces and metrics, so a
+collector that silently observes nothing cannot pass vacuously.
+"""
+
+import pytest
+
+from repro.obs import attach_collector
+from tests.integration.conftest import drive, make_stack
+
+
+def _spy_network_sends(stack, sink: list):
+    kernel = stack.cluster.kernel
+    original_send = stack.cluster.network.send
+
+    def spy(src, dst, payload, **kw):
+        sink.append((kernel.now, str(src), str(dst), repr(payload)[:160]))
+        return original_send(src, dst, payload, **kw)
+
+    stack.cluster.network.send = spy
+
+
+def _summary(stack):
+    cluster = stack.cluster
+    deliveries = tuple(
+        (h, stack.joshua(h).group.stats["delivered"])
+        for h in stack.head_names
+        if cluster.node(h).is_up and "joshua" in cluster.node(h).daemons
+    )
+    return {
+        "events": cluster.kernel.processed_events,
+        "now": cluster.kernel.now,
+        "net": dict(cluster.network.stats),
+        "deliveries": deliveries,
+    }
+
+
+def _scenario_normal(stack):
+    client = stack.client(node="login")
+    for i in range(3):
+        drive(stack, client.jsub(name=f"n{i}", walltime=2.0))
+    drive(stack, client.jstat())
+    stack.cluster.run(until=20.0)
+
+
+def _scenario_membership(stack):
+    client = stack.client(node="login")
+    for i in range(2):
+        drive(stack, client.jsub(name=f"m{i}", walltime=2.0))
+    stack.cluster.node("head0").crash()
+    stack.cluster.run(until=stack.cluster.kernel.now + 3.0)
+    drive(stack, client.jsub(name="after-crash", walltime=2.0))
+    stack.cluster.node("head0").restart()
+    stack.cluster.run(until=35.0)
+
+
+def _scenario_partition(stack):
+    client = stack.client(node="login")
+    drive(stack, client.jsub(name="p0", walltime=2.0))
+    net = stack.cluster.network
+    net.partitions.set_partitions(
+        [["head0", "head1", "compute0", "compute1", "login"], ["head2"]]
+    )
+    stack.cluster.run(until=stack.cluster.kernel.now + 4.0)
+    drive(stack, client.jsub(name="during-partition", walltime=2.0))
+    net.partitions.heal_partitions()
+    stack.cluster.run(until=40.0)
+
+
+SCENARIOS = {
+    "normal": _scenario_normal,
+    "membership": _scenario_membership,
+    "partition": _scenario_partition,
+}
+
+
+def _run(scenario: str, *, observed: bool):
+    stack = make_stack(heads=3, computes=2, seed=11)
+    sends: list = []
+    _spy_network_sends(stack, sends)
+    collector = attach_collector(stack.cluster.network) if observed else None
+    SCENARIOS[scenario](stack)
+    return sends, _summary(stack), collector
+
+
+class TestObservationIsPassive:
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_trace_bit_identical_with_and_without_collector(self, scenario):
+        bare_sends, bare_summary, _ = _run(scenario, observed=False)
+        obs_sends, obs_summary, collector = _run(scenario, observed=True)
+
+        # The observed run really observed something...
+        assert collector is not None
+        assert collector.jobs, "no job traces collected"
+        assert any(t.phases() for t in collector.job_traces())
+        assert collector.registry.find("rpc.client.latency_s")
+        assert collector.registry.find("gcs.multicasts")
+
+        # ...and perturbed nothing: every datagram, timestamp and counter
+        # matches the unobserved run exactly.
+        assert obs_summary == bare_summary
+        assert obs_sends == bare_sends
+
+
+class TestCollectorLifecycle:
+    def test_attach_is_idempotent_and_detach_reverses(self):
+        from repro.obs import collector_of, detach_collector
+        from repro.rpc import rpc_state
+
+        stack = make_stack(heads=2, computes=1, seed=5)
+        network = stack.cluster.network
+        collector = attach_collector(network)
+        assert attach_collector(network) is collector
+        state = rpc_state(network)
+        assert state.on_request.count(collector.rpc_request) == 1
+        detach_collector(network)
+        assert collector_of(network) is None
+        assert collector.rpc_request not in state.on_request
+        assert collector.rpc_dispatch not in state.on_dispatch

@@ -55,6 +55,26 @@ class TestParser:
         args = build_parser().parse_args(["chaos", "soak", "--runs", "3"])
         assert args.runs == 3 and args.chaos_command == "soak"
 
+    def test_chaos_run_jsonl_flag(self):
+        args = build_parser().parse_args(
+            ["chaos", "run", "--jsonl", "out.jsonl"]
+        )
+        assert args.jsonl == "out.jsonl"
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.seed == 7 and args.heads == 3 and args.computes == 2
+        assert args.jobs == 3 and args.ordering == "sequencer"
+        assert args.jsonl is None and not args.rpc
+
+    def test_trace_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "--seed", "3", "--jobs", "1", "--ordering", "token",
+             "--rpc", "--jsonl", "trace.jsonl"]
+        )
+        assert args.seed == 3 and args.jobs == 1 and args.ordering == "token"
+        assert args.rpc and args.jsonl == "trace.jsonl"
+
 
 class TestCommands:
     def test_figure12_output(self, capsys):
@@ -90,6 +110,30 @@ class TestCommands:
         out = capsys.readouterr().out
         for model in ("single", "active_standby", "asymmetric", "symmetric"):
             assert model in out
+
+    def test_trace_output_and_jsonl(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.jsonl"
+        code = main([
+            "trace", "--seed", "7", "--jobs", "1", "--rpc",
+            "--jsonl", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        # Per-job causal timeline with the lifecycle spans...
+        for kind in ("job.sent", "job.ordered", "job.executed", "job.acked",
+                     "job.launched", "job.obit"):
+            assert kind in out
+        assert "phases:" in out
+        # ...the Figure-10 phase table and the per-request RPC table.
+        assert "per-phase latency breakdown" in out
+        assert "ordering" in out
+        assert "rpc conversations" in out
+        assert "JSubReq" in out
+        # JSONL export: every line parses; all discriminators present.
+        records = [json.loads(line) for line in out_path.read_text().splitlines()]
+        assert {"span", "job", "metric"} <= {r["type"] for r in records}
 
     def test_chaos_run_from_schedule_file(self, capsys, tmp_path):
         from repro.faults import FaultSchedule

@@ -3,7 +3,7 @@
 The core packages form strict layers — each may import only from layers
 below it::
 
-    util -> sim -> net -> rpc -> gcs -> pbs -> joshua
+    util -> sim -> net -> rpc -> obs -> gcs -> pbs -> joshua
 
 CI additionally runs ``lint-imports`` (import-linter) against the same
 contract declared in ``pyproject.toml``; this AST-based test keeps the
@@ -20,7 +20,7 @@ SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 #: Layer order, lowest first. A module in layer i may import repro.<layer j>
 #: only for j <= i. Packages not listed (cluster, aa, pvfs, faults, bench,
 #: cli, workload, …) sit above the stack and are unconstrained.
-LAYERS = ["util", "sim", "net", "rpc", "gcs", "pbs", "joshua"]
+LAYERS = ["util", "sim", "net", "rpc", "obs", "gcs", "pbs", "joshua"]
 RANK = {name: index for index, name in enumerate(LAYERS)}
 
 
