@@ -118,9 +118,11 @@ class ReplicatedService(Daemon):
         gcs_port: int,
         initial_members: list[str] | None = None,
         contacts: list[str] | None = None,
-        group_config: GroupConfig = GroupConfig(),
+        group_config: GroupConfig | None = None,
     ):
         super().__init__(node, name, port)
+        if group_config is None:
+            group_config = GroupConfig()
         if (initial_members is None) == (contacts is None):
             raise JoshuaError("exactly one of initial_members/contacts required")
         self.driver = driver

@@ -1,0 +1,39 @@
+"""Finding records produced by the analysis rules."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``rule`` is ``"R1"``..``"R5"`` for the determinism/protocol rules, or
+    ``"R0"`` for problems with the ignore directives themselves (missing
+    reason, directive that suppresses nothing).
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "rule": self.rule,
+                "path": self.path,
+                "line": self.line,
+                "col": self.col,
+                "message": self.message,
+            },
+            sort_keys=True,
+        )

@@ -1,0 +1,180 @@
+"""R4: protocol completeness across wire modules and their dispatch tables.
+
+For every wire-message dataclass the rule demands:
+
+* a **server-side handler** somewhere in the protocol's handler package —
+  recognised as a dispatch-dict key (``{DataMsg: self._handle_data, …}``),
+  a ``register``/``reg`` call argument (including tuple registrations), an
+  ``isinstance(payload, T)`` test, or a ``match``-case class pattern;
+* a **client-side constructor**: the class is instantiated somewhere in the
+  codebase outside the wire module that defines it.
+
+Response types (``*Resp``) are produced by servers and consumed generically
+by :func:`repro.rpc.client.call`, so they need a constructor but not a
+registered handler. Types that are not wire messages at all (delivery
+records, identifier tuples) are exempted in :data:`PROTOCOLS` with the
+reason recorded next to the exemption.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+__all__ = ["PROTOCOLS", "ProtocolSpec", "rule_r4"]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One wire module and where its handlers/constructors may live."""
+
+    name: str
+    wire: str                          # wire module, repro-relative path
+    handler_prefixes: tuple[str, ...]  # dirs scanned for dispatch of its types
+    #: type name -> why no handler is required (not a wire message).
+    exempt: dict[str, str] = field(default_factory=dict)
+
+
+PROTOCOLS = (
+    ProtocolSpec(
+        name="gcs",
+        wire="gcs/messages.py",
+        handler_prefixes=("gcs/",),
+        exempt={
+            "MessageId": "identifier tuple embedded in messages, not itself sent",
+            "DeliveredMessage": "local delivery record handed to services, never on the wire",
+        },
+    ),
+    ProtocolSpec(name="pbs", wire="pbs/wire.py", handler_prefixes=("pbs/",)),
+    ProtocolSpec(name="joshua", wire="joshua/wire.py", handler_prefixes=("joshua/",)),
+    ProtocolSpec(name="pvfs", wire="pvfs/wire.py", handler_prefixes=("pvfs/",)),
+)
+
+_REGISTER_NAMES = ("register", "reg")
+
+
+def _module_all(tree: ast.Module) -> list[str]:
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "__all__"
+            and isinstance(node.value, (ast.List, ast.Tuple))
+        ):
+            return [
+                elt.value
+                for elt in node.value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            ]
+    return []
+
+
+def _wire_classes(tree: ast.Module) -> dict[str, int]:
+    """Class name -> definition line for classes exported via ``__all__``."""
+    exported = set(_module_all(tree))
+    return {
+        node.name: node.lineno
+        for node in tree.body
+        if isinstance(node, ast.ClassDef) and (not exported or node.name in exported)
+    }
+
+
+def _type_names(node: ast.AST) -> list[str]:
+    """Type names out of a ``T`` or ``(T1, T2)`` dispatch argument."""
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    if isinstance(node, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for elt in node.elts:
+            names.extend(_type_names(elt))
+        return names
+    return []
+
+
+def _handled_types(tree: ast.AST) -> set[str]:
+    handled: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Dict):
+            # Dispatch-table display: {DataMsg: handler, ...}.
+            for key in node.keys:
+                if key is not None:
+                    handled.update(
+                        n for n in _type_names(key) if n[:1].isupper()
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            func_name = (
+                func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name)
+                else None
+            )
+            if func_name in _REGISTER_NAMES and node.args:
+                handled.update(_type_names(node.args[0]))
+            elif func_name == "isinstance" and len(node.args) == 2:
+                handled.update(_type_names(node.args[1]))
+        elif isinstance(node, ast.MatchClass):
+            handled.update(_type_names(node.cls))
+    return handled
+
+
+def _constructed_types(tree: ast.AST) -> set[str]:
+    constructed: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            constructed.update(
+                n for n in _type_names(node.func) if n[:1].isupper()
+            )
+    return constructed
+
+
+def rule_r4(files: dict[str, ast.Module]) -> list[Finding]:
+    """*files* maps repro-relative paths to parsed modules."""
+    findings: list[Finding] = []
+    for spec in PROTOCOLS:
+        wire_tree = files.get(spec.wire)
+        if wire_tree is None:
+            continue
+        classes = _wire_classes(wire_tree)
+        handled: set[str] = set()
+        constructed: set[str] = set()
+        for path, tree in files.items():
+            if path == spec.wire:
+                continue
+            if path.startswith(spec.handler_prefixes):
+                handled |= _handled_types(tree)
+            constructed |= _constructed_types(tree)
+        for cls, lineno in sorted(classes.items()):
+            if cls in spec.exempt:
+                continue
+            is_response = cls.endswith("Resp")
+            if not is_response and cls not in handled:
+                findings.append(
+                    Finding(
+                        "R4",
+                        spec.wire,
+                        lineno,
+                        0,
+                        f"{spec.name} message {cls} has no handler in "
+                        f"{'/'.join(spec.handler_prefixes)} — register it in a "
+                        "dispatch table (or exempt it in analysis.protocol."
+                        "PROTOCOLS with a reason)",
+                    )
+                )
+            if cls not in constructed:
+                findings.append(
+                    Finding(
+                        "R4",
+                        spec.wire,
+                        lineno,
+                        0,
+                        f"{spec.name} message {cls} is never constructed "
+                        "outside its wire module — dead wire type (no "
+                        "client-side encoder)",
+                    )
+                )
+    return findings

@@ -11,6 +11,7 @@
     python -m repro chaos run  [--seed S] [--schedule FILE] [...]
     python -m repro chaos soak [--seed S] [--runs N] [...]
     python -m repro trace [--seed S] [--jobs N] [--jsonl FILE]
+    python -m repro lint  [--rule RN ...] [--jsonl]
 
 Every command prints the same tables the benchmark suite produces; all
 runs are deterministic given ``--seed``. The chaos commands exit non-zero
@@ -112,6 +113,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the merged span/log/metric stream as JSONL")
     trace.add_argument("--rpc", action="store_true",
                        help="also print the per-request-type RPC table")
+
+    lint = sub.add_parser(
+        "lint", help="determinism & protocol static analysis (rules R1–R5)"
+    )
+    lint.add_argument(
+        "--rule", action="append", choices=["R1", "R2", "R3", "R4", "R5"],
+        metavar="RN", help="run only these rules (repeatable; default: all)",
+    )
+    lint.add_argument("--jsonl", action="store_true",
+                      help="one JSON object per finding instead of text")
+    lint.add_argument("--root", metavar="DIR",
+                      help="package root to lint (default: the installed repro package)")
     return parser
 
 
@@ -306,6 +319,22 @@ def _cmd_trace(args):
     return "\n".join(lines)
 
 
+def _cmd_lint(args):
+    from repro.analysis import run_lint
+
+    findings = run_lint(root=args.root, rules=args.rule)
+    if args.jsonl:
+        lines = [f.to_json() for f in findings]
+    else:
+        lines = [f.render() for f in findings]
+        which = ", ".join(args.rule) if args.rule else "R1–R5"
+        lines.append(
+            f"{len(findings)} finding(s) ({which})"
+            + ("" if findings else " — determinism/protocol contract holds")
+        )
+    return "\n".join(lines), (1 if findings else 0)
+
+
 _COMMANDS = {
     "figure10": _cmd_figure10,
     "figure11": _cmd_figure11,
@@ -315,6 +344,7 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
+    "lint": _cmd_lint,
 }
 
 

@@ -55,6 +55,7 @@ class Cluster:
         strict_errors: bool = True,
         log_level: str = "WARNING",
         log_echo: bool = False,
+        sanitize: bool = False,
     ):
         if head_count < 1:
             raise ClusterError("need at least one head node")
@@ -65,6 +66,7 @@ class Cluster:
             strict_errors=strict_errors,
             log_level=log_level,
             log_echo=log_echo,
+            sanitize=sanitize,
         )
         self.network = Network(
             self.kernel, lan=lan, loopback=loopback, shared_medium=shared_medium

@@ -194,7 +194,8 @@ class DeliveryQueue:
     def flush_report(self) -> tuple[tuple, tuple, tuple]:
         """(known, orderings, delivered) for a FlushOk contribution."""
         known = tuple(
-            (msg_id, (data.service, data.payload)) for msg_id, data in self._data.items()
+            (msg_id, (data.service, data.payload))
+            for msg_id, data in sorted(self._data.items())
         )
         orderings = tuple(sorted(self._order.items()))
         delivered = tuple(sorted(self._delivered_ids))

@@ -63,9 +63,9 @@ class FailureDetector:
         """Replace the monitored peer set (self is filtered out)."""
         new_peers = {p for p in peers if p != self.transport.address}
         now = self.kernel.now
-        for peer in new_peers - self._peers:
+        for peer in sorted(new_peers - self._peers):
             self._last_heard[peer] = now
-        for peer in self._peers - new_peers:
+        for peer in sorted(self._peers - new_peers):
             self._last_heard.pop(peer, None)
             self._suspected.discard(peer)
         self._peers = new_peers
@@ -113,13 +113,16 @@ class FailureDetector:
                 # every peer would be suspected for our own downtime.
                 self._dormant = False
                 now = self.kernel.now
-                for peer in self._peers:
+                for peer in sorted(self._peers):
                     self._last_heard[peer] = now
             beat = Heartbeat(sent_at=self.kernel.now)
-            for peer in self._peers:
+            # Sorted: heartbeat wire order must not depend on the hash
+            # seed of the peer set (the determinism sanitizer's digest
+            # diverges across PYTHONHASHSEED values otherwise).
+            for peer in sorted(self._peers):
                 self.transport.send_raw(peer, beat)
             now = self.kernel.now
-            for peer in self._peers:
+            for peer in sorted(self._peers):
                 if peer in self._suspected:
                     continue
                 if now - self._last_heard.get(peer, now) > self.suspect_timeout:

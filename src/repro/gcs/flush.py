@@ -212,14 +212,14 @@ class FlushEngine:
         old_members = set(m.view.members) if m.view is not None else set()
         # Union of payloads anyone still holds.
         known: dict[MessageId, tuple[str, Any]] = {}
-        for ok in flush.replies.values():
+        for _sender, ok in sorted(flush.replies.items()):
             for msg_id, (service, payload) in ok.known:
                 known.setdefault(msg_id, (service, payload))
         # Sequence assignments from the most-advanced responders (highest
         # installed view): their order extends every other survivor's prefix.
         best_vid = max(ok.view_id for ok in flush.replies.values())
         orderings: dict[int, MessageId] = {}
-        for ok in flush.replies.values():
+        for _sender, ok in sorted(flush.replies.items()):
             if ok.view_id != best_vid:
                 continue
             for seq, msg_id in ok.orderings:
@@ -237,7 +237,7 @@ class FlushEngine:
         # difference from the closing list (duplicate suppression protects
         # the advanced members).
         old_responders = [
-            ok for a, ok in flush.replies.items()
+            ok for a, ok in sorted(flush.replies.items())
             if a in old_members and ok.view_id >= 0
         ]
         if old_responders:

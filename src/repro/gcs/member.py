@@ -90,11 +90,13 @@ class GroupMember:
     def __init__(
         self,
         endpoint: Endpoint,
-        config: GroupConfig = GroupConfig(),
+        config: GroupConfig | None = None,
         *,
         on_deliver: Callable[[DeliveredMessage], None] | None = None,
         on_view: Callable[[View], None] | None = None,
     ):
+        if config is None:
+            config = GroupConfig()
         self.config = config
         self.network = endpoint.network
         self.kernel = endpoint.network.kernel

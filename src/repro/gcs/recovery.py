@@ -68,7 +68,7 @@ class RecoveryTracker:
     def collect_buffered(self, view_id: int) -> list[tuple[Address, Any]]:
         """Traffic buffered for *view_id*, pruning everything older."""
         buffered = self.future.pop(view_id, [])
-        self.future = {v: msgs for v, msgs in self.future.items() if v > view_id}
+        self.future = {v: msgs for v, msgs in sorted(self.future.items()) if v > view_id}
         return buffered
 
     # -- join bookkeeping -----------------------------------------------------

@@ -119,7 +119,7 @@ class JoshuaServer(Daemon):
         #: Fully in service (joined + state transferred).
         self.active = False
         self.stats = {"commands": 0, "executed": 0, "claims": 0, "revocations": 0,
-                      "state_transfers_served": 0}
+                      "state_transfers_served": 0, "state_transfers_pulled": 0}
         self.executor = SerialExecutor(self)
         self.arbiter = MutexArbiter(self)
         self.xfer = StateTransfer(self)
@@ -224,8 +224,13 @@ class JoshuaServer(Daemon):
         return ErrorResp("joining", "not in view")
 
     def _handle_xfer_req(self, src: Address, request_id: int, payload: StateXferReq):
-        # Served from the executor when it reaches the marker; a direct
-        # request here means the joiner retried — re-serve if captured.
+        # State is normally *pushed* when the executor reaches the marker;
+        # a direct request means the joiner never heard that push (lost
+        # frame). Re-serve the capture if we have it, else tell the joiner
+        # to retry/recut.
+        response = self.xfer.served(payload.marker_uuid)
+        if response is not None:
+            return response
         return ErrorResp("retry", "marker not reached")
 
     # ------------------------------------------------------------------

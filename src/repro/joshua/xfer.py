@@ -25,16 +25,21 @@ from typing import TYPE_CHECKING
 
 from repro.gcs.view import View
 from repro.joshua.mutex import _MutexEntry
-from repro.joshua.wire import StateXferResp, XferMarker
+from repro.joshua.wire import StateXferReq, StateXferResp, XferMarker
+from repro.net.address import Address
 from repro.pbs.job import Job, JobSpec, JobState
 from repro.pbs.wire import LoadStateReq, PurgeReq, StatReq, SubmitReq
-from repro.rpc import rpc_state
+from repro.rpc import RpcTimeout, call as rpc_call, rpc_state
 from repro.util.errors import PBSError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.joshua.server import JoshuaServer
 
 __all__ = ["StateTransfer"]
+
+#: Must match repro.joshua.server.JOSHUA_PORT (redeclared to avoid an
+#: import cycle — the server module imports this one).
+_JOSHUA_PORT = 4412
 
 
 class StateTransfer:
@@ -46,6 +51,9 @@ class StateTransfer:
         self.syncing_marker: str | None = None
         self.marker_seen = False
         self._responses: dict[str, StateXferResp] = {}
+        #: Sponsor side: captures we already served, kept so a joiner whose
+        #: pushed ``("XFER", …)`` frame was lost can pull them over RPC.
+        self._served: dict[str, StateXferResp] = {}
         self._waiters: dict[str, object] = {}
         self._applied: set[str] = set()
         self._seen_rejoins = 0
@@ -119,9 +127,15 @@ class StateTransfer:
         if not others:
             return
         response = yield from self.capture_state(marker)
+        self._served[marker.marker_uuid] = response
         s.stats["state_transfers_served"] += 1
         if not s.endpoint.closed:
             s.endpoint.send(marker.joiner, ("XFER", response))
+
+    def served(self, marker_uuid: str) -> StateXferResp | None:
+        """The capture for *marker_uuid*, if this member already served it
+        (backs the :class:`~repro.joshua.wire.StateXferReq` pull path)."""
+        return self._served.get(marker_uuid)
 
     def capture_state(self, marker: XferMarker):
         s = self.s
@@ -189,6 +203,36 @@ class StateTransfer:
 
     # -- joiner side ----------------------------------------------------------
 
+    def _pull_state(self, uuid: str):
+        """Ask each active member directly for the capture of *uuid*.
+
+        Fallback for a lost ``("XFER", …)`` push frame: the sponsors may
+        have captured and answered perfectly well without our ever hearing
+        it. Returns the first matching :class:`StateXferResp`, or ``None``
+        if nobody has one (sponsor died mid-capture → fresh marker cut).
+        """
+        s = self.s
+        view = s.group.view
+        if view is None:
+            return None
+        for member in sorted(view.members):
+            if member.node == s.node.name:
+                continue
+            target = Address(member.node, _JOSHUA_PORT)
+            try:
+                response = yield from rpc_call(
+                    s.node.network, s.node.name, target,
+                    StateXferReq(uuid, s.address),
+                    timeout=s.group.config.flush_timeout,
+                )
+            except (RpcTimeout, PBSError):
+                continue
+            if isinstance(response, StateXferResp) and response.marker_uuid == uuid:
+                s.stats["state_transfers_pulled"] += 1
+                s.log.info(s.tag, f"pulled state for {uuid} from {member.node}")
+                return response
+        return None
+
     def handle_response(self, response: StateXferResp) -> None:
         self._responses[response.marker_uuid] = response
         waiter = self._waiters.pop(response.marker_uuid, None)
@@ -206,8 +250,15 @@ class StateTransfer:
             deadline = s.kernel.timeout(s.group.config.flush_timeout * 4)
             yield s.kernel.any_of([waiter, deadline])
             if not waiter.triggered:
-                # Sponsor silent (likely died mid-capture): pin a fresh cut.
                 self._waiters.pop(uuid, None)
+                # The push frame may simply have been lost while the
+                # sponsors captured fine: pull the state over RPC before
+                # paying for a fresh marker cut.
+                pulled = yield from self._pull_state(uuid)
+                if pulled is not None:
+                    self._responses[uuid] = pulled
+            if uuid not in self._responses:
+                # Sponsor silent (likely died mid-capture): pin a fresh cut.
                 if not s.group.can_multicast:
                     # The group itself is mid-(re)join; a marker cannot be
                     # ordered right now. Drop the stale cut — the view that

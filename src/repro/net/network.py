@@ -130,6 +130,7 @@ class Network:
         self._slowdown: dict[str, float] = {}
         self._drop_filters: dict[int, Callable[[Address, Address, Any], bool]] = {}
         self._drop_filter_ids = 0
+        self._pair_seq: dict[tuple[Address, Address], int] = {}
         self._endpoints: dict[Address, Endpoint] = {}
         self._rng = kernel.streams.get("net")
         #: Simulated time at which the shared wire next becomes free.
@@ -252,7 +253,7 @@ class Network:
         if not self.partitions.reachable(src.node, dst.node):
             self.stats["dropped_unreachable"] += 1
             return
-        for predicate in list(self._drop_filters.values()):
+        for _token, predicate in sorted(self._drop_filters.items()):
             if predicate(src, dst, payload):
                 self.stats["dropped_filtered"] += 1
                 return
@@ -296,5 +297,12 @@ class Network:
                 Delivery(src, dst, payload, sent_at, self.kernel.now, size)
             )
 
-        timer = self.kernel.timeout(delay)
+        # The det_key tags the in-flight datagram for the determinism
+        # sanitizer: same-instant deliveries are distinguishable ties, not
+        # ambiguous ones — by (src, dst), and among same-pair datagrams by
+        # the per-pair send sequence (per-pair send order is part of the
+        # determinism contract).
+        seq = self._pair_seq.get((src, dst), 0) + 1
+        self._pair_seq[(src, dst)] = seq
+        timer = self.kernel.timeout(delay, det_key=(str(src), str(dst), seq))
         timer.callbacks.append(deliver)

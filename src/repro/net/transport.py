@@ -225,7 +225,7 @@ class Transport:
                 # endpoint and is caught above): stay dormant and resume
                 # retransmitting when the node's network comes back.
                 continue
-            for channel in self._channels.values():
+            for _dst, channel in sorted(self._channels.items()):
                 for seq in sorted(channel.unacked):
                     self.stats["retransmitted"] += 1
                     self.endpoint.send(

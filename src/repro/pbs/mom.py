@@ -119,7 +119,7 @@ class PBSMom(Daemon):
                 # Failover managers abort orphaned jobs: the applications
                 # lost their parent server and must be restarted (the
                 # active/standby semantics the paper contrasts against).
-                for job_id, record in list(self.active.items()):
+                for job_id, record in sorted(self.active.items()):
                     if record.process is not None:
                         record.process.interrupt("purged")
                     self.active.pop(job_id, None)

@@ -55,10 +55,12 @@ class JobQueue:
 
     def in_state(self, *states: JobState) -> list[Job]:
         wanted = set(states)
+        # repro-lint: ignore[R3] submission (insertion) order IS the FIFO queue semantics
         return [j for j in self._jobs.values() if j.state in wanted]
 
     def first_eligible(self, predicate: Callable[[Job], bool] | None = None) -> Job | None:
         """Oldest QUEUED job (optionally filtered) — the FIFO policy."""
+        # repro-lint: ignore[R3] submission (insertion) order IS the FIFO queue semantics
         for job in self._jobs.values():
             if job.state is JobState.QUEUED and (predicate is None or predicate(job)):
                 return job
@@ -72,4 +74,5 @@ class JobQueue:
         return list(self._jobs.values())
 
     def to_wire(self) -> list[dict]:
+        # repro-lint: ignore[R3] submission (insertion) order IS the FIFO queue semantics
         return [j.stat_row() for j in self._jobs.values()]

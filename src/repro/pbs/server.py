@@ -216,7 +216,7 @@ class PBSServer(Daemon):
                 continue
             if self.rpc.handle_frame(delivery.src, frame):
                 continue
-            if frame[0] == "OBIT":
+            if frame[0] == "OBIT" and isinstance(frame[1], JobObit):
                 self._handle_obit(delivery.src, frame[1])
 
     # -- command implementations ---------------------------------------------------
@@ -414,7 +414,7 @@ class PBSServer(Daemon):
         # nodes the obituary names: a replicated server whose (emulated)
         # dispatch chose different nodes than the actual execution must
         # not leak its own allocation records.
-        for node_name, owner in self.allocations.items():
+        for node_name, owner in sorted(self.allocations.items()):
             if owner == obit.job_id:
                 self.allocations[node_name] = None
         self._persist()

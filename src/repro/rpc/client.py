@@ -34,14 +34,15 @@ class ErrorRelay:
     """
 
 
-_ERROR_RESPONSE_TYPES: tuple[type, ...] = ()
-
-
 def register_error_response(cls: type) -> type:
-    """Register *cls* as a server-error relay (re-raised as PBSError)."""
-    global _ERROR_RESPONSE_TYPES
-    if cls not in _ERROR_RESPONSE_TYPES:
-        _ERROR_RESPONSE_TYPES = _ERROR_RESPONSE_TYPES + (cls,)
+    """Mark *cls* as a server-error relay (re-raised as PBSError).
+
+    The marker lives on the class itself rather than in a module-level
+    registry: module state would be shared across every simulation in one
+    interpreter (R2), while a class attribute is as immutable-after-import
+    as the wire type it annotates.
+    """
+    cls.__rpc_error_relay__ = True
     return cls
 
 
@@ -104,7 +105,7 @@ def call(
                         run_hooks(state.on_response, node, server, request_id,
                                   payload, response, log=kernel.log,
                                   where="rpc.client")
-                        if isinstance(response, _ERROR_RESPONSE_TYPES):
+                        if getattr(response, "__rpc_error_relay__", False):
                             raise PBSError(
                                 f"{response.kind}: {response.message}"
                             )

@@ -39,7 +39,7 @@ class Event:
     kernel processes the event, in registration order.
     """
 
-    __slots__ = ("kernel", "callbacks", "cancelled", "_state", "_ok", "_value")
+    __slots__ = ("kernel", "callbacks", "cancelled", "det_key", "_state", "_ok", "_value")
 
     def __init__(self, kernel: "Kernel"):
         self.kernel = kernel
@@ -47,6 +47,11 @@ class Event:
         #: Set when a waiting process was interrupted away from this event;
         #: queue-like primitives (Store, Resource) skip cancelled waiters.
         self.cancelled = False
+        #: Optional explicit tie-break annotation: schedulers that fan out
+        #: several same-time events set this so the determinism sanitizer
+        #: can tell them apart (see :mod:`repro.sim.sanitizer`). Purely
+        #: observational — never affects ordering.
+        self.det_key: Any = None
         self._state = PENDING
         self._ok: bool | None = None
         self._value: Any = None
@@ -118,11 +123,13 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, kernel: "Kernel", delay: float, value: Any = None):
+    def __init__(self, kernel: "Kernel", delay: float, value: Any = None,
+                 *, det_key: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
         super().__init__(kernel)
         self.delay = delay
+        self.det_key = det_key
         self._ok = True
         self._value = value
         self._state = TRIGGERED

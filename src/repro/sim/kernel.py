@@ -16,6 +16,7 @@ from typing import Any, Generator
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+from repro.sim.sanitizer import DeterminismSanitizer
 from repro.util.errors import SimulationError
 from repro.util.rng import RandomStreams
 from repro.util.simlog import SimLogger
@@ -43,6 +44,12 @@ class Kernel:
         kill daemons mid-protocol.
     log_level / log_echo:
         Configuration for the kernel-wide :class:`SimLogger`.
+    sanitize:
+        Attach a :class:`~repro.sim.sanitizer.DeterminismSanitizer`
+        (exposed as :attr:`sanitizer`): every pop feeds a cross-run order
+        digest, and same-timestamp events with indistinguishable tie-break
+        fingerprints are recorded as ambiguities. Observation only — a
+        sanitized run is bit-identical to an unsanitized one.
     """
 
     def __init__(
@@ -52,6 +59,7 @@ class Kernel:
         strict_errors: bool = True,
         log_level: str = "WARNING",
         log_echo: bool = False,
+        sanitize: bool = False,
     ):
         self._now = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
@@ -61,6 +69,13 @@ class Kernel:
         self.log = SimLogger(lambda: self._now, level=log_level, echo=log_echo)
         self._crashed_processes: list[tuple[Process, BaseException]] = []
         self._processed_events = 0
+        self.sanitizer: DeterminismSanitizer | None = (
+            DeterminismSanitizer() if sanitize else None
+        )
+        #: Process currently being resumed (set by Process._resume); the
+        #: sanitizer uses it to attribute scheduled events to their creator.
+        self._active_process: Process | None = None
+        self._enqueue_meta: dict[int, object] = {}
 
     # -- clock & stats ----------------------------------------------------
 
@@ -84,9 +99,14 @@ class Kernel:
         """A fresh pending event; trigger it with ``succeed``/``fail``."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that fires ``delay`` simulated seconds from now."""
-        return Timeout(self, delay, value)
+    def timeout(self, delay: float, value: Any = None, *, det_key: Any = None) -> Timeout:
+        """An event that fires ``delay`` simulated seconds from now.
+
+        ``det_key`` optionally annotates the timeout with an explicit
+        tie-break identity (e.g. the (src, dst) of an in-flight datagram)
+        so the determinism sanitizer can distinguish same-time fan-outs.
+        """
+        return Timeout(self, delay, value, det_key=det_key)
 
     def any_of(self, events) -> AnyOf:
         return AnyOf(self, events)
@@ -104,6 +124,11 @@ class Kernel:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._sequence += 1
+        if self.sanitizer is not None:
+            active = self._active_process
+            self._enqueue_meta[id(event)] = self.sanitizer.capture(
+                active.name if active is not None else None
+            )
         heapq.heappush(self._heap, (self._now + delay, priority, self._sequence, event))
 
     # -- main loop ----------------------------------------------------------
@@ -112,11 +137,14 @@ class Kernel:
         """Process exactly one event, advancing the clock to it."""
         if not self._heap:
             raise SimulationError("step() on an empty event queue")
-        time, _priority, _seq, event = heapq.heappop(self._heap)
+        time, priority, _seq, event = heapq.heappop(self._heap)
         if time < self._now:  # pragma: no cover - heap invariant
             raise SimulationError(f"time ran backwards: {time} < {self._now}")
         self._now = time
         self._processed_events += 1
+        if self.sanitizer is not None:
+            meta = self._enqueue_meta.pop(id(event), None)
+            self.sanitizer.observe_pop(time, priority, event, meta)
         event._process()
 
     def run(self, until: float | Event | None = None) -> Any:
@@ -159,6 +187,8 @@ class Kernel:
 
         if stop_time is not None and self._now < stop_time:
             self._now = stop_time
+        if self.sanitizer is not None:
+            self.sanitizer.finish()
         self._check_crashes()
         if stop_event is not None:
             if not stop_event.processed:

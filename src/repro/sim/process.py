@@ -90,53 +90,60 @@ class Process(Event):
         if self.triggered:
             return
         self._waiting_on = None
+        # Attribute everything the generator schedules during this resumption
+        # to this process (the determinism sanitizer reads _active_process).
+        previous_active = self.kernel._active_process
+        self.kernel._active_process = self
         try:
-            if self._interrupts:
-                exc = self._interrupts.pop(0)
-                target = self.generator.throw(exc)
-            elif event.ok:
-                target = self.generator.send(event.value)
+            try:
+                if self._interrupts:
+                    exc = self._interrupts.pop(0)
+                    target = self.generator.throw(exc)
+                elif event.ok:
+                    target = self.generator.send(event.value)
+                else:
+                    value = event.value
+                    if isinstance(event, Process) and not isinstance(value, BaseException):
+                        value = ProcessDied(event, value)  # pragma: no cover - safety net
+                    target = self.generator.throw(value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Interrupt:
+                # An uncaught interrupt terminates the process quietly: this is
+                # the normal way daemons shut down.
+                self.succeed(None)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate via event
+                self.fail(exc)
+                if not self.callbacks:
+                    # Nobody is waiting on this process: remember the crash so
+                    # Kernel.run() can surface it instead of silently dropping it.
+                    self.kernel._crashed_processes.append((self, exc))
+                return
+            if not isinstance(target, Event):
+                exc = SimulationError(f"process {self.name} yielded non-event {target!r}")
+                self.fail(exc)
+                if not self.callbacks:
+                    self.kernel._crashed_processes.append((self, exc))
+                return
+            if target.kernel is not self.kernel:
+                exc = SimulationError("process yielded an event from a different kernel")
+                self.fail(exc)
+                if not self.callbacks:
+                    self.kernel._crashed_processes.append((self, exc))
+                return
+            if target.processed:
+                # Already settled: resume immediately via a zero-delay event.
+                wake = Event(self.kernel)
+                wake.callbacks.append(lambda _ev: self._resume(target))
+                wake.succeed()
+                self._waiting_on = None
             else:
-                value = event.value
-                if isinstance(event, Process) and not isinstance(value, BaseException):
-                    value = ProcessDied(event, value)  # pragma: no cover - safety net
-                target = self.generator.throw(value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except Interrupt:
-            # An uncaught interrupt terminates the process quietly: this is
-            # the normal way daemons shut down.
-            self.succeed(None)
-            return
-        except BaseException as exc:  # noqa: BLE001 - propagate via event
-            self.fail(exc)
-            if not self.callbacks:
-                # Nobody is waiting on this process: remember the crash so
-                # Kernel.run() can surface it instead of silently dropping it.
-                self.kernel._crashed_processes.append((self, exc))
-            return
-        if not isinstance(target, Event):
-            exc = SimulationError(f"process {self.name} yielded non-event {target!r}")
-            self.fail(exc)
-            if not self.callbacks:
-                self.kernel._crashed_processes.append((self, exc))
-            return
-        if target.kernel is not self.kernel:
-            exc = SimulationError("process yielded an event from a different kernel")
-            self.fail(exc)
-            if not self.callbacks:
-                self.kernel._crashed_processes.append((self, exc))
-            return
-        if target.processed:
-            # Already settled: resume immediately via a zero-delay event.
-            wake = Event(self.kernel)
-            wake.callbacks.append(lambda _ev: self._resume(target))
-            wake.succeed()
-            self._waiting_on = None
-        else:
-            target.callbacks.append(self._resume)
-            self._waiting_on = target
+                target.callbacks.append(self._resume)
+                self._waiting_on = target
+        finally:
+            self.kernel._active_process = previous_active
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "alive" if self.is_alive else self.state

@@ -1,0 +1,205 @@
+"""Runtime determinism sanitizer: ambiguous-tie and pop-order drift detection.
+
+Symmetric active/active replication (and every determinism canary in the
+test suite) assumes the event queue is a pure function of the seed: the
+kernel breaks timestamp ties by insertion sequence, so *insertion order*
+itself must be deterministic. Two bug classes silently violate that:
+
+1. **Ambiguous ties** — two events land at the same ``(time, priority)``
+   and nothing about them (scheduling site, owning process, payload,
+   explicit ``det_key``) tells them apart. Their relative order then rests
+   *only* on insertion sequence, which typically means "whatever order the
+   scheduling loop iterated its container in" — one ``for x in some_set``
+   upstream and the simulation is hash-seed dependent.
+
+2. **Pop-order drift** — events are distinguishable, but the order they
+   were *inserted* in (and hence pop in) derives from an unordered
+   container. One run cannot see this; two runs under different
+   ``PYTHONHASHSEED`` values can. :attr:`DeterminismSanitizer.digest` is a
+   running CRC over the pop-order fingerprints — compare digests across
+   processes (or across repeated in-process runs) to detect drift.
+
+Enable with ``Kernel(sanitize=True)``. The sanitizer is purely an
+observer: it never reorders, delays, or drops events, so a sanitized run
+is bit-identical to an unsanitized one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event
+
+__all__ = ["DeterminismSanitizer", "Ambiguity", "EnqueueMeta"]
+
+#: Stable scalar types whose repr is process-independent (no memory
+#: addresses, no hash-order) and therefore safe to fingerprint.
+_STABLE_SCALARS = (type(None), bool, int, float, str, bytes)
+
+
+def _stable_token(value: Any, depth: int = 0) -> str:
+    """A repr-like token for *value* that never embeds ``0x…`` addresses.
+
+    Tuples/lists of stable scalars recurse (wire payloads are tuples of
+    addresses and counters); anything else degrades to its type name, which
+    is weaker but always deterministic.
+    """
+    if isinstance(value, _STABLE_SCALARS):
+        return repr(value)
+    if isinstance(value, (tuple, list)) and depth < 3:
+        inner = ",".join(_stable_token(v, depth + 1) for v in value[:8])
+        return f"({inner})"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type) and depth < 3:
+        inner = ",".join(
+            _stable_token(getattr(value, f.name), depth + 1)
+            for f in dataclasses.fields(value)[:8]
+        )
+        return f"{type(value).__name__}({inner})"
+    if isinstance(value, BaseException) and depth < 3:
+        inner = ",".join(_stable_token(a, depth + 1) for a in value.args[:4])
+        return f"{type(value).__name__}({inner})"
+    return type(value).__name__
+
+
+def _callback_owner(callback: Any) -> str:
+    """Stable identity of one event callback: the owning process name for
+    bound methods, the qualified name for plain functions/closures."""
+    owner = getattr(callback, "__self__", None)
+    if owner is not None:
+        name = getattr(owner, "name", None)
+        if isinstance(name, str):
+            return name
+        return type(owner).__name__
+    return getattr(callback, "__qualname__", type(callback).__name__)
+
+
+@dataclass(frozen=True)
+class EnqueueMeta:
+    """Captured at enqueue time (site/process must be read *then*)."""
+
+    site: str       # "file.py:lineno" of the first frame outside repro.sim
+    process: str    # active process name, or "-" for callback context
+
+
+@dataclass(frozen=True)
+class Ambiguity:
+    """Two or more same-(time, priority) events with identical tie-break
+    fingerprints: their relative execution order is decided purely by
+    insertion sequence, which nothing in the code pins down."""
+
+    time: float
+    priority: int
+    fingerprint: str
+    count: int
+
+    def describe(self) -> str:
+        return (
+            f"t={self.time:.6f} prio={self.priority}: {self.count} events share "
+            f"tie-break fingerprint {self.fingerprint} — order rests on "
+            f"insertion sequence alone (iterate sorted containers, or pass "
+            f"det_key= to distinguish them)"
+        )
+
+
+class DeterminismSanitizer:
+    """Observer attached to a :class:`~repro.sim.kernel.Kernel`.
+
+    The kernel calls :meth:`capture` at enqueue (site/process attribution)
+    and :meth:`observe_pop` at each pop. Pops at one ``(time, priority)``
+    are buffered into a *tie window*; when the window closes, identical
+    fingerprints within it are reported as :class:`Ambiguity` records and
+    every fingerprint is folded into :attr:`digest` in pop order.
+    """
+
+    def __init__(self) -> None:
+        #: Running CRC32 over pop-order fingerprints (cross-run comparable).
+        self.digest = 0
+        #: Detected same-timestamp ambiguities, in detection order.
+        self.ambiguities: list[Ambiguity] = []
+        self._seen: set[tuple[float, int, str]] = set()
+        self._window_key: tuple[float, int] | None = None
+        self._window: dict[str, int] = {}
+        self._pops = 0
+
+    # -- enqueue side ------------------------------------------------------
+
+    def capture(self, active_process: str | None) -> EnqueueMeta:
+        """Record scheduling context for one event (kernel calls this)."""
+        site = "?"
+        frame = sys._getframe(2)  # skip capture() and Kernel._enqueue
+        while frame is not None:
+            filename = frame.f_code.co_filename.replace("\\", "/")
+            if "repro/sim/" not in filename:
+                site = f"{filename.rsplit('/', 1)[-1]}:{frame.f_lineno}"
+                break
+            frame = frame.f_back
+        return EnqueueMeta(site=site, process=active_process or "-")
+
+    # -- pop side ----------------------------------------------------------
+
+    def fingerprint(self, event: "Event", meta: EnqueueMeta | None) -> str:
+        """Tie-break fingerprint for *event*, computed at pop time (so
+        callbacks attached after enqueue are visible)."""
+        parts = [type(event).__name__]
+        if meta is not None:
+            parts.append(meta.site)
+            parts.append(meta.process)
+        det_key = getattr(event, "det_key", None)
+        if det_key is not None:
+            parts.append(f"key={_stable_token(det_key)}")
+        delay = getattr(event, "delay", None)
+        if delay is not None:
+            parts.append(f"delay={delay!r}")
+        name = getattr(event, "name", None)  # Process events carry names
+        if isinstance(name, str):
+            parts.append(name)
+        try:
+            value = event.value if event.triggered else None
+        except Exception:  # pragma: no cover - defensive
+            value = None
+        if value is not None:
+            parts.append(_stable_token(value))
+        if event.callbacks:
+            parts.append("+".join(_callback_owner(cb) for cb in event.callbacks[:4]))
+        return "|".join(parts)
+
+    def observe_pop(self, time: float, priority: int, event: "Event",
+                    meta: EnqueueMeta | None) -> None:
+        fp = self.fingerprint(event, meta)
+        self._pops += 1
+        self.digest = zlib.crc32(
+            f"{time!r}:{priority}:{fp}".encode("utf-8", "replace"), self.digest
+        )
+        key = (time, priority)
+        if key != self._window_key:
+            self._flush_window()
+            self._window_key = key
+        self._window[fp] = self._window.get(fp, 0) + 1
+
+    def _flush_window(self) -> None:
+        if self._window_key is None:
+            return
+        time, priority = self._window_key
+        for fp, count in self._window.items():
+            if count > 1 and (time, priority, fp) not in self._seen:
+                self._seen.add((time, priority, fp))
+                self.ambiguities.append(Ambiguity(time, priority, fp, count))
+        self._window.clear()
+
+    def finish(self) -> None:
+        """Close the current tie window (call when the run ends)."""
+        self._flush_window()
+        self._window_key = None
+
+    def report(self) -> str:
+        self.finish()
+        lines = [f"determinism sanitizer: {self._pops} pops, "
+                 f"digest={self.digest:#010x}, "
+                 f"{len(self.ambiguities)} ambiguous tie(s)"]
+        lines.extend("  " + a.describe() for a in self.ambiguities)
+        return "\n".join(lines)

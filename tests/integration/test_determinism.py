@@ -6,15 +6,23 @@ of event counts, timings and end state — any accidental use of wall clock,
 unseeded randomness, or hash-order iteration shows up here first.
 """
 
+import os
+
 from repro.cluster import Cluster
 from repro.joshua import build_joshua_stack
 from repro.pbs.job import JobState
 
 from tests.integration.conftest import FAST_GROUP
 
+#: CI runs this module a second time with REPRO_SANITIZE=1: the same
+#: canaries, but with the kernel's determinism sanitizer watching every
+#: pop for ambiguous ties (see repro.sim.sanitizer).
+SANITIZE = os.environ.get("REPRO_SANITIZE", "") == "1"
+
 
 def run_scenario(seed: int):
-    cluster = Cluster(head_count=3, compute_count=2, seed=seed, login_node=True)
+    cluster = Cluster(head_count=3, compute_count=2, seed=seed, login_node=True,
+                      sanitize=SANITIZE)
     stack = build_joshua_stack(cluster, group_config=FAST_GROUP)
     kernel = cluster.kernel
     client = stack.client(node="login")
@@ -35,6 +43,8 @@ def run_scenario(seed: int):
     kernel.spawn(fault())
     cluster.run(until=process)
     cluster.run(until=40.0)
+    if SANITIZE:
+        assert kernel.sanitizer.ambiguities == [], kernel.sanitizer.report()
     queue = tuple(
         (j.job_id, j.state.value, j.exit_status) for j in stack.pbs("head1").jobs
     )

@@ -206,3 +206,27 @@ class TestCrashedHeadRejoins:
         job_id = drive(stack, stack.client(node="login", prefer="head0").jsub(name="fresh"))
         settle(stack, 1.0)
         assert job_id in stack.pbs("head0").jobs
+
+
+class TestStateTransferPull:
+    def test_lost_push_frame_recovered_over_rpc(self, stack):
+        """The sponsors' ``("XFER", …)`` push can be lost like any other
+        datagram. The joiner must not stall or recut forever: after the
+        push deadline it pulls the served capture directly over RPC
+        (StateXferReq) and completes the transfer."""
+        client = stack.client(node="login")
+        ids = [drive(stack, client.jsub(name=f"pre{i}", walltime=900)) for i in range(3)]
+
+        def is_xfer_push(src, dst, payload):
+            return (
+                isinstance(payload, tuple) and len(payload) == 2
+                and payload[0] == "XFER"
+            )
+
+        stack.cluster.network.add_drop_filter(is_xfer_push)
+        stack.add_head("head2")
+        settle(stack, 15.0)
+        joshua2 = stack.joshua("head2")
+        assert joshua2.active
+        assert joshua2.stats["state_transfers_pulled"] >= 1
+        assert queue_snapshot(stack, "head2") == queue_snapshot(stack, "head0")

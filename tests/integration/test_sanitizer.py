@@ -1,0 +1,165 @@
+"""Runtime determinism sanitizer: plants violations and demands detection.
+
+Two failure classes from :mod:`repro.sim.sanitizer`:
+
+* **ambiguous ties** — indistinguishable same-instant events, detectable
+  within a single run;
+* **pop-order drift** — distinguishable events whose order derives from an
+  unordered container, detectable only by comparing pop-order digests
+  across runs (here: subprocesses under different ``PYTHONHASHSEED``).
+
+The sanitizer is an observer: a sanitized run must be bit-identical to an
+unsanitized one, and the real JOSHUA scenario must come out clean.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cluster import Cluster
+from repro.joshua import build_joshua_stack
+from repro.sim.kernel import Kernel
+
+from tests.integration.conftest import FAST_GROUP
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestAmbiguityDetection:
+    def test_planted_hash_order_tie_is_detected(self):
+        """Identical timeouts fanned out of a set: nothing distinguishes
+        them, so their order rests on set iteration order alone."""
+        kernel = Kernel(seed=3, sanitize=True)
+
+        def buggy_fanout():
+            for _peer in {"alpha", "beta", "gamma"}:
+                kernel.timeout(1.0)
+            yield kernel.timeout(2.0)
+
+        kernel.spawn(buggy_fanout())
+        kernel.run(until=5.0)
+        assert len(kernel.sanitizer.ambiguities) == 1
+        amb = kernel.sanitizer.ambiguities[0]
+        assert amb.count == 3
+        assert amb.time == 1.0
+        assert "det_key" in amb.describe()
+
+    def test_det_key_resolves_the_tie(self):
+        """Same fan-out, but annotated: a per-item det_key pins each event
+        down, so insertion order no longer matters and no tie is reported."""
+        kernel = Kernel(seed=3, sanitize=True)
+
+        def annotated_fanout():
+            for peer in {"alpha", "beta", "gamma"}:
+                kernel.timeout(1.0, det_key=peer)
+            yield kernel.timeout(2.0)
+
+        kernel.spawn(annotated_fanout())
+        kernel.run(until=5.0)
+        assert kernel.sanitizer.ambiguities == []
+
+    def test_distinct_values_are_not_ambiguous(self):
+        kernel = Kernel(seed=3, sanitize=True)
+
+        def fanout():
+            for delay in (1.0, 1.0):
+                kernel.timeout(delay, value=("msg", delay))
+            yield kernel.timeout(2.0)
+            kernel.timeout(1.0, value="x")
+            kernel.timeout(1.0, value="y")
+            yield kernel.timeout(2.0)
+
+        kernel.spawn(fanout())
+        kernel.run(until=10.0)
+        # First pair is identical (flagged); second differs by value (not).
+        assert len(kernel.sanitizer.ambiguities) == 1
+        assert kernel.sanitizer.ambiguities[0].time == 1.0
+
+
+def run_joshua_scenario(*, sanitize: bool):
+    cluster = Cluster(head_count=2, compute_count=2, seed=13, login_node=True,
+                      sanitize=sanitize)
+    stack = build_joshua_stack(cluster, group_config=FAST_GROUP)
+    kernel = cluster.kernel
+    client = stack.client(node="login")
+
+    def workload():
+        for index in range(4):
+            yield from client.jsub(name=f"s{index}", walltime=2.0)
+            yield kernel.timeout(1.0)
+
+    process = kernel.spawn(workload())
+    cluster.run(until=process)
+    cluster.run(until=25.0)
+    queue = tuple(
+        (j.job_id, j.state.value) for j in stack.pbs("head0").jobs
+    )
+    return kernel, {
+        "events": kernel.processed_events,
+        "queue": queue,
+        "net_sent": cluster.network.stats["sent"],
+        "final_time": kernel.now,
+    }
+
+
+class TestRealScenario:
+    def test_joshua_scenario_is_ambiguity_free(self):
+        kernel, _result = run_joshua_scenario(sanitize=True)
+        assert kernel.sanitizer.ambiguities == [], kernel.sanitizer.report()
+        assert kernel.sanitizer.digest != 0
+
+    def test_identical_runs_identical_digests(self):
+        kernel_a, a = run_joshua_scenario(sanitize=True)
+        kernel_b, b = run_joshua_scenario(sanitize=True)
+        assert kernel_a.sanitizer.digest == kernel_b.sanitizer.digest
+        assert a == b
+
+    def test_sanitizer_is_a_pure_observer(self):
+        """Sanitized and unsanitized runs are bit-identical."""
+        _, sanitized = run_joshua_scenario(sanitize=True)
+        _, plain = run_joshua_scenario(sanitize=False)
+        assert sanitized == plain
+
+
+# A drift bug the single-run ambiguity check *cannot* see: the events carry
+# distinct payloads (so no identical-fingerprint tie), but the order they
+# enter the queue in comes from set iteration — i.e. from the string hash
+# seed. Only the cross-process digest comparison catches it.
+_DRIFT_SCRIPT = """
+import sys
+from repro.sim.kernel import Kernel
+
+kernel = Kernel(seed=1, sanitize=True)
+names = {{"ant", "bee", "cat", "dog", "elk", "fox", "gnu", "hen"}}
+for name in {iterable}:
+    kernel.event().succeed(name)
+kernel.run(until=1.0)
+print(kernel.sanitizer.digest)
+"""
+
+
+def _digest_under_hash_seed(iterable: str, hash_seed: int) -> int:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    out = subprocess.run(
+        [sys.executable, "-c", _DRIFT_SCRIPT.format(iterable=iterable)],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return int(out.stdout.strip())
+
+
+class TestPopOrderDrift:
+    def test_digest_exposes_hash_seed_dependence(self):
+        digests = {_digest_under_hash_seed("names", seed) for seed in range(5)}
+        assert len(digests) > 1, (
+            "planted hash-order iteration produced one digest across five "
+            "hash seeds — the drift detector lost its signal"
+        )
+
+    def test_sorted_iteration_is_hash_seed_independent(self):
+        digests = {
+            _digest_under_hash_seed("sorted(names)", seed) for seed in range(5)
+        }
+        assert len(digests) == 1

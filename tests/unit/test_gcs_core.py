@@ -282,6 +282,27 @@ class TestFailureDetector:
         kernel.run(until=3.0)
         assert not fd2.is_suspected(Address("n1", 9))
 
+    def test_heartbeat_emission_order_is_sorted(self):
+        """Regression (found by the determinism sanitizer): heartbeats used
+        to go out in ``self._peers`` set-iteration order, so the wire order
+        — and with it every downstream timestamp — depended on the process
+        hash seed. The loop must emit in sorted peer order."""
+        kernel = Kernel(seed=5)
+        net = Network(kernel, shared_medium=False)
+        for name in ("n1", "n2", "n3", "n4", "n5"):
+            net.register_node(name)
+        t1 = Transport(net.bind("n1", 9))
+        fd1 = FailureDetector(t1, heartbeat_interval=0.1, suspect_timeout=0.35)
+        sent: list[Address] = []
+        original = t1.send_raw
+        t1.send_raw = lambda dst, payload: (sent.append(dst), original(dst, payload))
+        fd1.monitor([Address(n, 9) for n in ("n4", "n2", "n5", "n1", "n3")])
+        kernel.run(until=0.55)
+        expected = [Address(n, 9) for n in ("n2", "n3", "n4", "n5")]
+        assert len(sent) >= 2 * len(expected)
+        rounds = [sent[i:i + 4] for i in range(0, len(sent) - 3, 4)]
+        assert all(r == expected for r in rounds), sent
+
     def test_blackout_rearm_forgives_own_stale_silence(self):
         """Thawing must also reset the *local* last-heard clock: during the
         blackout n1 heard nobody, and without the re-arm it would instantly

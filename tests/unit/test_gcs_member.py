@@ -101,7 +101,7 @@ class TestNormalOperation:
     def test_total_order_under_concurrent_senders(self):
         h = Harness(4)
         h.boot()
-        for i, name in enumerate(h.members):
+        for name in h.members:
             for k in range(5):
                 h.members[name].multicast(f"{name}-{k}")
         h.run(until=2.0)

@@ -1,0 +1,28 @@
+"""The shipped source tree satisfies its own determinism contract.
+
+This is the enforcement test behind ``repro lint`` in CI: any new
+wall-clock call, module-level cache, unordered protocol iteration,
+unhandled wire message, or mutating observability hook fails here
+with the finding rendered in the assertion message.
+"""
+
+from repro.analysis import run_lint
+from repro.cli import main
+
+
+def test_source_tree_is_lint_clean():
+    findings = run_lint()
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
+def test_cli_lint_exits_clean(capsys):
+    rc = main(["lint"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "0 finding(s)" in out
+
+
+def test_cli_lint_jsonl_and_rule_filter(capsys):
+    rc = main(["lint", "--rule", "R1", "--rule", "R5", "--jsonl"])
+    capsys.readouterr()
+    assert rc == 0

@@ -223,7 +223,7 @@ class TestNetwork:
             n.register_node("a"); n.register_node("b")
             src = n.bind("a", 1)
             dst = n.bind("b", 1)
-            for i in range(10):
+            for _ in range(10):
                 src.send(Address("b", 1), "y" * 1000)
             times = []
             def rx(kk):
