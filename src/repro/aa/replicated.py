@@ -33,6 +33,7 @@ from repro.gcs.member import GroupMember
 from repro.gcs.messages import SAFE, DeliveredMessage
 from repro.gcs.view import View
 from repro.net.address import Address
+from repro.net.codec import register_wire_types
 from repro.rpc import RpcDispatcher, rpc_state
 from repro.sim.resources import Store
 from repro.util.errors import JoshuaError
@@ -87,6 +88,9 @@ class _Marker:
 class _Snapshot:
     marker_uuid: str
     state: Any
+
+
+register_wire_types(ReplRequest, ReplResult, _Cmd, _Marker, _Snapshot)
 
 
 class ReplicatedService(Daemon):
@@ -172,9 +176,9 @@ class ReplicatedService(Daemon):
         while True:
             delivery = yield self.endpoint.recv()
             frame = delivery.payload
-            if not isinstance(frame, tuple) or not frame:
-                continue
             if self.rpc.handle_frame(delivery.src, frame):
+                continue
+            if not isinstance(frame, tuple) or not frame:
                 continue
             if frame[0] == "SNAP":
                 self._handle_snapshot(frame[1])

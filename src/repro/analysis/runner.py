@@ -7,12 +7,12 @@ from pathlib import Path
 
 from repro.analysis.findings import Finding
 from repro.analysis.ignores import parse_ignores
-from repro.analysis.protocol import rule_r4
+from repro.analysis.protocol import rule_r4, rule_r6
 from repro.analysis.rules import PER_FILE_RULES
 
 __all__ = ["ALL_RULES", "check_files", "check_source", "run_lint"]
 
-ALL_RULES = ("R1", "R2", "R3", "R4", "R5")
+ALL_RULES = ("R1", "R2", "R3", "R4", "R5", "R6")
 
 
 def _default_root() -> Path:
@@ -58,6 +58,8 @@ def check_files(files: dict[str, str], rules=None) -> list[Finding]:
                 raw.extend(rule(tree, path))
     if "R4" in active:
         raw.extend(rule_r4(trees))
+    if "R6" in active:
+        raw.extend(rule_r6(trees))
 
     for finding in raw:
         ignores = ignore_sets.get(finding.path)

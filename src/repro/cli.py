@@ -115,10 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print the per-request-type RPC table")
 
     lint = sub.add_parser(
-        "lint", help="determinism & protocol static analysis (rules R1–R5)"
+        "lint", help="determinism & protocol static analysis (rules R1–R6)"
     )
     lint.add_argument(
-        "--rule", action="append", choices=["R1", "R2", "R3", "R4", "R5"],
+        "--rule", action="append", choices=["R1", "R2", "R3", "R4", "R5", "R6"],
         metavar="RN", help="run only these rules (repeatable; default: all)",
     )
     lint.add_argument("--jsonl", action="store_true",
@@ -327,7 +327,7 @@ def _cmd_lint(args):
         lines = [f.to_json() for f in findings]
     else:
         lines = [f.render() for f in findings]
-        which = ", ".join(args.rule) if args.rule else "R1–R5"
+        which = ", ".join(args.rule) if args.rule else "R1–R6"
         lines.append(
             f"{len(findings)} finding(s) ({which})"
             + ("" if findings else " — determinism/protocol contract holds")

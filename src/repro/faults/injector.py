@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any
 from repro.faults.schedule import FaultEvent, FaultSchedule
 from repro.gcs.messages import TokenMsg
 from repro.net.address import Address
+from repro.net.frames import DataFrame
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
@@ -34,12 +35,7 @@ __all__ = ["FaultInjector", "drops_token"]
 
 def drops_token(src: Address, dst: Address, payload: Any) -> bool:
     """Drop-filter predicate: transport DATA frames carrying a TokenMsg."""
-    return (
-        isinstance(payload, tuple)
-        and len(payload) == 4
-        and payload[0] == "DATA"
-        and isinstance(payload[3], TokenMsg)
-    )
+    return isinstance(payload, DataFrame) and isinstance(payload.payload, TokenMsg)
 
 
 class FaultInjector:

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, NamedTuple
 
 from repro.net.address import Address
+from repro.net.codec import register_wire_types
 
 __all__ = [
     "MessageId",
@@ -195,3 +196,11 @@ class DeliveredMessage:
     #: message delivered transitionally may not have reached members that
     #: failed — exactly the EVS caveat.
     transitional: bool = False
+
+
+# Everything above except DeliveredMessage crosses the wire; DeliveredMessage
+# is the *local* record handed to the application's on_deliver callback.
+register_wire_types(
+    MessageId, DataMsg, OrderMsg, StableMsg, Heartbeat, Probe,
+    JoinReq, LeaveReq, FlushReq, FlushOk, NewView, TokenMsg,
+)

@@ -177,9 +177,9 @@ class JoshuaServer(Daemon):
         while True:
             delivery = yield self.endpoint.recv()
             frame = delivery.payload
-            if not isinstance(frame, tuple) or not frame:
-                continue
             if self.rpc.handle_frame(delivery.src, frame):
+                continue
+            if not isinstance(frame, tuple) or not frame:
                 continue
             if frame[0] == "XFER":
                 self.xfer.handle_response(frame[1])

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.net.address import Address
+from repro.net.codec import register_wire_types
 from repro.pbs.job import JobSpec
 
 __all__ = [
@@ -142,3 +143,11 @@ class XferMarker:
 
     marker_uuid: str
     joiner: Address
+
+
+register_wire_types(
+    JSubReq, JDelReq, JStatReq,
+    JMutexReq, JMutexResp, JStartedReq, JDoneReq,
+    StateXferReq, StateXferResp,
+    Command, Claim, Started, Done, XferMarker,
+)

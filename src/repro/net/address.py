@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, NamedTuple
 
+from repro.net.codec import register_wire_types
+
 __all__ = ["Address", "Delivery"]
 
 
@@ -34,9 +36,15 @@ class Delivery:
     sent_at: float
     #: Simulated delivery timestamp (seconds).
     delivered_at: float
-    #: Estimated wire size in bytes (drives the bandwidth model).
+    #: Exact encoded wire size in bytes, datagram header included (this is
+    #: the size the bandwidth/contention model charged for).
     size: int = field(default=0)
 
     @property
     def latency(self) -> float:
         return self.delivered_at - self.sent_at
+
+
+# Addresses ride inside many wire records (membership lists, job routing);
+# Delivery itself is the local mailbox wrapper and never crosses the wire.
+register_wire_types(Address)

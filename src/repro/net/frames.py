@@ -1,0 +1,56 @@
+"""Typed transport wire frames.
+
+:class:`~repro.net.transport.Transport` used to frame its traffic as plain
+tuples ``("DATA", epoch, seq, payload)``; these are now declared record
+shapes so the codec sizes them exactly and lint rule R4 can check that each
+frame kind has a dispatcher and a constructor. The frame classes live here —
+not in ``transport.py`` — so the wire surface of the transport layer is one
+importable module, mirroring ``pbs/wire.py`` and friends.
+
+``DataFrame``
+    One reliably-sequenced payload: *seq* is the per-destination sequence
+    number within *epoch* (a fresh epoch per transport incarnation keeps a
+    restarted peer's stale numbering from being mistaken for new traffic).
+``AckFrame``
+    Cumulative acknowledgement: all DATA with ``seq <= cum_seq`` in *epoch*
+    have been received.
+``RawFrame``
+    Bypasses sequencing/retransmission entirely (heartbeats, probes) —
+    timeliness beats reliability there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.net.codec import register_wire_types
+
+__all__ = ["DataFrame", "AckFrame", "RawFrame"]
+
+
+@dataclass(frozen=True)
+class DataFrame:
+    """Reliable-channel payload frame (FIFO within its epoch)."""
+
+    epoch: int
+    seq: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """Cumulative ack: everything ``<= cum_seq`` in *epoch* is received."""
+
+    epoch: int
+    cum_seq: int
+
+
+@dataclass(frozen=True)
+class RawFrame:
+    """Unsequenced fire-and-forget frame (failure-detector traffic)."""
+
+    payload: Any
+
+
+register_wire_types(DataFrame, AckFrame, RawFrame)

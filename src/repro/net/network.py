@@ -32,6 +32,14 @@ Contention: with ``shared_medium=True`` (the default, matching the paper's
 hub) all *off-node* transmissions serialise through a single token process —
 each occupies the wire for its serialisation time before propagating. With a
 switched model, messages only experience their own delay.
+
+Serialization boundary: every payload is encoded to bytes by the
+:data:`~repro.net.codec.WIRE` codec at send time — the encoded length (plus
+a fixed datagram header) is what the link and contention models charge — and
+decoded to a *fresh* object at delivery time, so no Python object identity
+ever crosses a node boundary. With ``Kernel(sanitize=True)`` the determinism
+sanitizer additionally audits each delivery for aliasing between the sent
+and the delivered object graphs.
 """
 
 from __future__ import annotations
@@ -39,14 +47,31 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.net.address import Address, Delivery
+from repro.net.codec import WIRE
 from repro.net.link import FAST_ETHERNET, LOOPBACK, LinkModel
 from repro.net.partition import PartitionState
 from repro.sim.kernel import Kernel
 from repro.sim.resources import Store
 from repro.util.errors import AddressInUse, NetworkError, NodeDown
-from repro.util.records import wire_size
 
-__all__ = ["Endpoint", "Network"]
+__all__ = ["Endpoint", "Network", "DATAGRAM_OVERHEAD"]
+
+#: Fixed per-datagram header charge (IP + UDP), added to every encoded frame.
+DATAGRAM_OVERHEAD = 28
+
+
+def _payload_kind(payload: Any) -> str:
+    """Ledger key for the per-message-type byte accounting.
+
+    Envelope frames (DataFrame, RawFrame, rpc Request/Reply) are unwrapped
+    one level so the ledger reports the protocol message that caused the
+    traffic, not the envelope."""
+    inner = getattr(payload, "payload", None)
+    if inner is not None:
+        return type(inner).__name__
+    if isinstance(payload, tuple) and payload and isinstance(payload[0], str):
+        return payload[0]
+    return type(payload).__name__
 
 
 class Endpoint:
@@ -64,9 +89,9 @@ class Endpoint:
         self._callback: Callable[[Delivery], None] | None = None
         self.closed = False
 
-    def send(self, dst: Address, payload: Any, *, size: int | None = None):
+    def send(self, dst: Address, payload: Any):
         """Transmit a datagram; returns immediately (fire and forget)."""
-        self.network.send(self.address, dst, payload, size=size)
+        self.network.send(self.address, dst, payload)
 
     def recv(self):
         """Event that succeeds with the next :class:`Delivery`."""
@@ -135,11 +160,21 @@ class Network:
         self._rng = kernel.streams.get("net")
         #: Simulated time at which the shared wire next becomes free.
         self._wire_free_at = 0.0
-        # Delivery statistics (observability for tests and benches).
+        # Delivery statistics (observability for tests and benches). Byte
+        # counters are measured, not estimated: encoded frame + header.
+        #   bytes_offered   — every frame a live sender handed to the fabric;
+        #   bytes_wire      — off-node frames that actually occupied the wire
+        #                     (survived down/partition/filter/loss) — this is
+        #                     exactly what the contention model charged for;
+        #   bytes_delivered — frames that reached a bound endpoint.
         self.stats = {"sent": 0, "delivered": 0, "dropped_down": 0,
                       "dropped_unreachable": 0, "dropped_loss": 0,
                       "dropped_unbound": 0, "dropped_paused": 0,
-                      "dropped_filtered": 0, "bytes": 0}
+                      "dropped_filtered": 0, "bytes_offered": 0,
+                      "bytes_wire": 0, "bytes_delivered": 0}
+        #: Off-node bytes-on-wire per protocol message type (envelopes
+        #: unwrapped one level) — the Figure 11 bandwidth breakdown.
+        self.wire_bytes_by_type: dict[str, int] = {}
 
     # -- node lifecycle ------------------------------------------------------
 
@@ -230,8 +265,13 @@ class Network:
 
     # -- datagram delivery --------------------------------------------------------
 
-    def send(self, src: Address, dst: Address, payload: Any, *, size: int | None = None) -> None:
-        """Send one datagram from *src* to *dst*; drops are silent."""
+    def send(self, src: Address, dst: Address, payload: Any) -> None:
+        """Send one datagram from *src* to *dst*; drops are silent.
+
+        The payload is encoded to wire bytes *here*: the exact frame length
+        drives the link/contention models, and delivery decodes a fresh
+        object — the sender's object reference never leaves its node.
+        """
         if not self.node_is_up(src.node):
             if self._nodes_up.get(src.node) and src.node in self._paused:
                 # Blacked-out NIC: the sending process is alive but its
@@ -240,9 +280,9 @@ class Network:
                 return
             raise NodeDown(f"send from crashed node {src.node!r}")
         self.stats["sent"] += 1
-        if size is None:
-            size = wire_size(payload) + 28  # IP+UDP-ish header overhead
-        self.stats["bytes"] += size
+        frame = WIRE.encode(payload)
+        size = len(frame) + DATAGRAM_OVERHEAD
+        self.stats["bytes_offered"] += size
 
         if not self.node_is_up(dst.node):
             if self._nodes_up.get(dst.node) and dst.node in self._paused:
@@ -265,6 +305,13 @@ class Network:
             return
 
         now = self.kernel.now
+        if not local:
+            # The frame survived every drop decision: it occupies the wire.
+            self.stats["bytes_wire"] += size
+            kind = _payload_kind(payload)
+            self.wire_bytes_by_type[kind] = (
+                self.wire_bytes_by_type.get(kind, 0) + size
+            )
         if local or not self.shared_medium:
             delay = model.delay(size, self._rng)
         else:
@@ -292,9 +339,18 @@ class Network:
             if endpoint is None or endpoint.closed:
                 self.stats["dropped_unbound"] += 1
                 return
+            # Decode a *fresh* object graph from the frame bytes — the
+            # receiver never sees the sender's objects.
+            fresh = WIRE.decode(frame)
+            sanitizer = self.kernel.sanitizer
+            if sanitizer is not None:
+                sanitizer.check_payload_isolation(
+                    self.kernel.now, src, dst, payload, fresh
+                )
             self.stats["delivered"] += 1
+            self.stats["bytes_delivered"] += size
             endpoint._deliver(
-                Delivery(src, dst, payload, sent_at, self.kernel.now, size)
+                Delivery(src, dst, fresh, sent_at, self.kernel.now, size)
             )
 
         # The det_key tags the in-flight datagram for the determinism

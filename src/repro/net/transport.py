@@ -12,12 +12,9 @@ The group communication system builds its multicast on these channels: total
 order and view synchrony are GCS concerns, but per-link reliability lives
 here, mirroring how Transis rode on UDP with its own recovery layer.
 
-Wire frames (plain tuples, sized by :func:`repro.util.records.wire_size`):
-
-``("DATA", epoch, seq, payload)``
-    *seq* is the per-destination sequence number within *epoch*.
-``("ACK", epoch, cum_seq)``
-    Cumulative: all DATA with ``seq <= cum_seq`` in *epoch* are received.
+Wire frames are the typed records of :mod:`repro.net.frames`
+(:class:`~repro.net.frames.DataFrame`, :class:`~repro.net.frames.AckFrame`,
+:class:`~repro.net.frames.RawFrame`), encoded byte-exactly by the codec.
 """
 
 from __future__ import annotations
@@ -26,6 +23,7 @@ import itertools
 from typing import Any, Callable
 
 from repro.net.address import Address, Delivery
+from repro.net.frames import AckFrame, DataFrame, RawFrame
 from repro.net.network import Endpoint
 from repro.util.errors import NetworkError
 
@@ -128,7 +126,7 @@ class Transport:
         """
         if self._closed:
             raise NetworkError(f"transport at {self.address} is closed")
-        self.endpoint.send(dst, ("RAW", payload))
+        self.endpoint.send(dst, RawFrame(payload))
 
     def send(self, dst: Address, payload: Any) -> None:
         """Queue *payload* for reliable in-order delivery to *dst*."""
@@ -142,7 +140,7 @@ class Transport:
         channel.next_seq += 1
         channel.unacked[seq] = payload
         self.stats["sent"] += 1
-        self.endpoint.send(dst, ("DATA", channel.epoch, seq, payload))
+        self.endpoint.send(dst, DataFrame(channel.epoch, seq, payload))
 
     def outstanding_to(self, dst: Address) -> int:
         """Frames sent to *dst* not yet acknowledged."""
@@ -174,19 +172,17 @@ class Transport:
 
     def _on_delivery(self, delivery: Delivery) -> None:
         frame = delivery.payload
-        if not isinstance(frame, tuple) or not frame:
-            return  # not ours; ignore garbage
-        kind = frame[0]
-        if kind == "DATA":
+        if isinstance(frame, DataFrame):
             self._handle_data(delivery.src, frame)
-        elif kind == "ACK":
+        elif isinstance(frame, AckFrame):
             self._handle_ack(delivery.src, frame)
-        elif kind == "RAW":
+        elif isinstance(frame, RawFrame):
             if self._on_raw is not None:
-                self._on_raw(delivery.src, frame[1])
+                self._on_raw(delivery.src, frame.payload)
+        # anything else is not ours; ignore garbage
 
-    def _handle_data(self, src: Address, frame: tuple) -> None:
-        _, epoch, seq, payload = frame
+    def _handle_data(self, src: Address, frame: DataFrame) -> None:
+        epoch, seq, payload = frame.epoch, frame.seq, frame.payload
         state = self._recv_states.get(src)
         if state is None or state.epoch != epoch:
             if state is not None and epoch < state.epoch:
@@ -204,10 +200,10 @@ class Transport:
                     self._on_message(src, ready)
         # Cumulative ack for everything contiguously received.
         if not self.endpoint.closed:
-            self.endpoint.send(src, ("ACK", epoch, state.next_expected - 1))
+            self.endpoint.send(src, AckFrame(epoch, state.next_expected - 1))
 
-    def _handle_ack(self, src: Address, frame: tuple) -> None:
-        _, epoch, cum_seq = frame
+    def _handle_ack(self, src: Address, frame: AckFrame) -> None:
+        epoch, cum_seq = frame.epoch, frame.cum_seq
         channel = self._channels.get(src)
         if channel is None or channel.epoch != epoch:
             return
@@ -229,5 +225,6 @@ class Transport:
                 for seq in sorted(channel.unacked):
                     self.stats["retransmitted"] += 1
                     self.endpoint.send(
-                        channel.dst, ("DATA", channel.epoch, seq, channel.unacked[seq])
+                        channel.dst,
+                        DataFrame(channel.epoch, seq, channel.unacked[seq]),
                     )

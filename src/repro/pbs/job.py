@@ -5,6 +5,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field, replace
 
+from repro.net.codec import register_wire_enum, register_wire_types
 from repro.util.errors import PBSError
 
 __all__ = ["JobState", "JobSpec", "Job"]
@@ -111,3 +112,9 @@ class Job:
             "exit_status": self.exit_status,
             "comment": self.comment,
         }
+
+
+# Job records ride inside LoadStateReq/StateXferResp (state transfer) and
+# JobSpec inside every submit; JobState members appear as Job fields.
+register_wire_types(JobSpec, Job)
+register_wire_enum(JobState)

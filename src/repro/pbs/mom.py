@@ -32,6 +32,7 @@ from repro.pbs.job import KILLED_EXIT_STATUS
 from repro.pbs.service_times import ERA_2006, ServiceTimes
 from repro.pbs.wire import JobObit, JobStartReq, JobStartResp, KillJobReq, SimpleResp
 from repro.rpc import rpc_state
+from repro.rpc.wire import Reply, Request
 from repro.sim.process import Process
 from repro.util.errors import Interrupt
 
@@ -99,10 +100,8 @@ class PBSMom(Daemon):
         while True:
             delivery = yield self.endpoint.recv()
             frame = delivery.payload
-            if not isinstance(frame, tuple) or not frame:
-                continue
-            if frame[0] == "RPC":
-                _tag, request_id, payload = frame
+            if isinstance(frame, Request):
+                request_id, payload = frame.request_id, frame.payload
                 if isinstance(payload, JobStartReq):
                     self.spawn(
                         self._handle_start(delivery.src, request_id, payload),
@@ -110,12 +109,15 @@ class PBSMom(Daemon):
                     )
                 elif isinstance(payload, KillJobReq):
                     self._handle_kill(payload)
-                    self.endpoint.send(delivery.src, ("RPC-R", request_id, SimpleResp()))
+                    self.endpoint.send(delivery.src, Reply(request_id, SimpleResp()))
                 else:
                     self.endpoint.send(
-                        delivery.src, ("RPC-R", request_id, SimpleResp(False, "bad request"))
+                        delivery.src, Reply(request_id, SimpleResp(False, "bad request"))
                     )
-            elif frame[0] == "ADMIN-PURGE":
+                continue
+            if not isinstance(frame, tuple) or not frame:
+                continue
+            if frame[0] == "ADMIN-PURGE":
                 # Failover managers abort orphaned jobs: the applications
                 # lost their parent server and must be restarted (the
                 # active/standby semantics the paper contrasts against).
@@ -199,7 +201,7 @@ class PBSMom(Daemon):
 
     def _reply_start(self, src: Address, request_id: int, response: JobStartResp) -> None:
         if self.running and not self.endpoint.closed:
-            self.endpoint.send(src, ("RPC-R", request_id, response))
+            self.endpoint.send(src, Reply(request_id, response))
 
     def _execute(self, req: JobStartReq):
         record = None

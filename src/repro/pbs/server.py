@@ -212,9 +212,9 @@ class PBSServer(Daemon):
         while True:
             delivery = yield self.endpoint.recv()
             frame = delivery.payload
-            if not isinstance(frame, tuple) or not frame:
-                continue
             if self.rpc.handle_frame(delivery.src, frame):
+                continue
+            if not isinstance(frame, tuple) or not frame:
                 continue
             if frame[0] == "OBIT" and isinstance(frame[1], JobObit):
                 self._handle_obit(delivery.src, frame[1])

@@ -1,8 +1,8 @@
 """PBS wire protocol: the request/response frame types.
 
-All client↔server and server↔mom traffic is datagrams of
-``("RPC", request_id, payload)`` / ``("RPC-R", request_id, payload)``
-tuples, carried by the shared :mod:`repro.rpc` substrate. :func:`rpc_call`
+All client↔server and server↔mom traffic rides in the typed
+:class:`~repro.rpc.wire.Request` / :class:`~repro.rpc.wire.Reply`
+envelope, carried by the shared :mod:`repro.rpc` substrate. :func:`rpc_call`
 and :class:`RpcTimeout` are kept here as thin aliases for backward
 compatibility — the implementation (ephemeral-port/request-id allocation,
 timeout/retry policy, per-simulation counters) lives in
@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Generator
 
 from repro.net.address import Address
+from repro.net.codec import register_wire_types
 from repro.net.network import Network
 from repro.pbs.job import JobSpec
 from repro.rpc import call as _substrate_call
@@ -197,6 +198,18 @@ class JobObit:
 
 # Responses of this type are re-raised client-side as PBSError.
 register_error_response(ErrorResp)
+
+register_wire_types(
+    SubmitReq, SubmitResp,
+    StatReq, StatResp,
+    DeleteReq, DeleteResp,
+    HoldReq, ReleaseReq, SignalReq, RerunReq, LoadStateReq, PurgeReq,
+    SimpleResp,
+    RunJobReq, RunJobResp,
+    SchedPollReq, SchedPollResp,
+    JobStartReq, JobStartResp, KillJobReq, JobObit,
+    ErrorResp,
+)
 
 
 def rpc_call(

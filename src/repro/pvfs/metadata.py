@@ -20,6 +20,7 @@ from __future__ import annotations
 import copy
 from dataclasses import dataclass, field
 
+from repro.net.codec import register_wire_types
 from repro.util.errors import ReproError
 
 __all__ = [
@@ -80,6 +81,11 @@ class _Inode:
     size: int = 0
     dfiles: tuple[int, ...] = ()
     children: dict[str, int] = field(default_factory=dict)  # dirs only
+
+
+# FileAttr answers getattr over RPC; _Inode rides inside the join-time
+# state-transfer snapshot — both cross the wire and need a codec entry.
+register_wire_types(FileAttr, _Inode)
 
 
 def split_path(path: str) -> list[str]:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.net.codec import register_wire_types
+
 __all__ = ["Mkdir", "Create", "GetAttr", "SetAttr", "ReadDir", "Unlink", "Rmdir", "Rename", "StatFs"]
 
 
@@ -52,3 +54,8 @@ class Rename:
 @dataclass(frozen=True)
 class StatFs:
     pass
+
+
+register_wire_types(
+    Mkdir, Create, GetAttr, SetAttr, ReadDir, Unlink, Rmdir, Rename, StatFs,
+)

@@ -1,8 +1,8 @@
 """Client-side RPC coroutines: single call and replica failover.
 
 :func:`call` is the one request/response primitive everything uses: bind an
-ephemeral port, send ``("RPC", request_id, payload)``, await the matching
-``("RPC-R", request_id, response)``, retry per the
+ephemeral port, send a :class:`~repro.rpc.wire.Request`, await the matching
+:class:`~repro.rpc.wire.Reply`, retry per the
 :class:`~repro.rpc.policy.RetryPolicy` (same request id — servers dedup or
 handlers are idempotent). :func:`failover_call` iterates :func:`call` over a
 replica list with the skip/retry/reject rules the exactly-once clients
@@ -19,6 +19,7 @@ from repro.net.network import Network
 from repro.rpc.errors import RpcTimeout
 from repro.rpc.policy import DEFAULT_POLICY, RetryPolicy
 from repro.rpc.state import TimeoutRecord, rpc_state, run_hooks
+from repro.rpc.wire import Reply, Request
 from repro.util.errors import NoActiveHeadError, PBSError
 
 __all__ = ["call", "failover_call", "ErrorRelay"]
@@ -88,20 +89,15 @@ def call(
                 yield kernel.timeout(backoff)
             run_hooks(state.on_request, node, server, request_id, payload,
                       attempt, log=kernel.log, where="rpc.client")
-            endpoint.send(server, ("RPC", request_id, payload))
+            endpoint.send(server, Request(request_id, payload))
             deadline = kernel.timeout(policy.timeout)
             while True:
                 yield kernel.any_of([recv_ev, deadline])
                 if recv_ev.processed:
                     frame = recv_ev.value.payload
                     recv_ev = endpoint.recv()
-                    if (
-                        isinstance(frame, tuple)
-                        and len(frame) == 3
-                        and frame[0] == "RPC-R"
-                        and frame[1] == request_id
-                    ):
-                        response = frame[2]
+                    if isinstance(frame, Reply) and frame.request_id == request_id:
+                        response = frame.payload
                         run_hooks(state.on_response, node, server, request_id,
                                   payload, response, log=kernel.log,
                                   where="rpc.client")

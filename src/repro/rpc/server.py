@@ -1,7 +1,7 @@
 """Server-side RPC dispatch: typed handler registry + request-id dedup.
 
 :class:`RpcDispatcher` factors out what every daemon's ``run`` loop used to
-hand-roll: recognise ``("RPC", id, payload)`` frames, spawn one handler
+hand-roll: recognise :class:`~repro.rpc.wire.Request` frames, spawn one handler
 process per request, charge a per-request-type service delay, convert
 domain exceptions to wire error responses, and (optionally) replay cached
 responses so client retries are idempotent.
@@ -30,6 +30,7 @@ from typing import Any, Callable
 
 from repro.net.address import Address
 from repro.rpc.state import rpc_state, run_hooks
+from repro.rpc.wire import Reply, Request
 
 __all__ = ["RpcDispatcher", "RequestHandler", "ResponseCache"]
 
@@ -130,15 +131,14 @@ class RpcDispatcher:
         for cls in req_type if isinstance(req_type, tuple) else (req_type,):
             self._handlers[cls] = entry
 
-    def handle_frame(self, src: Address, frame: tuple) -> bool:
+    def handle_frame(self, src: Address, frame: Any) -> bool:
         """Dispatch *frame* if it is an RPC request; returns False otherwise
         (the daemon's run loop handles its other frame kinds)."""
-        if frame[0] != "RPC":
+        if not isinstance(frame, Request):
             return False
-        _tag, request_id, payload = frame
         self.daemon.spawn(
-            self._handle(src, request_id, payload),
-            name=f"{self.daemon.tag}-rpc{request_id}",
+            self._handle(src, frame.request_id, frame.payload),
+            name=f"{self.daemon.tag}-rpc{frame.request_id}",
         )
         return True
 
@@ -148,14 +148,14 @@ class RpcDispatcher:
             self.cache.put(request_id, response)
         daemon = self.daemon
         if daemon.running and not daemon.endpoint.closed:
-            daemon.endpoint.send(dst, ("RPC-R", request_id, response))
+            daemon.endpoint.send(dst, Reply(request_id, response))
 
     def _handle(self, src: Address, request_id: int, payload):
         daemon = self.daemon
         if self.cache is not None:
             cached = self.cache.get(request_id)
             if cached is not _MISSING:
-                daemon.endpoint.send(src, ("RPC-R", request_id, cached))
+                daemon.endpoint.send(src, Reply(request_id, cached))
                 return
         run_hooks(self.pre_dispatch, src, request_id, payload,
                   log=daemon.log, where=daemon.tag)

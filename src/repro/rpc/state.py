@@ -3,8 +3,8 @@
 Historically request ids, ephemeral ports and the various uuid/marker
 counters were module-level ``itertools.count`` globals, which made the
 *second* simulation in one interpreter see different wire frames (ids are
-part of the datagram, and :func:`repro.net.network.wire_size` charges the
-shared medium by payload size) and therefore drift in timing. All of them
+part of the datagram, and the :mod:`repro.net.codec` encoding charges the
+shared medium by exact frame size) and therefore drift in timing. All of them
 now live on an :class:`RpcState` hung off the :class:`~repro.net.network.Network`
 — one per simulation — so back-to-back runs are bit-identical.
 

@@ -27,6 +27,7 @@ is bit-identical to an unsanitized one.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import sys
 import zlib
 from dataclasses import dataclass
@@ -35,7 +36,7 @@ from typing import TYPE_CHECKING, Any
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.events import Event
 
-__all__ = ["DeterminismSanitizer", "Ambiguity", "EnqueueMeta"]
+__all__ = ["DeterminismSanitizer", "Ambiguity", "AliasingViolation", "EnqueueMeta"]
 
 #: Stable scalar types whose repr is process-independent (no memory
 #: addresses, no hash-order) and therefore safe to fingerprint.
@@ -78,6 +79,44 @@ def _callback_owner(callback: Any) -> str:
     return getattr(callback, "__qualname__", type(callback).__name__)
 
 
+def _collect_identities(value: Any, out: dict[int, Any]) -> None:
+    """Record the identity of every *structural* object reachable from
+    *value*: containers and class instances, i.e. anything whose identity
+    crossing a node boundary would let one node observe (or mutate) another
+    node's state. Immutable scalars and enum members are skipped — the
+    interpreter legitimately shares those (interning, singletons)."""
+    stack = [value]
+    while stack:
+        obj = stack.pop()
+        if obj is None or isinstance(obj, (str, bytes, bool, int, float)):
+            continue
+        if isinstance(obj, enum.Enum):
+            continue  # members are per-class singletons by design
+        if id(obj) in out:
+            continue  # already visited (also breaks reference cycles)
+        if isinstance(obj, tuple):
+            if obj:  # () is an interpreter-wide singleton — not evidence
+                out[id(obj)] = obj
+                stack.extend(obj)
+        elif isinstance(obj, list):
+            out[id(obj)] = obj
+            stack.extend(obj)
+        elif isinstance(obj, dict):
+            out[id(obj)] = obj
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (set, frozenset)):
+            out[id(obj)] = obj
+            stack.extend(obj)
+        elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            out[id(obj)] = obj
+            stack.extend(
+                getattr(obj, field.name) for field in dataclasses.fields(obj)
+            )
+        else:
+            out[id(obj)] = obj  # arbitrary instance: identity-bearing
+
+
 @dataclass(frozen=True)
 class EnqueueMeta:
     """Captured at enqueue time (site/process must be read *then*)."""
@@ -106,6 +145,29 @@ class Ambiguity:
         )
 
 
+@dataclass(frozen=True)
+class AliasingViolation:
+    """A delivered payload shares object identity with the sender's copy.
+
+    The wire boundary promises that :meth:`~repro.net.network.Network.send`
+    encodes and delivery decodes a *fresh* graph; any identity surviving the
+    crossing means one node can mutate (or observe mutations of) state
+    another node still holds — exactly the cross-replica coupling a real
+    network makes impossible."""
+
+    time: float
+    src: str
+    dst: str
+    token: str  # stable token of the shared component (never an address)
+
+    def describe(self) -> str:
+        return (
+            f"t={self.time:.6f} {self.src}->{self.dst}: delivered payload "
+            f"shares object identity with the sender's copy ({self.token}) — "
+            f"wire messages must be decoded fresh, never passed by reference"
+        )
+
+
 class DeterminismSanitizer:
     """Observer attached to a :class:`~repro.sim.kernel.Kernel`.
 
@@ -113,7 +175,9 @@ class DeterminismSanitizer:
     and :meth:`observe_pop` at each pop. Pops at one ``(time, priority)``
     are buffered into a *tie window*; when the window closes, identical
     fingerprints within it are reported as :class:`Ambiguity` records and
-    every fingerprint is folded into :attr:`digest` in pop order.
+    every fingerprint is folded into :attr:`digest` in pop order. The
+    network additionally calls :meth:`check_payload_isolation` on every
+    delivery to audit the serialization boundary.
     """
 
     def __init__(self) -> None:
@@ -121,7 +185,10 @@ class DeterminismSanitizer:
         self.digest = 0
         #: Detected same-timestamp ambiguities, in detection order.
         self.ambiguities: list[Ambiguity] = []
+        #: Cross-node payload aliasing violations, in detection order.
+        self.aliasing: list[AliasingViolation] = []
         self._seen: set[tuple[float, int, str]] = set()
+        self._alias_seen: set[tuple[str, str, str]] = set()
         self._window_key: tuple[float, int] | None = None
         self._window: dict[str, int] = {}
         self._pops = 0
@@ -191,6 +258,31 @@ class DeterminismSanitizer:
                 self.ambiguities.append(Ambiguity(time, priority, fp, count))
         self._window.clear()
 
+    # -- wire boundary -----------------------------------------------------
+
+    def check_payload_isolation(self, time: float, src: Any, dst: Any,
+                                sent: Any, delivered: Any) -> None:
+        """Flag any object identity shared between a *sent* payload and the
+        *delivered* one (the network calls this on every delivery).
+
+        Purely observational: both graphs are walked, nothing is copied or
+        mutated, so a sanitized run stays bit-identical to an unsanitized
+        one."""
+        sent_ids: dict[int, Any] = {}
+        _collect_identities(sent, sent_ids)
+        if not sent_ids:
+            return
+        delivered_ids: dict[int, Any] = {}
+        _collect_identities(delivered, delivered_ids)
+        for obj_id, obj in delivered_ids.items():
+            if sent_ids.get(obj_id) is obj:
+                key = (str(src), str(dst), _stable_token(obj))
+                if key not in self._alias_seen:
+                    self._alias_seen.add(key)
+                    self.aliasing.append(
+                        AliasingViolation(time, key[0], key[1], key[2])
+                    )
+
     def finish(self) -> None:
         """Close the current tie window (call when the run ends)."""
         self._flush_window()
@@ -200,6 +292,8 @@ class DeterminismSanitizer:
         self.finish()
         lines = [f"determinism sanitizer: {self._pops} pops, "
                  f"digest={self.digest:#010x}, "
-                 f"{len(self.ambiguities)} ambiguous tie(s)"]
+                 f"{len(self.ambiguities)} ambiguous tie(s), "
+                 f"{len(self.aliasing)} aliased payload(s)"]
         lines.extend("  " + a.describe() for a in self.ambiguities)
+        lines.extend("  " + v.describe() for v in self.aliasing)
         return "\n".join(lines)

@@ -8,6 +8,10 @@ This is intentionally *not* pickle: restricting payloads to plain data keeps
 daemons from accidentally sharing live object references across "the wire",
 which would hide replication bugs the paper's external-replication design is
 all about catching.
+
+Actual wire encoding (and exact byte sizing) lives in
+:mod:`repro.net.codec`; these helpers remain for JSON-able snapshots in
+tests and tooling.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ import dataclasses
 import enum
 from typing import Any, Type, TypeVar
 
-__all__ = ["to_wire", "from_wire", "wire_size"]
+__all__ = ["to_wire", "from_wire"]
 
 T = TypeVar("T")
 
@@ -62,31 +66,3 @@ def from_wire(data: Any, cls: Type[T]) -> T:
             value = ftype(value)
         kwargs[f.name] = value
     return cls(**kwargs)
-
-
-def wire_size(obj: Any) -> int:
-    """Approximate serialised size in bytes, used by the bandwidth model.
-
-    A cheap structural estimate (no actual JSON encoding in the hot path):
-    strings count their UTF-8 length, numbers 8 bytes, containers the sum of
-    their items plus small per-item overhead.
-    """
-    if obj is None or isinstance(obj, bool):
-        return 1
-    if isinstance(obj, (int, float)):
-        return 8
-    if isinstance(obj, str):
-        return len(obj.encode("utf-8", errors="replace")) + 2
-    if isinstance(obj, bytes):
-        return len(obj)
-    if isinstance(obj, enum.Enum):
-        return wire_size(obj.value)
-    if isinstance(obj, dict):
-        return 2 + sum(wire_size(k) + wire_size(v) + 2 for k, v in obj.items())
-    if isinstance(obj, (list, tuple, set, frozenset)):
-        return 2 + sum(wire_size(v) + 1 for v in obj)
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return 2 + sum(
-            wire_size(f.name) + wire_size(getattr(obj, f.name)) for f in dataclasses.fields(obj)
-        )
-    return 16

@@ -77,6 +77,49 @@ class TestAmbiguityDetection:
         assert kernel.sanitizer.ambiguities[0].time == 1.0
 
 
+class TestAliasingDetection:
+    """The wire-isolation check: payload identity seen on two nodes."""
+
+    def test_planted_shared_identity_is_detected(self):
+        kernel = Kernel(seed=3, sanitize=True)
+        shared = ["state", "both", "nodes", "hold"]
+        sent = {"snapshot": shared}
+        delivered = {"snapshot": shared}  # decode skipped: identity leaks
+        kernel.sanitizer.check_payload_isolation(
+            1.0, "head0:15001", "head1:15001", sent, delivered
+        )
+        assert len(kernel.sanitizer.aliasing) == 1
+        violation = kernel.sanitizer.aliasing[0]
+        assert violation.src == "head0:15001"
+        assert "head1" in violation.describe()
+        assert "aliased payload" in kernel.sanitizer.report()
+
+    def test_fresh_copies_are_clean(self):
+        kernel = Kernel(seed=3, sanitize=True)
+        sent = {"snapshot": ["state"]}
+        delivered = {"snapshot": ["state"]}  # equal but fresh, as decode makes
+        kernel.sanitizer.check_payload_isolation(1.0, "a", "b", sent, delivered)
+        assert kernel.sanitizer.aliasing == []
+
+    def test_repeat_offenders_are_reported_once(self):
+        kernel = Kernel(seed=3, sanitize=True)
+        shared = ["j1", "j2"]
+        for time in (1.0, 2.0, 3.0):
+            kernel.sanitizer.check_payload_isolation(time, "a", "b", shared, shared)
+        assert len(kernel.sanitizer.aliasing) == 1
+
+    def test_scalars_and_enum_singletons_are_not_aliasing(self):
+        # Interned scalars and enum members are process-wide singletons on
+        # a real host too; sharing them across nodes is not a violation.
+        from repro.pbs.job import JobState
+
+        kernel = Kernel(seed=3, sanitize=True)
+        kernel.sanitizer.check_payload_isolation(
+            1.0, "a", "b", ("x", 7, JobState.QUEUED), ("x", 7, JobState.QUEUED)
+        )
+        assert kernel.sanitizer.aliasing == []
+
+
 def run_joshua_scenario(*, sanitize: bool):
     cluster = Cluster(head_count=2, compute_count=2, seed=13, login_node=True,
                       sanitize=sanitize)
@@ -107,7 +150,39 @@ class TestRealScenario:
     def test_joshua_scenario_is_ambiguity_free(self):
         kernel, _result = run_joshua_scenario(sanitize=True)
         assert kernel.sanitizer.ambiguities == [], kernel.sanitizer.report()
+        assert kernel.sanitizer.aliasing == [], kernel.sanitizer.report()
         assert kernel.sanitizer.digest != 0
+
+    def test_faulted_scenario_has_no_cross_node_aliasing(self):
+        """Membership churn and partitions exercise the state-transfer and
+        recovery paths — the snapshot-heavy traffic most likely to leak a
+        shared object across nodes."""
+        from repro.faults import FaultInjector, FaultSchedule
+
+        cluster = Cluster(head_count=3, compute_count=2, seed=17,
+                          login_node=True, sanitize=True)
+        stack = build_joshua_stack(cluster, group_config=FAST_GROUP)
+        kernel = cluster.kernel
+        client = stack.client(node="login")
+        injector = FaultInjector(cluster)
+        injector.apply(
+            FaultSchedule()
+            .crash(6.0, "head2")          # leave: view change + exclusion
+            .restart(10.0, "head2")       # rejoin: flush + state transfer
+            .cut(14.0, "head1", "head0")  # asymmetric partition episode
+            .restore(16.0, "head1", "head0")
+        )
+
+        def workload():
+            for index in range(3):
+                yield from client.jsub(name=f"f{index}", walltime=2.0)
+                yield kernel.timeout(3.0)
+
+        process = kernel.spawn(workload())
+        cluster.run(until=process)
+        cluster.run(until=40.0)
+        assert kernel.sanitizer.aliasing == [], kernel.sanitizer.report()
+        assert kernel.sanitizer.ambiguities == [], kernel.sanitizer.report()
 
     def test_identical_runs_identical_digests(self):
         kernel_a, a = run_joshua_scenario(sanitize=True)

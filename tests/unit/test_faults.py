@@ -12,6 +12,7 @@ from repro.faults import (
 )
 from repro.gcs.messages import TokenMsg
 from repro.net.address import Address
+from repro.net.frames import AckFrame, DataFrame
 from repro.util.errors import ClusterError
 
 
@@ -149,13 +150,13 @@ class TestRandomSchedule:
 
 class TestDropsToken:
     def test_matches_token_data_frames(self):
-        frame = ("DATA", 1, 4, TokenMsg(2, 7))
+        frame = DataFrame(1, 4, TokenMsg(2, 7))
         assert drops_token(Address("a", 1), Address("b", 1), frame)
 
     def test_ignores_other_traffic(self):
         a, b = Address("a", 1), Address("b", 1)
-        assert not drops_token(a, b, ("DATA", 1, 4, "payload"))
-        assert not drops_token(a, b, ("ACK", 1, 4))
+        assert not drops_token(a, b, DataFrame(1, 4, "payload"))
+        assert not drops_token(a, b, AckFrame(1, 4))
         assert not drops_token(a, b, "raw-string")
 
 

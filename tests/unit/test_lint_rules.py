@@ -319,6 +319,238 @@ class TestR4:
         assert findings == []
 
 
+class TestR4Shape:
+    """The shape half of R4: handler field access and ErrorResp kinds."""
+
+    WIRE = src(
+        """
+        from dataclasses import dataclass
+
+        __all__ = ["Ping", "PongResp"]
+
+        @dataclass(frozen=True)
+        class Ping:
+            n: int
+
+        @dataclass(frozen=True)
+        class PongResp:
+            n: int
+        """
+    )
+    CLIENT = src(
+        """
+        def call(send):
+            send(Ping(1))
+            send(PongResp(2))
+        """
+    )
+
+    def check(self, service):
+        return check_files(
+            {
+                "pvfs/wire.py": self.WIRE,
+                "pvfs/service.py": service,
+                "cli.py": self.CLIENT,
+            },
+            rules=["R4"],
+        )
+
+    def test_fires_when_handler_reads_unknown_field(self):
+        service = src(
+            """
+            class S:
+                def build(self, rpc):
+                    rpc.register(Ping, self._on_ping)
+
+                def _on_ping(self, src, request_id, payload):
+                    return PongResp(payload.count)
+            """
+        )
+        messages = [f.message for f in self.check(service)]
+        assert any("reads payload.count" in m for m in messages)
+
+    def test_quiet_on_declared_fields(self):
+        service = src(
+            """
+            class S:
+                def build(self, rpc):
+                    rpc.register(Ping, self._on_ping)
+
+                def _on_ping(self, src, request_id, payload):
+                    return PongResp(payload.n)
+            """
+        )
+        assert self.check(service) == []
+
+    def test_resolves_through_forwarding_lambdas(self):
+        service = src(
+            """
+            class S:
+                def build(self, rpc):
+                    rpc.register(Ping, lambda s, r, p: self._do_ping(p))
+
+                def _do_ping(self, req):
+                    return PongResp(req.missing)
+            """
+        )
+        messages = [f.message for f in self.check(service)]
+        assert any("reads payload.missing" in m for m in messages)
+
+    def test_lambda_that_drops_payload_is_not_checked(self):
+        # self._do_reset() never receives the payload, so its parameter
+        # (whatever it reads from it) is not the wire message.
+        service = src(
+            """
+            class S:
+                def build(self, rpc):
+                    rpc.register(Ping, lambda s, r, p: self._do_reset())
+
+                def _do_reset(self, state=None):
+                    return PongResp(0)
+
+                def handles(self, payload):
+                    return isinstance(payload, Ping)
+            """
+        )
+        assert self.check(service) == []
+
+    def test_error_resp_kind_without_consumer_fires(self):
+        emit = 'def h():\n    return ErrorResp("weird-kind", "boom")\n'
+        findings = check_files({"pbs/server.py": emit}, rules=["R4"])
+        assert any("weird-kind" in f.message for f in findings)
+
+    def test_error_resp_kind_with_consumer_is_quiet(self):
+        emit = 'def h():\n    return ErrorResp("weird-kind", "boom")\n'
+        consumer = 'def c(exc):\n    return "weird-kind" in str(exc)\n'
+        findings = check_files(
+            {"pbs/server.py": emit, "joshua/client.py": consumer}, rules=["R4"]
+        )
+        assert findings == []
+
+    def test_exempted_kind_is_quiet(self):
+        # "retry" is consumed generically (except PBSError) and exempted
+        # with a reason in ERROR_KINDS_EXEMPT.
+        emit = 'def h():\n    return ErrorResp("retry", "marker not reached")\n'
+        assert check_files({"joshua/server.py": emit}, rules=["R4"]) == []
+
+
+# ---------------------------------------------------------------------------
+# R6 — codec coverage of the wire surface
+# ---------------------------------------------------------------------------
+
+
+class TestR6:
+    def test_fires_on_unregistered_wire_dataclass(self):
+        wire = src(
+            """
+            from dataclasses import dataclass
+
+            __all__ = ["Ping"]
+
+            @dataclass(frozen=True)
+            class Ping:
+                n: int
+            """
+        )
+        findings = check_files({"pvfs/wire.py": wire}, rules=["R6"])
+        assert len(findings) == 1
+        assert "Ping has no codec entry" in findings[0].message
+
+    def test_quiet_when_registered(self):
+        wire = src(
+            """
+            from dataclasses import dataclass
+
+            from repro.net.codec import register_wire_types
+
+            __all__ = ["Ping"]
+
+            @dataclass(frozen=True)
+            class Ping:
+                n: int
+
+            register_wire_types(Ping)
+            """
+        )
+        assert check_files({"pvfs/wire.py": wire}, rules=["R6"]) == []
+
+    def test_plain_classes_need_no_codec(self):
+        wire = src(
+            """
+            __all__ = ["PVFSError", "Store"]
+
+            class PVFSError(Exception):
+                pass
+
+            class Store:
+                def get(self):
+                    return None
+            """
+        )
+        assert check_files({"pvfs/wire.py": wire}, rules=["R6"]) == []
+
+    def test_enum_must_use_enum_registration(self):
+        wire = src(
+            """
+            import enum
+
+            from repro.net.codec import register_wire_types
+
+            __all__ = ["State"]
+
+            class State(enum.Enum):
+                A = "a"
+
+            register_wire_types(State)
+            """
+        )
+        findings = check_files({"pbs/job.py": wire}, rules=["R6"])
+        assert len(findings) == 1
+        assert "register_wire_enum" in findings[0].message
+
+    def test_set_typed_field_fires(self):
+        wire = src(
+            """
+            from dataclasses import dataclass
+
+            from repro.net.codec import register_wire_types
+
+            __all__ = ["Bag"]
+
+            @dataclass(frozen=True)
+            class Bag:
+                items: frozenset[str]
+
+            register_wire_types(Bag)
+            """
+        )
+        findings = check_files({"pvfs/wire.py": wire}, rules=["R6"])
+        assert len(findings) == 1
+        assert "set-typed" in findings[0].message
+
+    def test_name_collision_across_wire_modules_fires(self):
+        wire = src(
+            """
+            from dataclasses import dataclass
+
+            from repro.net.codec import register_wire_types
+
+            __all__ = ["Ping"]
+
+            @dataclass(frozen=True)
+            class Ping:
+                n: int
+
+            register_wire_types(Ping)
+            """
+        )
+        findings = check_files(
+            {"pvfs/wire.py": wire, "joshua/wire.py": wire}, rules=["R6"]
+        )
+        assert len(findings) == 1
+        assert "collides" in findings[0].message
+
+
 # ---------------------------------------------------------------------------
 # R5 — passive observability
 # ---------------------------------------------------------------------------

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.net import Address, LinkModel, Network, PartitionState, Transport
+from repro.net.codec import WIRE
 from repro.net.link import FAST_ETHERNET, LOOPBACK
+from repro.net.network import DATAGRAM_OVERHEAD
 from repro.sim import Kernel
 from repro.util.errors import AddressInUse, NetworkError, NodeDown
 
@@ -243,7 +245,83 @@ class TestNetwork:
         src = net.bind("a", 1)
         net.bind("b", 1)
         src.send(Address("b", 1), "data")
-        assert net.stats["bytes"] > 0
+        expected = len(WIRE.encode("data")) + DATAGRAM_OVERHEAD
+        assert net.stats["bytes_offered"] == expected
+        assert net.stats["bytes_wire"] == expected  # off-node, not dropped
+        assert net.stats["bytes_delivered"] == 0  # still in flight
+        kernel.run()
+        assert net.stats["bytes_delivered"] == expected
+        assert net.wire_bytes_by_type == {"str": expected}
+
+    def test_dropped_frames_offered_but_not_on_wire(self, kernel, net):
+        """The satellite fix: only frames that actually occupy the wire feed
+        the wire/contention byte accounting; drops still count as offered."""
+        src = net.bind("a", 1)
+        net.bind("b", 1)
+        token = net.add_drop_filter(lambda s, d, p: p == "doomed")
+        src.send(Address("b", 1), "doomed")
+        assert net.stats["dropped_filtered"] == 1
+        assert net.stats["bytes_offered"] > 0
+        assert net.stats["bytes_wire"] == 0
+        assert net.stats["bytes_delivered"] == 0
+        assert net.wire_bytes_by_type == {}
+        net.remove_drop_filter(token)
+
+    def test_partitioned_frames_not_on_wire(self, kernel, net):
+        src = net.bind("a", 1)
+        net.bind("b", 1)
+        net.partitions.cut_link("a", "b")
+        src.send(Address("b", 1), "x")
+        assert net.stats["dropped_unreachable"] == 1
+        assert net.stats["bytes_offered"] > 0
+        assert net.stats["bytes_wire"] == 0
+
+    def test_local_frames_never_on_shared_wire(self, kernel, net):
+        src = net.bind("a", 1)
+        net.bind("a", 2)
+        src.send(Address("a", 2), "x")
+        kernel.run()
+        assert net.stats["bytes_delivered"] > 0
+        assert net.stats["bytes_wire"] == 0  # loopback skips the hub
+
+
+class TestWireIsolation:
+    """The serialization boundary: no object identity crosses Network.send,
+    so neither side can mutate state the other still holds."""
+
+    def deliver_one(self, kernel, net, payload):
+        src = net.bind("a", 1)
+        dst = net.bind("b", 1)
+        received = []
+        dst.on_delivery(lambda d: received.append(d.payload))
+        src.send(Address("b", 1), payload)
+        kernel.run()
+        assert len(received) == 1
+        return received[0]
+
+    def test_receiver_mutation_cannot_reach_the_sender(self, kernel, net):
+        payload = {"jobs": ["j1", "j2"], "seq": 1}
+        delivered = self.deliver_one(kernel, net, payload)
+        assert delivered == payload and delivered is not payload
+        delivered["jobs"].append("evil")
+        delivered["seq"] = 99
+        assert payload == {"jobs": ["j1", "j2"], "seq": 1}
+
+    def test_sender_mutation_after_send_is_invisible_to_the_receiver(
+        self, kernel, net
+    ):
+        # Encoding happens at send time: the frame is a snapshot, exactly
+        # as a real NIC would have serialised it before the sender's next
+        # instruction ran.
+        src = net.bind("a", 1)
+        dst = net.bind("b", 1)
+        received = []
+        dst.on_delivery(lambda d: received.append(d.payload))
+        payload = ["original"]
+        src.send(Address("b", 1), payload)
+        payload.append("late-edit")  # while the frame is in flight
+        kernel.run()
+        assert received == [["original"]]
 
 
 class TestFaultPrimitives:

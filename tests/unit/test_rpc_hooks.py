@@ -25,8 +25,10 @@ import pytest
 from repro.cluster.daemon import Daemon
 from repro.cluster.node import Node
 from repro.net import Network
+from repro.net.codec import register_wire_types
 from repro.rpc import ResponseCache, RpcDispatcher, RpcTimeout, call, rpc_state
 from repro.rpc.state import TimeoutRecord, run_hooks
+from repro.rpc.wire import Request
 from repro.sim import Kernel
 
 
@@ -38,6 +40,12 @@ class Ping:
 @dataclass(frozen=True)
 class Pong:
     value: int
+
+
+# Test payloads cross the simulated wire, so they need codec entries like
+# any protocol's wire types (the registry is shared per interpreter — the
+# names must not collide with other test modules').
+register_wire_types(Ping, Pong)
 
 
 class EchoDaemon(Daemon):
@@ -54,9 +62,7 @@ class EchoDaemon(Daemon):
     def run(self):
         while True:
             delivery = yield self.endpoint.recv()
-            frame = delivery.payload
-            if isinstance(frame, tuple) and frame:
-                self.rpc.handle_frame(delivery.src, frame)
+            self.rpc.handle_frame(delivery.src, delivery.payload)
 
 
 class DeafDaemon(Daemon):
@@ -206,9 +212,9 @@ class TestDispatchHooks:
         client = network.bind("cli", 31000)
 
         def duplicate_sender():
-            client.send(daemon.address, ("RPC", 99, Ping(2)))
+            client.send(daemon.address, Request(99, Ping(2)))
             yield kernel.timeout(0.2)  # handled; response now cached
-            client.send(daemon.address, ("RPC", 99, Ping(2)))
+            client.send(daemon.address, Request(99, Ping(2)))
             yield kernel.timeout(0.2)
 
         process = kernel.spawn(duplicate_sender(), name="dup-sender")

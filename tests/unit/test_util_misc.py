@@ -5,7 +5,7 @@ import enum
 
 import pytest
 
-from repro.util.records import from_wire, to_wire, wire_size
+from repro.util.records import from_wire, to_wire
 from repro.util.rng import RandomStreams
 from repro.util.simlog import LogRecord, SimLogger
 
@@ -157,13 +157,3 @@ class TestWireRecords:
     def test_from_wire_requires_dict(self):
         with pytest.raises(TypeError):
             from_wire([1], Point)
-
-    def test_wire_size_monotone_in_content(self):
-        small = Point(1, 2)
-        assert wire_size(small) > 0
-        assert wire_size("longer string than") > wire_size("s")
-        assert wire_size([1, 2, 3]) > wire_size([1])
-
-    def test_wire_size_handles_all_scalars(self):
-        for value in (None, True, 3, 2.5, "s", b"bytes", Color.RED, {"a": 1}, (1, 2), {1, 2}):
-            assert wire_size(value) >= 1
