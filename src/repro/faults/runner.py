@@ -103,7 +103,9 @@ def run_chaos(
     before the final invariant checks.
     """
     # Batched sequencing is the interesting configuration for the stale-
-    # flusher class of bug; keep a small batch delay on by default.
+    # flusher class of bug; keep a small batch delay on by default. DATA
+    # batching likewise stays on so every chaos run exercises the Nagle
+    # window across crashes, partitions and view changes.
     batch_delay = 0.005 if ordering == "sequencer" else 0.0
     group = GroupConfig(
         heartbeat_interval=CHAOS_GROUP.heartbeat_interval,
@@ -112,6 +114,8 @@ def run_chaos(
         retransmit_interval=CHAOS_GROUP.retransmit_interval,
         ordering=ordering,
         sequencer_batch_delay=batch_delay,
+        data_batch_delay=0.005,
+        data_batch_min_delay=0.001,
         gc_interval=CHAOS_GROUP.gc_interval,
     )
     cluster = Cluster(

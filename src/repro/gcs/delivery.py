@@ -21,7 +21,14 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.gcs.messages import AGREED, SAFE, DataMsg, DeliveredMessage, MessageId
+from repro.gcs.messages import (
+    AGREED,
+    SAFE,
+    DataBatchMsg,
+    DataMsg,
+    DeliveredMessage,
+    MessageId,
+)
 from repro.gcs.view import View
 from repro.net.address import Address
 from repro.util.errors import GroupCommError
@@ -75,6 +82,21 @@ class DeliveryQueue:
             return False
         self._data[data.msg_id] = data
         return True
+
+    def add_batch(self, batch: DataBatchMsg) -> list[DataMsg]:
+        """Unpack a coalesced DATA batch into individual records.
+
+        Returns the per-command :class:`DataMsg` records that were *new*
+        (in batch order), so the caller can run the ordinary per-command
+        path — ordering engine, stability, traces — exactly as if each had
+        arrived in its own frame.
+        """
+        fresh: list[DataMsg] = []
+        for msg_id, service, payload in batch.entries:
+            data = DataMsg(msg_id, batch.view_id, service, payload)
+            if self.add_data(data):
+                fresh.append(data)
+        return fresh
 
     def has_data(self, msg_id: MessageId) -> bool:
         return msg_id in self._data

@@ -183,6 +183,11 @@ class FlushEngine:
         if m.in_group:
             m.state = FLUSHING
             self.entered_at = m.kernel.now
+        # Everything buffered on the outbound path (a DATA batch inside the
+        # Nagle window, ORDER assignments inside the sequencer's batch
+        # window) must hit our own queue *before* the report below, or the
+        # view change silently drops it.
+        m.flush_outbound()
         known, orderings, delivered = m.queue.flush_report()
         my_view = m.view.view_id if m.view is not None else -1
         ok = FlushOk(req.epoch, m.address, known, orderings, delivered, my_view)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable
 
+from repro.gcs.batching import DataBatcher
 from repro.gcs.config import GroupConfig
 from repro.gcs.delivery import DeliveryQueue
 from repro.gcs.failure_detector import FailureDetector
@@ -37,6 +38,7 @@ from repro.gcs.lifecycle import FLUSHING, IDLE, JOINING, NORMAL, STOPPED
 from repro.gcs.messages import (
     AGREED,
     SAFE,
+    DataBatchMsg,
     DataMsg,
     DeliveredMessage,
     FlushOk,
@@ -135,10 +137,24 @@ class GroupMember:
             self._bcast,
             self.transport.send,
             batch_delay=config.sequencer_batch_delay,
+            batch_max=config.sequencer_batch_max,
         )
         # Forward ordering assignments to an attached trace collector
         # (observation only — the engine behaves identically either way).
         self.engine.observer = self._order_observed
+        #: Outbound DATA coalescing (None = unbatched, the default: every
+        #: multicast is its own DataMsg frame, byte-for-byte unchanged).
+        self.batcher: DataBatcher | None = None
+        if config.data_batch_delay > 0:
+            self.batcher = DataBatcher(
+                self.kernel,
+                self._bcast,
+                max_delay=config.data_batch_delay,
+                min_delay=config.data_batch_min_delay,
+                max_msgs=config.data_batch_max_msgs,
+                max_bytes=config.data_batch_max_bytes,
+                on_flush=self._batch_flushed,
+            )
 
         self.state = IDLE
         self.view: View | None = None
@@ -153,6 +169,7 @@ class GroupMember:
         # membership traffic goes straight to the flush engine.
         self._dispatch: dict[type, Callable[[Address, Any], None]] = {
             DataMsg: self._gated(self._handle_data),
+            DataBatchMsg: self._gated(self._handle_data_batch),
             OrderMsg: self._gated(self._handle_order),
             StableMsg: self._gated(self._handle_stable),
             TokenMsg: self._gated(self._handle_token),
@@ -221,6 +238,8 @@ class GroupMember:
         self.state = STOPPED
         self.detector.stop()
         self.engine.stop()
+        if self.batcher is not None:
+            self.batcher.stop()
         self._watchdog.interrupt("member stopped")
         if self._cpu_worker is not None:
             self._cpu_worker.interrupt("member stopped")
@@ -280,8 +299,50 @@ class GroupMember:
             self.transport.send(member, msg)
 
     def _send_data(self, msg_id: MessageId, service: str, payload: Any) -> None:
+        if self.batcher is not None:
+            self.batcher.submit(msg_id, service, payload)
+            return
         data = DataMsg(msg_id, self.view.view_id, service, payload)
         self._bcast(data)
+
+    def flush_outbound(self) -> None:
+        """Push everything buffered on the outbound path onto the wire *and*
+        into our own queue, synchronously.
+
+        Called by the flush engine the moment we agree to a membership
+        change, **before** :meth:`DeliveryQueue.flush_report` is taken:
+
+        * a pending DATA batch still inside the :class:`DataBatcher` Nagle
+          window is broadcast and self-applied, so those commands appear in
+          our flush report as *known* messages (and, if we are the
+          sequencer, pick up their sequence assignments right here);
+        * sequence assignments buffered inside the sequencer's ORDER batch
+          window are broadcast and self-applied, so the assignments the
+          sequencer already made (they advanced ``next_seq``) ride the
+          closing list instead of being silently dropped with the view.
+
+        Self-application is synchronous (loopback frames are also sent, and
+        are suppressed as duplicates on arrival) because the flush report is
+        built in this same call stack — an async loopback would miss it.
+        """
+        if self.view is None:
+            return
+        if self.batcher is not None:
+            entries = self.batcher.drain()
+            if len(entries) == 1:
+                msg_id, service, payload = entries[0]
+                data = DataMsg(msg_id, self.view.view_id, service, payload)
+                self._bcast(data)
+                self._handle_data(self.address, data)
+            elif entries:
+                batch = DataBatchMsg(self.view.view_id, entries)
+                self._bcast(batch)
+                self._handle_data_batch(self.address, batch)
+        pending = self.engine.drain_pending()
+        if pending:
+            order = OrderMsg(self.view.view_id, pending)
+            self._bcast(order)
+            self._handle_order(self.address, order)
 
     def _broadcast_stable(self) -> None:
         ready = self.queue.agreed_ready_through()
@@ -361,6 +422,14 @@ class GroupMember:
             self._broadcast_stable()
             self._deliver_ready()
 
+    def _handle_data_batch(self, src: Address, batch: DataBatchMsg) -> None:
+        fresh = self.queue.add_batch(batch)
+        for data in fresh:
+            self.engine.on_data(data.msg_id, own=data.msg_id.sender == self.address)
+        if fresh:
+            self._broadcast_stable()
+            self._deliver_ready()
+
     def _handle_order(self, src: Address, order: OrderMsg) -> None:
         self.queue.add_assignments(order.assignments)
         self._broadcast_stable()
@@ -388,6 +457,11 @@ class GroupMember:
         if collector is not None:
             collector.gcs_ordered(self.address.node, seq, msg_id)
 
+    def _batch_flushed(self, count: int, reason: str) -> None:
+        collector = collector_of(self.network)
+        if collector is not None:
+            collector.gcs_batch_flush(self.address.node, count, reason)
+
     def _on_suspect(self, peer: Address) -> None:
         self.flush.on_suspect(peer)
 
@@ -408,6 +482,8 @@ class GroupMember:
         self.recovery.note_members(view)
         self.queue.start_view(view, closing)
         self.engine.start_view(view, len(closing))
+        if self.batcher is not None:
+            self.batcher.start_view(view)
         self.detector.monitor(view.members)
         for member in view.members:
             self.detector.forgive(member)

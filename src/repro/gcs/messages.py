@@ -20,6 +20,7 @@ __all__ = [
     "AGREED",
     "SAFE",
     "DataMsg",
+    "DataBatchMsg",
     "OrderMsg",
     "StableMsg",
     "Heartbeat",
@@ -56,6 +57,25 @@ class DataMsg:
     view_id: int
     service: str  # AGREED or SAFE
     payload: Any
+
+
+@dataclass(frozen=True)
+class DataBatchMsg:
+    """Several application multicasts coalesced into one wire frame.
+
+    Produced by :class:`~repro.gcs.batching.DataBatcher` when a head submits
+    a burst of commands: instead of one :class:`DataMsg` frame (and its
+    fixed +28B datagram overhead) per command, the burst rides as one frame
+    whose ``entries`` carry ``(msg_id, service, payload)`` in submit order.
+    Receivers unpack the batch into individual DATA records before the
+    ordering/delivery machinery sees them, so total order, stability and
+    per-command traces are byte-for-byte what an unbatched run produces —
+    only the wire framing differs.
+    """
+
+    view_id: int
+    #: ``(msg_id, service, payload)`` per coalesced multicast, submit order.
+    entries: tuple[tuple[MessageId, str, Any], ...]
 
 
 @dataclass(frozen=True)
@@ -201,6 +221,6 @@ class DeliveredMessage:
 # Everything above except DeliveredMessage crosses the wire; DeliveredMessage
 # is the *local* record handed to the application's on_deliver callback.
 register_wire_types(
-    MessageId, DataMsg, OrderMsg, StableMsg, Heartbeat, Probe,
+    MessageId, DataMsg, DataBatchMsg, OrderMsg, StableMsg, Heartbeat, Probe,
     JoinReq, LeaveReq, FlushReq, FlushOk, NewView, TokenMsg,
 )

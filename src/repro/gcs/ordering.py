@@ -9,8 +9,10 @@ failed sequencer/token is the membership layer's job.
 **Sequencer** (default; paper-era systems like ISIS/Amoeba used this shape):
 the lowest-ranked view member assigns sequence numbers to every DATA it
 learns of, in arrival order, optionally batching assignments for
-``sequencer_batch_delay`` seconds. One broadcast per multicast; latency is
-one hop to the sequencer plus one ordering broadcast.
+``sequencer_batch_delay`` seconds (flushing early once ``batch_max``
+assignments accumulate, so a burst never waits out the full window). One
+broadcast per multicast; latency is one hop to the sequencer plus one
+ordering broadcast.
 
 **Token ring** (ablation; Totem/Transis lineage): a token carrying
 ``next_seq`` circulates the ring; the holder orders *its own* pending
@@ -78,13 +80,31 @@ class _EngineBase:
     def on_token(self, src: Address, token: TokenMsg) -> None:
         """Token engine only."""
 
+    def drain_pending(self) -> tuple[tuple[int, MessageId], ...]:
+        """Remove and return assignments buffered but not yet broadcast.
+
+        Called by the member as it enters a membership flush, so that
+        assignments the sequencer already observed (they advanced
+        ``next_seq``) make it into the flush report instead of being
+        silently dropped by the view change. Engines without an outbound
+        buffer return ``()``.
+        """
+        return ()
+
 
 class SequencerEngine(_EngineBase):
     """Lowest-ranked member assigns sequence numbers for everyone."""
 
-    def __init__(self, kernel, owner, broadcast, send, *, batch_delay: float = 0.0):
+    def __init__(
+        self, kernel, owner, broadcast, send,
+        *, batch_delay: float = 0.0, batch_max: int = 0,
+    ):
         super().__init__(kernel, owner, broadcast, send)
         self.batch_delay = batch_delay
+        #: Size trigger: flush as soon as a batch holds this many
+        #: assignments instead of waiting out the full batch_delay
+        #: (0 = timer only).
+        self.batch_max = batch_max
         self._assigned: set[MessageId] = set()
         self._batch: list[tuple[int, MessageId]] = []
         self._flusher = None
@@ -118,8 +138,31 @@ class SequencerEngine(_EngineBase):
             self.broadcast(OrderMsg(self.view.view_id, (assignment,)))
             return
         self._batch.append(assignment)
-        if self._flusher is None or not self._flusher.is_alive:
+        if self.batch_max and len(self._batch) >= self.batch_max:
+            # Size-triggered flush: a burst no longer waits out the full
+            # batch window once the batch is as large as it is allowed to
+            # get — the amortization is already maximal.
+            self._flush_now()
+        elif self._flusher is None or not self._flusher.is_alive:
             self._flusher = self.kernel.spawn(self._flush_later(self._generation))
+
+    def drain_pending(self) -> tuple[tuple[int, MessageId], ...]:
+        if not self._batch:
+            return ()
+        batch, self._batch = tuple(self._batch), []
+        self._generation += 1  # a timer armed for this batch must not fire
+        self._flusher = None
+        return batch
+
+    def _flush_now(self) -> None:
+        batch, self._batch = self._batch, []
+        # Bumping the generation (and dropping the flusher reference) kills
+        # the timer that was armed for this batch *and* lets the next
+        # on_data arm a fresh one — without this, a still-alive stale timer
+        # would suppress re-arming and strand the next batch unbounded.
+        self._generation += 1
+        self._flusher = None
+        self.broadcast(OrderMsg(self.view.view_id, tuple(batch)))
 
     def _flush_later(self, generation: int):
         yield self.kernel.timeout(self.batch_delay)
@@ -201,10 +244,16 @@ class TokenRingEngine(_EngineBase):
         self.kernel.spawn(later(), name=f"token-pass@{self.owner}")
 
 
-def make_engine(kind: str, kernel, owner, broadcast, send, *, batch_delay: float = 0.0):
+def make_engine(
+    kind: str, kernel, owner, broadcast, send,
+    *, batch_delay: float = 0.0, batch_max: int = 0,
+):
     """Factory selecting the ordering engine by config name."""
     if kind == "sequencer":
-        return SequencerEngine(kernel, owner, broadcast, send, batch_delay=batch_delay)
+        return SequencerEngine(
+            kernel, owner, broadcast, send,
+            batch_delay=batch_delay, batch_max=batch_max,
+        )
     if kind == "token":
         return TokenRingEngine(kernel, owner, broadcast, send)
     raise ValueError(f"unknown ordering engine {kind!r}")

@@ -175,6 +175,12 @@ class Network:
         #: Off-node bytes-on-wire per protocol message type (envelopes
         #: unwrapped one level) — the Figure 11 bandwidth breakdown.
         self.wire_bytes_by_type: dict[str, int] = {}
+        #: Every offered frame per protocol message type, counted at the
+        #: same site as ``bytes_offered`` — i.e. *before* the down/partition/
+        #: filter/loss drop decisions, so drop-filtered traffic (which
+        #: ``bytes_offered`` includes but ``wire_bytes_by_type`` never sees)
+        #: still shows up in a per-type breakdown.
+        self.offered_bytes_by_type: dict[str, int] = {}
 
     # -- node lifecycle ------------------------------------------------------
 
@@ -283,6 +289,10 @@ class Network:
         frame = WIRE.encode(payload)
         size = len(frame) + DATAGRAM_OVERHEAD
         self.stats["bytes_offered"] += size
+        offered_kind = _payload_kind(payload)
+        self.offered_bytes_by_type[offered_kind] = (
+            self.offered_bytes_by_type.get(offered_kind, 0) + size
+        )
 
         if not self.node_is_up(dst.node):
             if self._nodes_up.get(dst.node) and dst.node in self._paused:

@@ -144,6 +144,15 @@ class TraceCollector:
         self.record("gcs.mcast", node, msg_id=str(msg_id), service=service,
                     payload=type(payload).__name__)
 
+    def gcs_batch_flush(self, node: str, count: int, reason: str) -> None:
+        """A :class:`~repro.gcs.batching.DataBatcher` flushed *count*
+        coalesced multicasts (reason: count/bytes/timer/drain)."""
+        self.registry.counter("gcs.batch.flushes", node=node, reason=reason).inc()
+        self.registry.histogram(
+            "gcs.batch.size", node=node, buckets=ATTEMPT_BUCKETS
+        ).observe(float(count))
+        self.record("gcs.batch", node, count=count, reason=reason)
+
     def gcs_ordered(self, node: str, seq: int, msg_id) -> None:
         self.registry.counter("gcs.order.assignments", node=node).inc()
         if msg_id not in self._ordered_ids:

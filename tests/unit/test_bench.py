@@ -162,6 +162,19 @@ class TestExperimentSmoke:
         elapsed = measure_burst("TORQUE", 1, 10)
         assert 0.8 <= elapsed <= 1.3
 
+    def test_figure11_burst_batching_reduced_scale(self):
+        """CI smoke for the batching ablation at reduced scale. Every
+        DataBatchMsg that crosses the wire is codec-decoded at delivery,
+        so a batch encode/decode regression *fails this run* instead of
+        silently skewing the full bench."""
+        from repro.bench.experiments.throughput import burst_batching_ablation
+        result = burst_batching_ablation(heads=3, jobs=12, seed=1)
+        batched = result["batched"]["wire_bytes_by_type"]
+        assert batched.get("DataBatchMsg", 0) > 0  # burst actually coalesced
+        assert result["reduction_pct"] > 0
+        # All 12 commands committed in both arms (delivery completed).
+        assert result["unbatched"]["jobs"] == result["batched"]["jobs"] == 12
+
     def test_figure12_rows(self):
         from repro.bench.experiments.availability import figure12
         rows = figure12()

@@ -252,6 +252,7 @@ class TestNetwork:
         kernel.run()
         assert net.stats["bytes_delivered"] == expected
         assert net.wire_bytes_by_type == {"str": expected}
+        assert net.offered_bytes_by_type == {"str": expected}
 
     def test_dropped_frames_offered_but_not_on_wire(self, kernel, net):
         """The satellite fix: only frames that actually occupy the wire feed
@@ -265,6 +266,30 @@ class TestNetwork:
         assert net.stats["bytes_wire"] == 0
         assert net.stats["bytes_delivered"] == 0
         assert net.wire_bytes_by_type == {}
+        net.remove_drop_filter(token)
+
+    def test_offered_ledger_sees_drop_filtered_frames(self, kernel, net):
+        """Regression: ``bytes_offered`` counted drop-filtered frames, but no
+        per-type breakdown did — targeted-loss experiments could not tell
+        *which* traffic was being eaten. The offered ledger is charged at the
+        same site as ``bytes_offered``, before every drop decision."""
+        src = net.bind("a", 1)
+        net.bind("b", 1)
+        token = net.add_drop_filter(lambda s, d, p: p == "doomed")
+        src.send(Address("b", 1), "doomed")
+        src.send(Address("b", 1), 123)
+        kernel.run()
+        expected_doomed = len(WIRE.encode("doomed")) + DATAGRAM_OVERHEAD
+        expected_int = len(WIRE.encode(123)) + DATAGRAM_OVERHEAD
+        assert net.offered_bytes_by_type == {
+            "str": expected_doomed,
+            "int": expected_int,
+        }
+        # The wire ledger still only sees the survivor.
+        assert net.wire_bytes_by_type == {"int": expected_int}
+        assert (
+            sum(net.offered_bytes_by_type.values()) == net.stats["bytes_offered"]
+        )
         net.remove_drop_filter(token)
 
     def test_partitioned_frames_not_on_wire(self, kernel, net):
