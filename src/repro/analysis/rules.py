@@ -296,14 +296,21 @@ class _SetInference:
         name = _dotted(base)
         return name in ("set", "Set", "typing.Set", "MutableSet", "AbstractSet")
 
-    @staticmethod
-    def _value_is_set(value: ast.AST | None) -> bool:
+    @classmethod
+    def _value_is_set(cls, value: ast.AST | None) -> bool:
         if value is None:
             return False
         if isinstance(value, (ast.Set, ast.SetComp)):
             return True
         if isinstance(value, ast.Call):
             return _dotted(value.func) in ("set", "frozenset")
+        if isinstance(value, ast.IfExp):
+            # x = a - b if cond else set(): set-like on either branch.
+            return cls._value_is_set(value.body) or cls._value_is_set(value.orelse)
+        if isinstance(value, ast.BinOp) and isinstance(
+            value.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return cls._value_is_set(value.left) or cls._value_is_set(value.right)
         return False
 
     def is_set_expr(self, node: ast.AST) -> bool:

@@ -1,0 +1,144 @@
+"""Wire-trace digests: the sharding refactor's behavior-preservation proof.
+
+Runs the three baseline scenarios (normal operation, membership churn,
+partition + heal — the same drivers as ``tools/capture_trace.py``) and
+reduces every frame the simulation puts on the wire to one canonical line::
+
+    <send time> <src> <dst> <encoded frame length> <payload repr>
+
+The sha256 over those lines is the scenario's **wire digest**: two builds
+with the same digest sent byte-for-byte identical traffic at identical
+times. ``tests/data/wire_baseline.json`` pins the digests of the
+pre-sharding build; the regression test regenerates them with ``shards=1``
+and compares, proving the router/replica split is invisible on the wire
+when there is only one shard (the PR-2 decomposition-proof style).
+
+The scenario code lives here — importable by both the capture tool
+(``tools/capture_wire_baseline.py``) and the test — so the two can never
+drift apart.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.cluster.cluster import Cluster
+from repro.gcs.config import GroupConfig
+from repro.joshua.deploy import JoshuaStack, build_joshua_stack
+from repro.net.codec import encoded_size
+
+__all__ = ["SCENARIOS", "run_scenario", "scenario_digests", "BASELINE_GROUP"]
+
+#: Must match ``tests/integration/conftest.FAST_GROUP`` — the protocol
+#: timings every integration scenario runs under.
+BASELINE_GROUP = GroupConfig(
+    heartbeat_interval=0.1,
+    suspect_timeout=0.35,
+    flush_timeout=0.8,
+    retransmit_interval=0.05,
+)
+
+_SEED = 11
+_HEADS = 3
+_COMPUTES = 2
+
+
+def _make_stack(shards: int) -> JoshuaStack:
+    cluster = Cluster(
+        head_count=_HEADS, compute_count=_COMPUTES, seed=_SEED, login_node=True
+    )
+    extra = {"shards": shards} if shards != 1 else {}
+    return build_joshua_stack(
+        cluster, group_config=BASELINE_GROUP, state_transfer="replay", **extra
+    )
+
+
+def _drive(stack: JoshuaStack, coroutine):
+    process = stack.cluster.kernel.spawn(coroutine)
+    return stack.cluster.run(until=process)
+
+
+def _spy_network(stack: JoshuaStack) -> list[str]:
+    """Record every frame crossing :meth:`Network.send` as a canonical line."""
+    lines: list[str] = []
+    network = stack.cluster.network
+    inner = network.send
+    kernel = stack.cluster.kernel
+
+    def spy(src, dst, payload):
+        lines.append(
+            f"{kernel.now:.9f} {src} {dst} {encoded_size(payload)} {payload!r}"
+        )
+        return inner(src, dst, payload)
+
+    network.send = spy
+    return lines
+
+
+# -- scenario drivers (mirrors tools/capture_trace.py exactly) ---------------
+
+
+def _scenario_normal(stack: JoshuaStack) -> None:
+    client = stack.client(node="login")
+    for i in range(4):
+        _drive(stack, client.jsub(name=f"j{i}", walltime=2.0))
+    _drive(stack, client.jstat())
+    _drive(stack, client.jdel(_drive(stack, client.jsub(name="victim", walltime=900.0))))
+    stack.cluster.run(until=25.0)
+
+
+def _scenario_membership(stack: JoshuaStack) -> None:
+    client = stack.client(node="login")
+    for i in range(3):
+        _drive(stack, client.jsub(name=f"m{i}", walltime=2.0))
+    stack.cluster.node("head0").crash()
+    stack.cluster.run(until=stack.cluster.kernel.now + 3.0)
+    _drive(stack, client.jsub(name="after-crash", walltime=2.0))
+    stack.cluster.node("head0").restart()
+    stack.cluster.run(until=stack.cluster.kernel.now + 5.0)
+    _drive(stack, client.jsub(name="after-rejoin", walltime=2.0))
+    stack.cluster.run(until=40.0)
+
+
+def _scenario_partitions(stack: JoshuaStack) -> None:
+    client = stack.client(node="login")
+    for i in range(2):
+        _drive(stack, client.jsub(name=f"p{i}", walltime=2.0))
+    net = stack.cluster.network
+    net.partitions.set_partitions(
+        [["head0", "head1", "compute0", "compute1", "login"], ["head2"]]
+    )
+    stack.cluster.run(until=stack.cluster.kernel.now + 4.0)
+    _drive(stack, client.jsub(name="during-partition", walltime=2.0))
+    net.partitions.heal_partitions()
+    stack.cluster.run(until=stack.cluster.kernel.now + 10.0)
+    _drive(stack, client.jsub(name="after-heal", walltime=2.0))
+    stack.cluster.run(until=45.0)
+
+
+SCENARIOS = {
+    "normal": _scenario_normal,
+    "membership": _scenario_membership,
+    "partitions": _scenario_partitions,
+}
+
+
+def run_scenario(name: str, *, shards: int = 1) -> dict:
+    """One scenario's wire digest plus the coarse counters that aid triage
+    when the digest differs (frame count narrows *where*, the clock and
+    event count narrow *when*)."""
+    stack = _make_stack(shards)
+    lines = _spy_network(stack)
+    SCENARIOS[name](stack)
+    digest = hashlib.sha256("\n".join(lines).encode()).hexdigest()
+    return {
+        "digest": digest,
+        "frames": len(lines),
+        "bytes": sum(int(line.split(" ", 4)[3]) for line in lines),
+        "now": round(stack.cluster.kernel.now, 9),
+        "events": stack.cluster.kernel.processed_events,
+    }
+
+
+def scenario_digests(*, shards: int = 1) -> dict:
+    return {name: run_scenario(name, shards=shards) for name in SCENARIOS}

@@ -1,0 +1,204 @@
+"""Shard scaling extension: throughput vs. number of ordering shards.
+
+Not a paper figure — JOSHUA runs one Transis group, so every command in
+the system shares a single total order and a single serial executor per
+head. The sharded deployment (PROTOCOLS.md §10) partitions the job
+namespace by PBS queue across N co-hosted GCS groups: N sequencers on
+distinct heads, N serial executors per head, one independent total order
+per shard. This experiment measures what that buys and what it must not
+cost:
+
+* :func:`shard_scaling` — the same concurrent burst, spread across every
+  shard's queue namespace, at shards = 1/2/4. Aggregate committed
+  commands per second should rise monotonically with the shard count:
+  the single group's sequencer + SAFE-stability pipeline is the
+  serialization point, and sharding divides it.
+* :func:`sequencer_kill` — kill one shard's sequencer mid-stream (its
+  GCS endpoint on the sequencer head goes dark — the co-hosted member of
+  the *other* shard on that head keeps running, the sharpest isolation
+  probe) and measure per-shard commit rates before / while the victim
+  shard's view change runs / after failover. The undisturbed shard's
+  commit stream must not stall; the victim shard must resume under its
+  new sequencer.
+
+``benchmarks/bench_shard_scaling.py`` snapshots both results to
+``BENCH_shard_scaling.json``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.gcs.config import GroupConfig
+from repro.joshua.config import JOSHUA_GROUP_CONFIG
+from repro.joshua.deploy import build_joshua_stack
+from repro.joshua.server import JOSHUA_GCS_PORT
+from repro.joshua.shard import queue_for_shard
+from repro.obs.collector import attach_collector
+from repro.obs.metrics import MetricsRegistry
+from repro.util.errors import NoActiveHeadError
+
+__all__ = ["measure_shard_burst", "shard_scaling", "sequencer_kill"]
+
+#: Fast group timings for the sequencer-kill run: failure detection and
+#: the resulting view change must complete inside a short measured window.
+#: (The scaling burst keeps the paper-calibrated JOSHUA_GROUP_CONFIG.)
+KILL_GROUP_CONFIG = GroupConfig(
+    heartbeat_interval=0.1,
+    suspect_timeout=0.35,
+    flush_timeout=0.8,
+    retransmit_interval=0.05,
+)
+
+
+def measure_shard_burst(
+    shards: int, *, heads: int = 4, computes: int = 2, jobs: int = 48,
+    seed: int = 1, registry: MetricsRegistry | None = None,
+) -> dict:
+    """One concurrent burst of *jobs* jsubs, round-robined across every
+    shard's queue namespace, against a *shards*-way sharded stack.
+
+    Returns the aggregate committed-commands/sec on the client's head::
+
+        {"shards", "heads", "jobs", "elapsed_s", "committed",
+         "committed_per_s", "per_shard_committed"}
+    """
+    cluster = Cluster(head_count=heads, compute_count=computes, seed=seed)
+    stack = build_joshua_stack(
+        cluster, group_config=JOSHUA_GROUP_CONFIG, shards=shards
+    )
+    client = stack.client(node="head0", prefer="head0")
+    if registry is not None:
+        attach_collector(cluster.network, registry=registry)
+    cluster.run(until=1.0)
+    kernel = cluster.kernel
+    joshua = stack.joshua("head0")
+    before = [replica.stats["executed"] for replica in joshua.shards]
+    start = kernel.now
+    procs = [
+        kernel.spawn(client.jsub(
+            name=f"shard-burst{i}", walltime=100_000.0,
+            queue=queue_for_shard(i % shards, shards),
+        ))
+        for i in range(jobs)
+    ]
+    for process in procs:
+        cluster.run(until=process)
+    elapsed = kernel.now - start
+    per_shard = [
+        replica.stats["executed"] - b
+        for replica, b in zip(joshua.shards, before)
+    ]
+    committed = sum(per_shard)
+    return {
+        "shards": shards,
+        "heads": heads,
+        "jobs": jobs,
+        "elapsed_s": round(elapsed, 4),
+        "committed": committed,
+        "committed_per_s": round(committed / elapsed, 2),
+        "per_shard_committed": per_shard,
+    }
+
+
+def shard_scaling(
+    shard_counts=(1, 2, 4), *, heads: int = 4, computes: int = 2,
+    jobs: int = 48, seed: int = 1,
+    registry: MetricsRegistry | None = None,
+) -> list[dict]:
+    """One :func:`measure_shard_burst` row per shard count, same burst."""
+    return [
+        measure_shard_burst(n, heads=heads, computes=computes, jobs=jobs,
+                            seed=seed, registry=registry)
+        for n in shard_counts
+    ]
+
+
+def sequencer_kill(
+    *, shards: int = 2, heads: int = 3, computes: int = 2, seed: int = 1,
+    think: float = 0.02, before_s: float = 1.0, dead_s: float = 0.3,
+    settle_s: float = 2.5, after_s: float = 1.0,
+) -> dict:
+    """Kill shard 1's sequencer under continuous per-shard load.
+
+    One submission stream per shard runs throughout. After *before_s* of
+    steady state, shard 1's GCS endpoint on its sequencer head is
+    blackholed — that shard's sequencer is dead, while the same head's
+    shard-0 member keeps participating. The *dead_s* window sits inside
+    the suspicion interval (no view change yet: shard 1 cannot order,
+    shard 0 must not care), then after *settle_s* of failover the
+    *after_s* window shows shard 1 committing again under its new
+    sequencer. Commit counts come from a surviving non-victim head.
+    """
+    cluster = Cluster(head_count=heads, compute_count=computes,
+                      login_node=True, seed=seed)
+    stack = build_joshua_stack(
+        cluster, group_config=KILL_GROUP_CONFIG, shards=shards
+    )
+    kernel = cluster.kernel
+    cluster.run(until=2.0)  # every shard's full view forms
+
+    joshua = stack.joshua("head0")
+    victim_addr = joshua.shards[1].group.engine.sequencer_of(
+        joshua.shards[1].group.view
+    )
+    victim = victim_addr.node
+    observer = "head0" if victim != "head0" else "head1"
+    observed = stack.joshua(observer)
+    client = stack.client(node="login", prefer=observer)
+
+    def stream(shard: int):
+        i = 0
+        while True:
+            try:
+                yield from client.jsub(
+                    name=f"seqkill-s{shard}-{i}", walltime=100_000.0,
+                    queue=queue_for_shard(shard, shards),
+                )
+            except NoActiveHeadError:
+                pass
+            i += 1
+            yield kernel.timeout(think)
+
+    for shard in range(shards):
+        kernel.spawn(stream(shard), name=f"seqkill-stream-{shard}")
+
+    def counts():
+        return [replica.stats["executed"] for replica in observed.shards]
+
+    def window(duration: float) -> dict:
+        start = counts()
+        cluster.run(until=kernel.now + duration)
+        committed = [now - then for now, then in zip(counts(), start)]
+        return {
+            "duration_s": duration,
+            "committed": committed,
+            "committed_per_s": [round(c / duration, 1) for c in committed],
+        }
+
+    before = window(before_s)
+    token = cluster.network.add_drop_filter(
+        lambda src, dst, payload: (
+            victim in (src.node, dst.node)
+            and JOSHUA_GCS_PORT + 1 in (src.port, dst.port)
+        )
+    )
+    sequencer_dead = window(dead_s)
+    cluster.run(until=kernel.now + settle_s)  # exclusion + new sequencer
+    after = window(after_s)
+    cluster.network.remove_drop_filter(token)
+
+    new_sequencer = observed.shards[1].group.engine.sequencer_of(
+        observed.shards[1].group.view
+    )
+    return {
+        "shards": shards,
+        "heads": heads,
+        "victim_sequencer": victim,
+        "observer": observer,
+        "new_shard1_sequencer": new_sequencer.node,
+        "windows": {
+            "before": before,
+            "sequencer_dead": sequencer_dead,
+            "after_failover": after,
+        },
+    }

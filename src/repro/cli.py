@@ -91,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
     _common_chaos_args(chaos_run)
     chaos_run.add_argument("--ordering", choices=["sequencer", "token"],
                            default="sequencer")
+    chaos_run.add_argument("--shards", type=int, default=1,
+                           help="independent ordering groups over the same "
+                                "heads (PROTOCOLS.md §10); workload is "
+                                "spread across every shard's queues")
     chaos_run.add_argument("--schedule", metavar="FILE",
                            help="JSON fault schedule (default: random from seed)")
     chaos_run.add_argument("--jsonl", metavar="FILE",
@@ -237,7 +241,7 @@ def _cmd_chaos(args):
                 schedule,
                 seed=args.seed, heads=args.heads, computes=args.computes,
                 jobs=args.jobs, duration=args.duration, ordering=args.ordering,
-                intensity=args.intensity,
+                intensity=args.intensity, shards=args.shards,
             )
             reports = [report]
             if args.jsonl:

@@ -82,6 +82,9 @@ class Cluster:
         )
         #: Cluster-shared stable storage (used by the active/standby model).
         self.shared_storage = SharedStorage()
+        #: Name -> node lookup index; rebuilt on miss so callers that append
+        #: to ``heads``/``computes`` directly stay correct.
+        self._by_name: dict[str, Node] = {n.name: n for n in self.nodes}
 
     # -- lookups ---------------------------------------------------------------
 
@@ -90,11 +93,20 @@ class Cluster:
         extra = [self.login] if self.login is not None else []
         return self.heads + self.computes + extra
 
+    def register_node(self, node: Node) -> None:
+        """Index a node added after construction (e.g. ``add_head``)."""
+        self._by_name[node.name] = node
+
     def node(self, name: str) -> Node:
-        for node in self.nodes:
-            if node.name == name:
-                return node
-        raise ClusterError(f"no node named {name!r}")
+        found = self._by_name.get(name)
+        if found is not None:
+            return found
+        # Miss: the node lists may have been appended to directly.
+        self._by_name = {n.name: n for n in self.nodes}
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ClusterError(f"no node named {name!r}") from None
 
     def live_heads(self) -> list[Node]:
         return [n for n in self.heads if n.is_up]

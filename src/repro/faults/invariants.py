@@ -124,22 +124,25 @@ class InvariantSuite:
 
     def _tap_joshua(self, head: str, joshua: "JoshuaServer") -> None:
         self._tapped_joshua[head] = joshua
-        member = joshua.group
-        inner = member.on_deliver
-        inner_view = member.on_view
+        # One tap per shard group: each shard is its own total order, so
+        # order bookkeeping stays per-(view, member-set) key — the shards'
+        # distinct GCS ports keep their keys from ever colliding.
+        for member in joshua.groups:
+            inner = member.on_deliver
+            inner_view = member.on_view
 
-        def recorder(msg: DeliveredMessage) -> None:
-            self._record_delivery(head, member, msg)
-            if inner is not None:
-                inner(msg)
+            def recorder(msg: DeliveredMessage, member=member, inner=inner) -> None:
+                self._record_delivery(head, member, msg)
+                if inner is not None:
+                    inner(msg)
 
-        def view_recorder(view) -> None:
-            self._record_view(head, view)
-            if inner_view is not None:
-                inner_view(view)
+            def view_recorder(view, inner_view=inner_view) -> None:
+                self._record_view(head, view)
+                if inner_view is not None:
+                    inner_view(view)
 
-        member.on_deliver = recorder
-        member.on_view = view_recorder
+            member.on_deliver = recorder
+            member.on_view = view_recorder
 
     def _tap_mom(self, mom: "PBSMom") -> None:
         inner_start = mom.on_job_start
@@ -212,14 +215,21 @@ class InvariantSuite:
         return out
 
     def check_queue_bound(self) -> None:
-        """GC liveness: protocol payload state stays bounded on live heads."""
+        """GC liveness: protocol payload state stays bounded on live heads
+        (checked per shard group — one shard's backlog must not hide
+        behind its siblings' idle queues)."""
         for head, joshua in self._live_active_joshuas().items():
-            count = joshua.group.queue.payload_count()
-            if count > self.queue_bound:
-                self._violate(
-                    "bounded-delivery-queue",
-                    f"{head} holds {count} payloads (> {self.queue_bound})",
-                )
+            for replica in joshua.shards:
+                count = replica.group.queue.payload_count()
+                if count > self.queue_bound:
+                    where = (
+                        head if joshua.nshards == 1
+                        else f"{head} shard {replica.index}"
+                    )
+                    self._violate(
+                        "bounded-delivery-queue",
+                        f"{where} holds {count} payloads (> {self.queue_bound})",
+                    )
 
     def sampler(self, interval: float = 1.0):
         """Kernel process: run the periodic checks every *interval* seconds."""

@@ -22,6 +22,7 @@ from repro.faults.invariants import InvariantSuite, Violation
 from repro.faults.schedule import FaultSchedule, random_schedule
 from repro.gcs.config import GroupConfig
 from repro.joshua.deploy import build_joshua_stack
+from repro.joshua.shard import queue_for_shard
 from repro.obs.collector import attach_collector
 from repro.obs.metrics import MetricsRegistry
 from repro.rpc import TimeoutRecord, rpc_state
@@ -65,6 +66,9 @@ class ChaosReport:
     #: violations are logged under source ``"chaos"`` so failure reports
     #: and trace spans share one machine-readable stream.
     log_records: list[dict] = field(default_factory=list)
+    #: Ordering-layer shard count the stack ran with (1 = the paper's
+    #: single group).
+    shards: int = 1
 
     @property
     def ok(self) -> bool:
@@ -72,8 +76,9 @@ class ChaosReport:
 
     def summary(self) -> str:
         status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        sharding = f" shards={self.shards}" if self.shards > 1 else ""
         return (
-            f"seed={self.seed} ordering={self.ordering} "
+            f"seed={self.seed} ordering={self.ordering}{sharding} "
             f"faults={len(self.schedule.events)} "
             f"jobs={self.jobs_completed}/{self.jobs_submitted} {status}"
         )
@@ -91,6 +96,7 @@ def run_chaos(
     intensity: int = 3,
     quiesce: float = 15.0,
     queue_bound: int = 500,
+    shards: int = 1,
     registry: MetricsRegistry | None = None,
 ) -> ChaosReport:
     """Run one chaos scenario and return its report.
@@ -121,7 +127,7 @@ def run_chaos(
     cluster = Cluster(
         head_count=heads, compute_count=computes, login_node=True, seed=seed
     )
-    stack = build_joshua_stack(cluster, group_config=group)
+    stack = build_joshua_stack(cluster, group_config=group, shards=shards)
     collector = attach_collector(cluster.network, registry=registry)
     cluster.run(until=2.0)  # let the group form before faults begin
 
@@ -149,8 +155,16 @@ def run_chaos(
         for i in range(jobs):
             yield cluster.kernel.timeout(window / jobs)
             walltime = float(rng.uniform(1.0, 3.0))
+            # Sharded runs round-robin the submissions across every
+            # shard's queue namespace so each ordering group sees traffic;
+            # single-shard runs keep the historical default queue.
+            extra = (
+                {"queue": queue_for_shard(i % shards, shards)}
+                if shards > 1 else {}
+            )
             try:
-                yield from client.jsub(name=f"chaos-{i}", walltime=walltime)
+                yield from client.jsub(name=f"chaos-{i}", walltime=walltime,
+                                       **extra)
                 submitted += 1
             except NoActiveHeadError:
                 # Every head unreachable right now — a client-visible outage
@@ -171,6 +185,7 @@ def run_chaos(
         seed=seed,
         ordering=ordering,
         schedule=schedule,
+        shards=shards,
         events_applied=list(injector.log),
         jobs_submitted=submitted,
         jobs_completed=suite.completed_jobs(),

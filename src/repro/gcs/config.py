@@ -68,6 +68,15 @@ class GroupConfig:
         chew through).
     """
 
+    #: Identity of the ordering group this configuration describes. A
+    #: sharded deployment runs several independent groups over the same
+    #: heads; each shard's members bind a dedicated per-shard port (base
+    #: GCS port + group_id), so frames from different shards can never
+    #: cross-deliver. The id also rotates the sequencer: shard *k* is
+    #: sequenced by the member of rank ``k % view.size``, spreading
+    #: ordering load across the shared heads. 0 (default) reproduces the
+    #: single-group deployment exactly — rank 0 is the coordinator.
+    group_id: int = 0
     heartbeat_interval: float = 0.25
     suspect_timeout: float = 0.75
     flush_timeout: float = 1.0
@@ -98,6 +107,8 @@ class GroupConfig:
     gc_interval: float = 5.0
 
     def __post_init__(self):
+        if self.group_id < 0:
+            raise GroupCommError("group_id must be non-negative")
         if self.heartbeat_interval <= 0:
             raise GroupCommError("heartbeat_interval must be positive")
         if self.suspect_timeout <= self.heartbeat_interval:

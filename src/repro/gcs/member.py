@@ -138,6 +138,7 @@ class GroupMember:
             self.transport.send,
             batch_delay=config.sequencer_batch_delay,
             batch_max=config.sequencer_batch_max,
+            rotation=config.group_id,
         )
         # Forward ordering assignments to an attached trace collector
         # (observation only — the engine behaves identically either way).
@@ -476,7 +477,9 @@ class GroupMember:
         departed = (
             set(self.view.members) - set(view.members) if self.view is not None else set()
         )
-        for gone in departed:
+        # Sorted: forget_peer allocates reopen epochs from a simulation-wide
+        # counter, so with >= 2 departures the iteration order is on the wire.
+        for gone in sorted(departed):
             self.transport.forget_peer(gone)
         self.view = view
         self.recovery.note_members(view)

@@ -93,13 +93,22 @@ class _EngineBase:
 
 
 class SequencerEngine(_EngineBase):
-    """Lowest-ranked member assigns sequence numbers for everyone."""
+    """One designated member assigns sequence numbers for everyone.
+
+    The sequencer is the member of rank ``rotation % view.size``. With
+    ``rotation=0`` (default) that is the lowest-ranked member — the
+    coordinator, the classic single-group configuration. A sharded
+    deployment passes each shard's group id as the rotation so the N
+    shards hosted on the same heads elect N *different* sequencers and
+    the ordering load spreads instead of piling onto one head.
+    """
 
     def __init__(
         self, kernel, owner, broadcast, send,
-        *, batch_delay: float = 0.0, batch_max: int = 0,
+        *, batch_delay: float = 0.0, batch_max: int = 0, rotation: int = 0,
     ):
         super().__init__(kernel, owner, broadcast, send)
+        self.rotation = rotation
         self.batch_delay = batch_delay
         #: Size trigger: flush as soon as a batch holds this many
         #: assignments instead of waiting out the full batch_delay
@@ -110,9 +119,12 @@ class SequencerEngine(_EngineBase):
         self._flusher = None
         self._generation = 0  # invalidates in-flight flush timers on view change
 
+    def sequencer_of(self, view: View) -> Address:
+        return view.members[self.rotation % view.size]
+
     @property
     def is_sequencer(self) -> bool:
-        return self.view is not None and self.view.coordinator == self.owner
+        return self.view is not None and self.sequencer_of(self.view) == self.owner
 
     def start_view(self, view: View, next_seq: int) -> None:
         super().start_view(view, next_seq)
@@ -246,13 +258,19 @@ class TokenRingEngine(_EngineBase):
 
 def make_engine(
     kind: str, kernel, owner, broadcast, send,
-    *, batch_delay: float = 0.0, batch_max: int = 0,
+    *, batch_delay: float = 0.0, batch_max: int = 0, rotation: int = 0,
 ):
-    """Factory selecting the ordering engine by config name."""
+    """Factory selecting the ordering engine by config name.
+
+    *rotation* spreads sequencer duty across a sharded deployment's heads
+    (see :class:`SequencerEngine`). The token ring ignores it: its token
+    is regenerated by the coordinator on every view change regardless, and
+    ordering load is already spread around the ring.
+    """
     if kind == "sequencer":
         return SequencerEngine(
             kernel, owner, broadcast, send,
-            batch_delay=batch_delay, batch_max=batch_max,
+            batch_delay=batch_delay, batch_max=batch_max, rotation=rotation,
         )
     if kind == "token":
         return TokenRingEngine(kernel, owner, broadcast, send)

@@ -93,7 +93,10 @@ class RecoveryTracker:
         if not foreign:
             return
         probe = Probe(m.view.view_id, m.view.size, m.view.coordinator)
-        for address in foreign:
+        # Sorted: set iteration order is hash-order (varies across
+        # PYTHONHASHSEED values) and probe send order is observable on
+        # the wire.
+        for address in sorted(foreign):
             m.transport.send_raw(address, probe)
 
     def handle_probe(self, src: Address, probe: Probe) -> None:

@@ -31,7 +31,7 @@ from repro.pbs.mom import PBSMom
 from repro.pbs.scheduler import MauiScheduler
 from repro.pbs.server import PBS_MOM_PORT, PBS_SERVER_PORT, PBSServer
 from repro.pbs.service_times import ERA_2006, ServiceTimes
-from repro.pbs.wire import RpcTimeout, SchedPollReq, rpc_call
+from repro.pbs.wire import AdminServers, RpcTimeout, SchedPollReq, rpc_call
 from repro.util.errors import PBSError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -124,7 +124,7 @@ class FailoverMonitor(Daemon):
         for mom in self.moms:
             self.endpoint.send(mom, ("ADMIN-PURGE",))
             self.endpoint.send(
-                mom, ("ADMIN-SERVERS", [Address(self.node.name, PBS_SERVER_PORT)])
+                mom, AdminServers((Address(self.node.name, PBS_SERVER_PORT),))
             )
         self.failed_over = True
         self.failover_time = self.kernel.now

@@ -48,6 +48,9 @@ class JoshuaStack:
     service_times: ServiceTimes
     group_config: GroupConfig
     state_transfer: str
+    #: Independent ordering groups hosted on the shared heads. Every head
+    #: runs one replica unit per shard; :meth:`add_head` joins all of them.
+    shards: int = 1
     legacy_obit_retry: bool = False
     #: Maui policy. True is the paper's configuration ("each job exclusive
     #: access to our test cluster"); False is the future-work mode it
@@ -106,6 +109,7 @@ class JoshuaStack:
         heads_at_creation = list(self.head_names)
         config = self.group_config
         mode = self.state_transfer
+        shards = self.shards
         stack = self
         # A joshua daemon must only *boot* the group on its very first
         # start. Any later instantiation — the daemon was killed and
@@ -125,6 +129,7 @@ class JoshuaStack:
                     group_config=config,
                     state_transfer=mode,
                     moms=mom_addresses,
+                    shards=shards,
                 )
             live = [h for h in stack.live_heads() if h != n.name]
             return JoshuaServer(
@@ -133,6 +138,7 @@ class JoshuaStack:
                 group_config=config,
                 state_transfer=mode,
                 moms=mom_addresses,
+                shards=shards,
             )
 
         node.add_daemon("joshua", joshua_factory)
@@ -146,6 +152,7 @@ class JoshuaStack:
         name = name or f"head{len(self.head_names)}"
         node = Node(self.cluster.network, name, role="head")
         self.cluster.heads.append(node)
+        self.cluster.register_node(node)
         self.head_names.append(name)
         self._install_head_daemons(node, initial=False, contacts=contacts)
         return node
@@ -157,18 +164,27 @@ def build_joshua_stack(
     service_times: ServiceTimes = ERA_2006,
     group_config: GroupConfig = JOSHUA_GROUP_CONFIG,
     state_transfer: str = "replay",
+    shards: int = 1,
     legacy_obit_retry: bool = False,
     exclusive: bool = True,
 ) -> JoshuaStack:
-    """Deploy JOSHUA across every head node of *cluster*."""
+    """Deploy JOSHUA across every head node of *cluster*.
+
+    *shards* > 1 partitions the ordering layer: N independent GCS groups
+    over the same heads, job namespace split by PBS queue (PROTOCOLS.md
+    §10). The default reproduces the paper's single group exactly.
+    """
     if not cluster.heads:
         raise JoshuaError("cluster has no head nodes")
+    if shards < 1:
+        raise JoshuaError("shards must be >= 1")
     stack = JoshuaStack(
         cluster=cluster,
         head_names=[h.name for h in cluster.heads],
         service_times=service_times,
         group_config=group_config,
         state_transfer=state_transfer,
+        shards=shards,
         legacy_obit_retry=legacy_obit_retry,
         exclusive=exclusive,
     )

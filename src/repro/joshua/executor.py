@@ -27,17 +27,17 @@ from repro.sim.resources import Store
 from repro.util.errors import PBSError
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.joshua.server import JoshuaServer
+    from repro.joshua.shard import ShardReplica
 
 __all__ = ["SerialExecutor"]
 
 
 class SerialExecutor:
-    """Command intake, dedup cache and serial executor for one server."""
+    """Command intake, dedup cache and serial executor for one replica."""
 
-    def __init__(self, server: "JoshuaServer"):
-        self.s = server
-        self.queue: Store = Store(server.kernel)
+    def __init__(self, replica: "ShardReplica"):
+        self.s = replica
+        self.queue: Store = Store(replica.kernel)
         #: uuid -> cached local result (output dedup across retries).
         self.results: dict[str, object] = {}
         #: uuid -> [(client src, rpc id)] awaiting the result.
@@ -76,9 +76,18 @@ class SerialExecutor:
         collector = collector_of(s.node.network)
         if collector is not None:
             collector.job_event(s.node.name, "job.received",
-                                trace_id=uuid, command=command.kind)
+                                trace_id=uuid, command=command.kind,
+                                **self._shard_label())
         s.group.multicast(command, service=SAFE)
         return None
+
+    def _shard_label(self) -> dict:
+        """Trace-event label naming the owning shard — only when sharding
+        is actually on, so single-shard event payloads stay byte-identical
+        to the historical stream."""
+        if self.s.nshards == 1:
+            return {}
+        return {"shard": self.s.shard_id}
 
     # -- serial executor ------------------------------------------------------
 
@@ -97,7 +106,8 @@ class SerialExecutor:
                 if collector is not None:
                     collector.job_event(s.node.name, "job.ordered",
                                         trace_id=payload.uuid,
-                                        seq=item.seq, view=item.view_id)
+                                        seq=item.seq, view=item.view_id,
+                                        **self._shard_label())
                 if not s.active and s.xfer.syncing_marker is not None:
                     # Commands queued between an abandoned marker and its
                     # replacement are covered by the fresh capture.
@@ -119,7 +129,16 @@ class SerialExecutor:
         self.command_log.append(command)
         try:
             if command.kind == "jsub":
-                response = yield from self.local_rpc(SubmitReq(command.payload))
+                # Sharded deployments stripe the job-id space: every
+                # replica of this shard computes the same forced id from
+                # the totally-ordered execution count. None = single
+                # shard, the local PBS assigns ids itself.
+                forced = self.s.next_forced_job_id()
+                if forced is None:
+                    request = SubmitReq(command.payload)
+                else:
+                    request = SubmitReq(command.payload, force_job_id=forced)
+                response = yield from self.local_rpc(request)
                 result = response
             elif command.kind == "jdel":
                 response = yield from self.local_rpc(DeleteReq(command.payload))
@@ -142,7 +161,8 @@ class SerialExecutor:
                 collector.job_alias(command.uuid, job_id)
             collector.job_event(self.s.node.name, "job.executed",
                                 trace_id=command.uuid, command=command.kind,
-                                result=type(result).__name__)
+                                result=type(result).__name__,
+                                **self._shard_label())
         yield self.s.kernel.timeout(self.s.times.cmd_reply)
         self.answer(command.uuid)
 

@@ -28,7 +28,7 @@ from repro.pbs.wire import RerunReq
 from repro.util.errors import PBSError
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.joshua.server import JoshuaServer
+    from repro.joshua.shard import ShardReplica
 
 __all__ = ["MutexArbiter", "_MutexEntry"]
 
@@ -42,10 +42,10 @@ class _MutexEntry:
 
 
 class MutexArbiter:
-    """Launch-mutex state and arbitration for one server."""
+    """Launch-mutex state and arbitration for one replica."""
 
-    def __init__(self, server: "JoshuaServer"):
-        self.s = server
+    def __init__(self, replica: "ShardReplica"):
+        self.s = replica
         #: Launch mutual exclusion state: job_id -> entry.
         self.entries: dict[str, _MutexEntry] = {}
         self.claimed: set[str] = set()  # job_ids we have claimed ourselves

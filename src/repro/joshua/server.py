@@ -8,35 +8,41 @@ delivered commands to the **local** TORQUE server through the ordinary PBS
 wire protocol. Identical command order + deterministic server/scheduler =
 identical replica state.
 
-The daemon is a façade over three protocol engines plus the shared RPC
-dispatch substrate:
+The daemon is a thin **front-end router** over one or more
+:class:`~repro.joshua.shard.ShardReplica` units (PROTOCOLS.md §10). Each
+replica owns a complete protocol stack — GCS membership on its own
+per-shard port, :class:`~repro.joshua.executor.SerialExecutor`,
+:class:`~repro.joshua.mutex.MutexArbiter` and
+:class:`~repro.joshua.xfer.StateTransfer` — while the façade owns the one
+client-facing endpoint and the typed RPC dispatcher, and routes each
+request to the owning shard:
 
-* :class:`~repro.joshua.executor.SerialExecutor` — command dedup by UUID,
-  SAFE multicast, the serial executor, the delivered-once output cache;
-* :class:`~repro.joshua.mutex.MutexArbiter` — launch mutual exclusion
-  (``jmutex``/``jdone``) claim arbitration and orphan-winner rerun;
-* :class:`~repro.joshua.xfer.StateTransfer` — join/resync marker pinning,
-  state capture at the marker cut, and the replay/snapshot transfer modes.
+* ``jsub`` — by PBS queue name (falling back to the job owner), hashed
+  with CRC-32 so the mapping is stable across runs and processes;
+* anything keyed by job id (``jdel``, ``jstat <id>``, the jmutex/jdone
+  traffic, state-transfer pulls) — by the id stripe ``(seq-1) % nshards``
+  (see :mod:`repro.joshua.shard`);
+* ``jstat`` with no id — shard 0. The local PBS holds every shard's jobs,
+  so the listing is complete; it is only *ordered* against shard 0's
+  command stream (cross-shard queries have no global order — the
+  documented cost of sharding).
 
-The façade owns what crosses all of them: the GCS membership (delivery and
-view callbacks fan out to the engines in a fixed order), the typed RPC
-dispatcher, and the post-view-change mom announcements.
+With ``shards=1`` (default) the router degenerates to a pass-through and
+the daemon is wire-identical to the pre-sharding build
+(``tests/integration/test_wire_baseline.py`` pins that).
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import TYPE_CHECKING
 
 from repro.cluster.daemon import Daemon
 from repro.gcs.config import GroupConfig
-from repro.gcs.member import GroupMember
-from repro.gcs.messages import DeliveredMessage
-from repro.gcs.view import View
 from repro.joshua.config import ERA_2006_JOSHUA, JOSHUA_GROUP_CONFIG, JoshuaTimes
-from repro.joshua.executor import SerialExecutor
-from repro.joshua.mutex import MutexArbiter, _MutexEntry  # noqa: F401 (re-export)
+from repro.joshua.mutex import _MutexEntry  # noqa: F401 (re-export)
+from repro.joshua.shard import ShardReplica
 from repro.joshua.wire import (
-    Claim,
     Command,
     Done,
     JDelReq,
@@ -49,9 +55,11 @@ from repro.joshua.wire import (
     Started,
     StateXferReq,
     XferMarker,
+    XferPush,
 )
 from repro.joshua.xfer import StateTransfer
 from repro.net.address import Address
+from repro.pbs.job import JobSpec
 from repro.pbs.server import PBS_SERVER_PORT
 from repro.pbs.wire import ErrorResp
 from repro.rpc import RpcDispatcher
@@ -79,11 +87,15 @@ class JoshuaServer(Daemon):
     contacts:
         For a later-joining head: names of head nodes to join through.
     group_config / times:
-        Protocol calibration.
+        Protocol calibration. The config's ``group_id`` is overridden per
+        shard (shard *k* runs with ``group_id=k`` on GCS port
+        ``JOSHUA_GCS_PORT + k``).
     state_transfer:
         ``"replay"`` (paper-faithful) or ``"snapshot"`` (extension).
     moms:
         Mom addresses, for post-view-change server-list announcements.
+    shards:
+        Number of independent ordering groups hosted on this head set.
     """
 
     def __init__(
@@ -96,73 +108,132 @@ class JoshuaServer(Daemon):
         times: JoshuaTimes = ERA_2006_JOSHUA,
         state_transfer: str = "replay",
         moms: list[Address] | None = None,
+        shards: int = 1,
     ):
         super().__init__(node, "joshua", JOSHUA_PORT)
         if (initial_heads is None) == (contacts is None):
             raise JoshuaError("exactly one of initial_heads/contacts required")
         if state_transfer not in ("replay", "snapshot"):
             raise JoshuaError(f"unknown state_transfer mode {state_transfer!r}")
+        if shards < 1:
+            raise JoshuaError("shards must be >= 1")
         self.initial_heads = list(initial_heads or [])
         self.contacts = list(contacts or [])
         self.times = times
         self.state_transfer = state_transfer
         self.moms = list(moms or [])
         self.local_pbs = Address(node.name, PBS_SERVER_PORT)
+        self.nshards = shards
 
-        self.group = GroupMember(
-            node.network.bind(node.name, JOSHUA_GCS_PORT),
-            group_config,
-            on_deliver=self._on_deliver,
-            on_view=self._on_view,
-        )
-
-        #: Fully in service (joined + state transferred).
-        self.active = False
-        self.stats = {"commands": 0, "executed": 0, "claims": 0, "revocations": 0,
-                      "state_transfers_served": 0, "state_transfers_pulled": 0}
-        self.executor = SerialExecutor(self)
-        self.arbiter = MutexArbiter(self)
-        self.xfer = StateTransfer(self)
+        #: One replica unit per shard, each with its own ordering group.
+        self.shards = [
+            ShardReplica(self, k, shards, group_config, JOSHUA_GCS_PORT)
+            for k in range(shards)
+        ]
         self.rpc = self._build_dispatcher()
 
     # -- component state, exposed under the historical names ------------------
+    #
+    # With one shard these are the real per-replica objects (tests mutate
+    # them); with several they are merged read views — per-shard state lives
+    # on ``self.shards[k]``.
+
+    @property
+    def group(self):
+        """Shard 0's GCS membership (the historical single-group handle)."""
+        return self.shards[0].group
+
+    @property
+    def groups(self) -> list:
+        """Every shard's GCS membership, in shard order."""
+        return [replica.group for replica in self.shards]
+
+    @property
+    def executor(self):
+        return self.shards[0].executor
+
+    @property
+    def arbiter(self):
+        return self.shards[0].arbiter
+
+    @property
+    def xfer(self):
+        return self.shards[0].xfer
+
+    @property
+    def active(self) -> bool:
+        """Fully in service: every shard joined + state transferred."""
+        return all(replica.active for replica in self.shards)
+
+    @active.setter
+    def active(self, value: bool) -> None:
+        for replica in self.shards:
+            replica.active = value
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Engine counters summed across shards (per-shard counters are on
+        ``self.shards[k].stats``)."""
+        totals: dict[str, int] = {}
+        for replica in self.shards:
+            for key, value in sorted(replica.stats.items()):
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     @property
     def results(self) -> dict[str, object]:
         """uuid -> cached local result (output dedup across retries)."""
-        return self.executor.results
+        if self.nshards == 1:
+            return self.shards[0].executor.results
+        merged: dict[str, object] = {}
+        for replica in self.shards:
+            merged.update(replica.executor.results)
+        return merged
 
     @property
     def command_log(self) -> list[Command]:
-        """Replicated command log in delivered order."""
-        return self.executor.command_log
+        """Replicated command log in delivered order (concatenated by shard
+        when sharded — there is no global order across shards)."""
+        if self.nshards == 1:
+            return self.shards[0].executor.command_log
+        log: list[Command] = []
+        for replica in self.shards:
+            log.extend(replica.executor.command_log)
+        return log
 
     @property
     def mutex(self) -> dict[str, _MutexEntry]:
         """Launch mutual exclusion state: job_id -> entry."""
-        return self.arbiter.entries
+        if self.nshards == 1:
+            return self.shards[0].arbiter.entries
+        merged: dict[str, _MutexEntry] = {}
+        for replica in self.shards:
+            merged.update(replica.arbiter.entries)
+        return merged
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
 
     def on_start(self) -> None:
-        self.spawn(self.executor.loop(), name=f"{self.tag}-executor")
-        if self.initial_heads:
-            self.group.boot(
-                [Address(h, JOSHUA_GCS_PORT) for h in self.initial_heads]
+        for replica in self.shards:
+            name = (
+                f"{self.tag}-executor"
+                if self.nshards == 1
+                else f"{self.tag}-executor-s{replica.index}"
             )
-            self.active = True
-        else:
-            self.group.join([Address(h, JOSHUA_GCS_PORT) for h in self.contacts])
+            self.spawn(replica.executor.loop(), name=name)
+            replica.start()
 
     def on_stop(self, *, crashed: bool) -> None:
-        self.group.stop()
+        for replica in self.shards:
+            replica.group.stop()
 
     def leave(self) -> None:
         """Voluntary departure — handled as a forced failure (paper §4:
         the JOSHUA server shuts down via a signal)."""
-        self.group.leave()
+        for replica in self.shards:
+            replica.group.leave()
         self.stop()
 
     @property
@@ -170,19 +241,54 @@ class JoshuaServer(Daemon):
         return self.node.name
 
     # ------------------------------------------------------------------
+    # request routing
+    # ------------------------------------------------------------------
+
+    def shard_for_queue(self, spec: JobSpec) -> ShardReplica:
+        """The shard owning *spec*'s namespace slice: CRC-32 of the PBS
+        queue name (falling back to the owner for unqueued specs) — stable
+        across runs, processes and hash seeds."""
+        if self.nshards == 1:
+            return self.shards[0]
+        key = spec.queue or spec.owner
+        return self.shards[zlib.crc32(key.encode()) % self.nshards]
+
+    def shard_for_job(self, job_id: str) -> ShardReplica:
+        """The shard owning *job_id*, from the id stripe ``(seq-1) % N``."""
+        if self.nshards == 1:
+            return self.shards[0]
+        head = str(job_id).split(".", 1)[0]
+        if not head.isdigit():
+            return self.shards[0]
+        return self.shards[(int(head) - 1) % self.nshards]
+
+    def _route_command(self, payload) -> ShardReplica:
+        if isinstance(payload, JSubReq):
+            return self.shard_for_queue(payload.spec)
+        if payload.job_id is None:  # jstat with no id: complete but only
+            return self.shards[0]  # shard-0-ordered (see module docstring)
+        return self.shard_for_job(payload.job_id)
+
+    # ------------------------------------------------------------------
     # client / mom RPC handling
     # ------------------------------------------------------------------
 
     def run(self):
+        # Non-RPC frames (fire-and-forget pushes) route through a typed
+        # dispatch table, same shape as the RPC handler registry.
+        pushes = {XferPush: self._handle_xfer_push}
         while True:
             delivery = yield self.endpoint.recv()
             frame = delivery.payload
             if self.rpc.handle_frame(delivery.src, frame):
                 continue
-            if not isinstance(frame, tuple) or not frame:
-                continue
-            if frame[0] == "XFER":
-                self.xfer.handle_response(frame[1])
+            handler = pushes.get(type(frame))
+            if handler is not None:
+                handler(frame)
+
+    def _handle_xfer_push(self, frame: XferPush) -> None:
+        if 0 <= frame.shard < self.nshards:
+            self.shards[frame.shard].xfer.handle_response(frame.response)
 
     def _build_dispatcher(self) -> RpcDispatcher:
         """Typed request routing with the calibrated receive delays."""
@@ -204,22 +310,25 @@ class JoshuaServer(Daemon):
         self.rpc.reply(dst, request_id, response)
 
     def _handle_command(self, src: Address, request_id: int, payload):
-        return self.executor.submit(src, request_id, payload)
+        replica = self._route_command(payload)
+        return replica.executor.submit(src, request_id, payload)
 
     def _handle_jmutex(self, src: Address, request_id: int, req: JMutexReq) -> None:
-        self.arbiter.handle_jmutex(src, request_id, req)
+        self.shard_for_job(req.job_id).arbiter.handle_jmutex(src, request_id, req)
 
     def _handle_started(self, src: Address, request_id: int, payload: JStartedReq):
-        if self.active and self.group.can_multicast:
-            self.group.multicast(Started(payload.job_id))
+        replica = self.shard_for_job(payload.job_id)
+        if replica.active and replica.group.can_multicast:
+            replica.group.multicast(Started(payload.job_id))
             return JMutexResp("ok")
         # Refuse rather than ack-and-drop: the mom's notifier must
         # move on to a head that can actually record the event.
         return ErrorResp("joining", "not in view")
 
     def _handle_done(self, src: Address, request_id: int, payload: JDoneReq):
-        if self.active and self.group.can_multicast:
-            self.group.multicast(Done(payload.job_id))
+        replica = self.shard_for_job(payload.job_id)
+        if replica.active and replica.group.can_multicast:
+            replica.group.multicast(Done(payload.job_id))
             return JMutexResp("ok")
         return ErrorResp("joining", "not in view")
 
@@ -228,59 +337,30 @@ class JoshuaServer(Daemon):
         # a direct request means the joiner never heard that push (lost
         # frame). Re-serve the capture if we have it, else tell the joiner
         # to retry/recut.
-        response = self.xfer.served(payload.marker_uuid)
+        if not 0 <= payload.shard < self.nshards:
+            return ErrorResp("bad-request", f"no shard {payload.shard}")
+        response = self.shards[payload.shard].xfer.served(payload.marker_uuid)
         if response is not None:
             return response
         return ErrorResp("retry", "marker not reached")
 
     # ------------------------------------------------------------------
-    # group delivery
-    # ------------------------------------------------------------------
-
-    def _on_deliver(self, msg: DeliveredMessage) -> None:
-        payload = msg.payload
-        if self.xfer.should_drop(payload):
-            return
-        if isinstance(payload, (Command, XferMarker)):
-            self.executor.queue.put_nowait(msg)
-            self.xfer.note_enqueued(payload)
-        elif isinstance(payload, Claim):
-            self.arbiter.on_claim(payload)
-        elif isinstance(payload, Started):
-            self.arbiter.on_started(payload)
-        elif isinstance(payload, Done):
-            self.arbiter.on_done(payload)
-
-    def _on_view(self, view: View) -> None:
-        self.xfer.on_view(view)
-        self.arbiter.revoke_for_view(view)
-        # Tell every mom the current server set, so obituaries (and future
-        # start attempts) reach exactly the live heads.
-        if view.members and view.coordinator == self.group.address:
-            servers = sorted(Address(m.node, PBS_SERVER_PORT) for m in view.members)
-            for mom in self.moms:
-                if not self.endpoint.closed:
-                    self.endpoint.send(mom, ("ADMIN-SERVERS", servers))
-
-    # ------------------------------------------------------------------
-    # state transfer (kept as thin methods so tests can hook/override)
+    # state transfer (thin hooks kept on the façade for tests/tools;
+    # the executor drives the per-replica versions in shard.py)
     # ------------------------------------------------------------------
 
     def _execute_marker(self, marker: XferMarker):
-        if marker.joiner == self.address:
-            yield from self._receive_state(marker)
-        else:
-            yield from self._serve_state(marker)
+        yield from self.shards[0]._execute_marker(marker)
 
     def _serve_state(self, marker: XferMarker):
-        yield from self.xfer.serve_state(marker)
+        yield from self.shards[0]._serve_state(marker)
 
     def _receive_state(self, marker: XferMarker):
-        yield from self.xfer.receive_state(marker)
+        yield from self.shards[0]._receive_state(marker)
 
     @staticmethod
     def _spec_from_row(row: dict):
         return StateTransfer.spec_from_row(row)
 
     def _job_from_row(self, row: dict):
-        return self.xfer.job_from_row(row)
+        return self.shards[0].xfer.job_from_row(row)

@@ -1,0 +1,225 @@
+"""Per-shard replica unit: one ordering group's worth of JOSHUA state.
+
+The sharded deployment (PROTOCOLS.md §10) partitions the job namespace by
+PBS queue across N independent GCS groups hosted on the *same* head nodes.
+Each :class:`ShardReplica` is what the pre-sharding ``JoshuaServer`` used
+to be in miniature: it owns one :class:`~repro.gcs.member.GroupMember`
+(bound to the per-shard port ``JOSHUA_GCS_PORT + index`` with
+``group_id=index``, so frames from different shards can never
+cross-deliver), one :class:`~repro.joshua.executor.SerialExecutor`, one
+:class:`~repro.joshua.mutex.MutexArbiter` and one
+:class:`~repro.joshua.xfer.StateTransfer`. The façade
+:class:`~repro.joshua.server.JoshuaServer` keeps the single client-facing
+endpoint and routes each request to the owning replica.
+
+All replicas on one head apply commands to the *same* local PBS server, so
+the job-id space is **striped**: shard *k* of *N* forces ids
+``k+1, k+1+N, k+1+2N, …`` on its submissions, making ids globally unique,
+deterministic across that shard's replicas, and instantly attributable
+(``(seq-1) % N`` names the owning shard — the router's delete/stat/mutex
+key). With one shard the stripe is disabled and the local PBS assigns ids
+itself, byte-identical to the pre-sharding build.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import TYPE_CHECKING
+
+from repro.gcs.member import GroupMember
+from repro.gcs.messages import DeliveredMessage
+from repro.gcs.view import View
+from repro.joshua.executor import SerialExecutor
+from repro.joshua.mutex import MutexArbiter
+from repro.joshua.wire import Claim, Command, Done, Started, XferMarker
+from repro.joshua.xfer import StateTransfer
+from repro.net.address import Address
+from repro.pbs.server import PBS_SERVER_PORT
+from repro.pbs.wire import AdminServers
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gcs.config import GroupConfig
+    from repro.joshua.server import JoshuaServer
+
+__all__ = ["ShardReplica", "queue_for_shard"]
+
+#: Mirrors :data:`repro.joshua.deploy.REPLICA_SERVER_NAME` (importing it
+#: here would cycle deploy -> server -> shard -> deploy).
+_REPLICA_SERVER_NAME = "joshua"
+
+
+def queue_for_shard(shard: int, nshards: int) -> str:
+    """The lowest-numbered queue name ``q<j>`` the router maps to *shard*.
+
+    The router hashes queue names with CRC-32, so consecutive ``q0, q1, …``
+    do **not** land on consecutive shards; workloads and benches that want
+    to target (or evenly cover) specific shards use this search instead of
+    guessing names.
+    """
+    j = 0
+    while True:
+        name = f"q{j}"
+        if zlib.crc32(name.encode()) % nshards == shard:
+            return name
+        j += 1
+
+
+class ShardReplica:
+    """One shard's protocol engines on one head node.
+
+    Everything the engines historically accessed on the ``JoshuaServer``
+    façade (``s.group``, ``s.stats``, ``s.active``, ``s._reply`` …) lives
+    here now; the attributes that are genuinely head-wide (the client
+    endpoint, the RPC reply path, logging identity) delegate back to the
+    façade so one head still looks like one daemon to the outside.
+    """
+
+    def __init__(
+        self,
+        server: "JoshuaServer",
+        index: int,
+        nshards: int,
+        group_config: "GroupConfig",
+        gcs_base_port: int,
+    ):
+        self.server = server
+        self.index = index
+        self.shard_id = index
+        self.nshards = nshards
+        self.gcs_port = gcs_base_port + index
+        self.node = server.node
+        self.kernel = server.kernel
+        self.times = server.times
+        self.local_pbs = server.local_pbs
+        self.state_transfer = server.state_transfer
+        self.contacts = server.contacts
+
+        #: Fully in service (joined + state transferred) — per shard: one
+        #: shard can be mid-resync while its siblings keep executing.
+        self.active = False
+        self.stats = {"commands": 0, "executed": 0, "claims": 0,
+                      "revocations": 0, "state_transfers_served": 0,
+                      "state_transfers_pulled": 0}
+        #: jsub executions this shard has totally ordered — drives the
+        #: striped force_job_id sequence (see :meth:`next_forced_job_id`).
+        self.stripe_count = 0
+
+        self.group = GroupMember(
+            server.node.network.bind(server.node.name, self.gcs_port),
+            dataclasses.replace(group_config, group_id=index),
+            on_deliver=self._on_deliver,
+            on_view=self._on_view,
+        )
+        self.executor = SerialExecutor(self)
+        self.arbiter = MutexArbiter(self)
+        self.xfer = StateTransfer(self)
+
+    # -- façade delegation ----------------------------------------------------
+
+    @property
+    def head_name(self) -> str:
+        return self.server.head_name
+
+    @property
+    def address(self) -> Address:
+        """The *client-facing* address (head:JOSHUA_PORT) — markers carry
+        it, and it is shard-unambiguous because markers are multicast
+        within one shard's own group."""
+        return self.server.address
+
+    @property
+    def endpoint(self):
+        return self.server.endpoint
+
+    @property
+    def log(self):
+        return self.server.log
+
+    @property
+    def tag(self) -> str:
+        if self.nshards == 1:
+            return self.server.tag
+        return f"{self.server.tag}[s{self.index}]"
+
+    def _reply(self, dst: Address, request_id: int, response) -> None:
+        # Looked up at call time, never captured: tests monkeypatch the
+        # façade's _reply and must intercept replica traffic too.
+        self.server._reply(dst, request_id, response)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Boot or join this shard's group (from the daemon's on_start)."""
+        server = self.server
+        if server.initial_heads:
+            self.group.boot(
+                [Address(h, self.gcs_port) for h in server.initial_heads]
+            )
+            self.active = True
+        else:
+            self.group.join([Address(h, self.gcs_port) for h in server.contacts])
+
+    # -- job-id striping ------------------------------------------------------
+
+    def next_forced_job_id(self) -> str | None:
+        """The next striped job id, or ``None`` when striping is off.
+
+        Advances only on totally-ordered jsub executions, so every replica
+        of this shard computes the identical sequence. With one shard the
+        local PBS assigns ids itself — the pre-sharding wire behaviour.
+        """
+        if self.nshards <= 1:
+            return None
+        seq = self.index + 1 + self.stripe_count * self.nshards
+        self.stripe_count += 1
+        return f"{seq}.{_REPLICA_SERVER_NAME}"
+
+    # -- group callbacks ------------------------------------------------------
+
+    def _on_deliver(self, msg: DeliveredMessage) -> None:
+        payload = msg.payload
+        if self.xfer.should_drop(payload):
+            return
+        if isinstance(payload, (Command, XferMarker)):
+            self.executor.queue.put_nowait(msg)
+            self.xfer.note_enqueued(payload)
+        elif isinstance(payload, Claim):
+            self.arbiter.on_claim(payload)
+        elif isinstance(payload, Started):
+            self.arbiter.on_started(payload)
+        elif isinstance(payload, Done):
+            self.arbiter.on_done(payload)
+
+    def _on_view(self, view: View) -> None:
+        self.xfer.on_view(view)
+        self.arbiter.revoke_for_view(view)
+        # Tell every mom the current server set, so obituaries (and future
+        # start attempts) reach exactly the live heads. Only shard 0
+        # announces: every shard spans the same head set, and N copies of
+        # the same list would just multiply mom traffic.
+        if (
+            self.index == 0
+            and view.members
+            and view.coordinator == self.group.address
+        ):
+            servers = tuple(
+                sorted(Address(m.node, PBS_SERVER_PORT) for m in view.members)
+            )
+            for mom in self.server.moms:
+                if not self.endpoint.closed:
+                    self.endpoint.send(mom, AdminServers(servers))
+
+    # -- state transfer (thin hooks; the executor calls _execute_marker) ------
+
+    def _execute_marker(self, marker: XferMarker):
+        if marker.joiner == self.address:
+            yield from self._receive_state(marker)
+        else:
+            yield from self._serve_state(marker)
+
+    def _serve_state(self, marker: XferMarker):
+        yield from self.xfer.serve_state(marker)
+
+    def _receive_state(self, marker: XferMarker):
+        yield from self.xfer.receive_state(marker)

@@ -12,7 +12,7 @@ from repro.pbs.job import JobSpec
 __all__ = [
     "JSubReq", "JDelReq", "JStatReq",
     "JMutexReq", "JMutexResp", "JStartedReq", "JDoneReq",
-    "StateXferReq", "StateXferResp",
+    "StateXferReq", "StateXferResp", "XferPush",
     "Command", "Claim", "Started", "Done", "XferMarker",
 ]
 
@@ -85,6 +85,10 @@ class StateXferReq:
 
     marker_uuid: str
     joiner: Address
+    #: Which ordering shard's replica unit this transfer belongs to (the
+    #: front-end router on JOSHUA_PORT serves every shard hosted on the
+    #: head; 0 is the only shard in an unsharded deployment).
+    shard: int = 0
 
 
 @dataclass(frozen=True)
@@ -105,6 +109,20 @@ class StateXferResp:
     #: answered from cache instead of re-executing (and possibly
     #: re-launching) it.
     results: tuple = ()
+
+
+@dataclass(frozen=True)
+class XferPush:
+    """Sponsor -> joiner: unsolicited state-transfer capture push.
+
+    Fire-and-forget (not request/response — the joiner asked via the
+    ordered :class:`XferMarker`, not an RPC); sent to the joiner's joshua
+    endpoint when the sponsor's executor reaches the marker cut. *shard*
+    routes the push to the owning replica unit behind the front-end.
+    """
+
+    response: StateXferResp
+    shard: int = 0
 
 
 # -- group multicast payloads --------------------------------------------------------
@@ -148,6 +166,6 @@ class XferMarker:
 register_wire_types(
     JSubReq, JDelReq, JStatReq,
     JMutexReq, JMutexResp, JStartedReq, JDoneReq,
-    StateXferReq, StateXferResp,
+    StateXferReq, StateXferResp, XferPush,
     Command, Claim, Started, Done, XferMarker,
 )

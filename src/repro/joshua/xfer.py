@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING
 
 from repro.gcs.view import View
 from repro.joshua.mutex import _MutexEntry
-from repro.joshua.wire import StateXferReq, StateXferResp, XferMarker
+from repro.joshua.wire import StateXferReq, StateXferResp, XferMarker, XferPush
 from repro.net.address import Address
 from repro.pbs.job import Job, JobSpec, JobState
 from repro.pbs.wire import LoadStateReq, PurgeReq, StatReq, SubmitReq
@@ -33,7 +33,7 @@ from repro.rpc import RpcTimeout, call as rpc_call, rpc_state
 from repro.util.errors import PBSError
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.joshua.server import JoshuaServer
+    from repro.joshua.shard import ShardReplica
 
 __all__ = ["StateTransfer"]
 
@@ -45,14 +45,14 @@ _JOSHUA_PORT = 4412
 class StateTransfer:
     """Marker-cut state transfer (both sponsor and joiner sides)."""
 
-    def __init__(self, server: "JoshuaServer"):
-        self.s = server
+    def __init__(self, replica: "ShardReplica"):
+        self.s = replica
         #: While syncing: drop deliveries ordered before our own marker.
         self.syncing_marker: str | None = None
         self.marker_seen = False
         self._responses: dict[str, StateXferResp] = {}
         #: Sponsor side: captures we already served, kept so a joiner whose
-        #: pushed ``("XFER", …)`` frame was lost can pull them over RPC.
+        #: pushed :class:`XferPush` frame was lost can pull them over RPC.
         self._served: dict[str, StateXferResp] = {}
         self._waiters: dict[str, object] = {}
         self._applied: set[str] = set()
@@ -130,7 +130,7 @@ class StateTransfer:
         self._served[marker.marker_uuid] = response
         s.stats["state_transfers_served"] += 1
         if not s.endpoint.closed:
-            s.endpoint.send(marker.joiner, ("XFER", response))
+            s.endpoint.send(marker.joiner, XferPush(response, s.shard_id))
 
     def served(self, marker_uuid: str) -> StateXferResp | None:
         """The capture for *marker_uuid*, if this member already served it
@@ -141,7 +141,18 @@ class StateTransfer:
         s = self.s
         stat = yield from s.executor.local_rpc(StatReq(None))
         rows = list(stat.rows)
-        next_seq = 1 + max((int(r["job_id"].split(".")[0]) for r in rows), default=0)
+        if s.nshards > 1:
+            # The local PBS holds every shard's jobs; capture only our
+            # stripe. next_seq then carries the *stripe count* — taken from
+            # the replica's own counter, not inferred from surviving rows,
+            # because it advances in total order and therefore agrees
+            # across replicas even after the highest-id job was deleted.
+            rows = [r for r in rows if self._owned(r["job_id"])]
+            next_seq = s.stripe_count
+        else:
+            next_seq = 1 + max(
+                (int(r["job_id"].split(".")[0]) for r in rows), default=0
+            )
         live = [r for r in rows if r["state"] in ("Q", "R", "E", "H", "W")]
         skipped: list[str] = []
         items: list = []
@@ -169,6 +180,11 @@ class StateTransfer:
             tuple(skipped),
             tuple(sorted(s.executor.results.items())),
         )
+
+    def _owned(self, job_id: str) -> bool:
+        """*job_id* falls in this replica's stripe of the id space."""
+        s = self.s
+        return (int(job_id.split(".", 1)[0]) - 1) % s.nshards == s.shard_id
 
     @staticmethod
     def spec_from_row(row: dict) -> JobSpec:
@@ -206,7 +222,7 @@ class StateTransfer:
     def _pull_state(self, uuid: str):
         """Ask each active member directly for the capture of *uuid*.
 
-        Fallback for a lost ``("XFER", …)`` push frame: the sponsors may
+        Fallback for a lost :class:`XferPush` frame: the sponsors may
         have captured and answered perfectly well without our ever hearing
         it. Returns the first matching :class:`StateXferResp`, or ``None``
         if nobody has one (sponsor died mid-capture → fresh marker cut).
@@ -222,7 +238,7 @@ class StateTransfer:
             try:
                 response = yield from rpc_call(
                     s.node.network, s.node.name, target,
-                    StateXferReq(uuid, s.address),
+                    StateXferReq(uuid, s.address, s.shard_id),
                     timeout=s.group.config.flush_timeout,
                 )
             except (RpcTimeout, PBSError):
@@ -272,13 +288,24 @@ class StateTransfer:
                 return  # the fresh marker's delivery re-enters here
         response = self._responses[uuid]
         self._applied.add(uuid)
+        sharded = s.nshards > 1
         # Discard any stale local state (a rejoining head recovered its old
-        # queue from disk; the transferred state supersedes it).
-        yield from s.executor.local_rpc(PurgeReq())
+        # queue from disk; the transferred state supersedes it). Sharded:
+        # wipe only our stripe — sibling replicas share this PBS server.
+        if sharded:
+            yield from s.executor.local_rpc(PurgeReq(s.nshards, s.shard_id))
+        else:
+            yield from s.executor.local_rpc(PurgeReq())
         if response.mode == "replay":
-            # "Configuration file modification": align the id counter first,
-            # then replay the live jobs through the ordinary PBS interface.
-            yield from s.executor.local_rpc(LoadStateReq((), response.next_seq))
+            if not sharded:
+                # "Configuration file modification": align the id counter
+                # first, then replay the live jobs through the ordinary PBS
+                # interface. (Sharded submissions carry forced striped ids,
+                # so there is no counter to align — next_seq is the stripe
+                # count, restored below.)
+                yield from s.executor.local_rpc(
+                    LoadStateReq((), response.next_seq)
+                )
             for _kind, spec, job_id in response.items:
                 try:
                     yield from s.executor.local_rpc(SubmitReq(spec, force_job_id=job_id))
@@ -290,9 +317,18 @@ class StateTransfer:
                     f"replay could not transfer held jobs: {list(response.skipped)}",
                 )
         else:
+            # Sharded snapshots merge into the shared queue (other shards'
+            # jobs survived the stripe purge) and leave the id counter to
+            # the forced-id ratchet.
             yield from s.executor.local_rpc(
-                LoadStateReq(tuple(response.items), response.next_seq)
+                LoadStateReq(
+                    tuple(response.items),
+                    0 if sharded else response.next_seq,
+                    merge=sharded,
+                )
             )
+        if sharded:
+            s.stripe_count = response.next_seq
         for job_id, winner, started in response.mutex:
             s.arbiter.entries.setdefault(job_id, _MutexEntry(winner, started))
         for uuid, cached in response.results:

@@ -30,7 +30,14 @@ from repro.net.address import Address
 from repro.obs.collector import collector_of
 from repro.pbs.job import KILLED_EXIT_STATUS
 from repro.pbs.service_times import ERA_2006, ServiceTimes
-from repro.pbs.wire import JobObit, JobStartReq, JobStartResp, KillJobReq, SimpleResp
+from repro.pbs.wire import (
+    AdminServers,
+    JobObit,
+    JobStartReq,
+    JobStartResp,
+    KillJobReq,
+    SimpleResp,
+)
 from repro.rpc import rpc_state
 from repro.rpc.wire import Reply, Request
 from repro.sim.process import Process
@@ -115,6 +122,11 @@ class PBSMom(Daemon):
                         delivery.src, Reply(request_id, SimpleResp(False, "bad request"))
                     )
                 continue
+            if isinstance(frame, AdminServers):
+                # The HA layer announces the current set of head-node
+                # servers after a membership change; obituaries follow it.
+                self.servers = list(frame.servers)
+                continue
             if not isinstance(frame, tuple) or not frame:
                 continue
             if frame[0] == "ADMIN-PURGE":
@@ -126,10 +138,6 @@ class PBSMom(Daemon):
                         record.process.interrupt("purged")
                     self.active.pop(job_id, None)
                     self.stats["kills"] += 1
-            elif frame[0] == "ADMIN-SERVERS":
-                # The HA layer announces the current set of head-node
-                # servers after a membership change; obituaries follow it.
-                self.servers = list(frame[1])
             # OBIT-ACK frames are consumed by the per-obit senders via
             # endpoint callbacks; see _broadcast_obit.
 

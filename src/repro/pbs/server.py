@@ -154,7 +154,7 @@ class PBSServer(Daemon):
             delay=t.qdel_process + t.disk_write)
         reg(LoadStateReq, lambda s, r, p: self._do_load_state(p),
             delay=t.disk_write)
-        reg(PurgeReq, lambda s, r, p: self._do_purge(), delay=t.disk_write)
+        reg(PurgeReq, lambda s, r, p: self._do_purge(p), delay=t.disk_write)
         reg(SchedPollReq, lambda s, r, p: self._do_sched_poll(),
             delay=t.qstat_process)
         reg(RunJobReq, lambda s, r, p: self._do_run(p), delay=t.run_process)
@@ -312,7 +312,22 @@ class PBSServer(Daemon):
         self._notify("R", job)
         return SimpleResp()
 
-    def _do_purge(self) -> SimpleResp:
+    def _do_purge(self, req: PurgeReq) -> SimpleResp:
+        if req.stride > 1:
+            # Shard-scoped wipe: only this replica unit's stripe of the job
+            # namespace goes; other shards' jobs and the id counter stay.
+            doomed = [
+                job.job_id
+                for job in self.jobs
+                if (int(job.job_id.split(".", 1)[0]) - 1) % req.stride == req.lane
+            ]
+            for job_id in doomed:
+                self.jobs.remove(job_id)
+                for node_name, owner in sorted(self.allocations.items()):
+                    if owner == job_id:
+                        self.allocations[node_name] = None
+            self._persist()
+            return SimpleResp(detail=f"purged {len(doomed)} jobs (stripe)")
         count = len(self.jobs)
         self.jobs = JobQueue()
         self.next_seq = 1
@@ -322,15 +337,21 @@ class PBSServer(Daemon):
         return SimpleResp(detail=f"purged {count} jobs")
 
     def _do_load_state(self, req: LoadStateReq) -> SimpleResp:
-        if len(self.jobs):
+        if not req.merge and len(self.jobs):
             raise PBSError("load-state requires an empty server")
         for job in req.jobs:
-            self.jobs.add(job)
+            if req.merge and job.job_id in self.jobs:
+                self.jobs.update(job)
+            else:
+                self.jobs.add(job)
             if job.state in (JobState.RUNNING, JobState.EXITING):
                 for node_name in job.exec_nodes:
                     if node_name in self.allocations:
                         self.allocations[node_name] = job.job_id
-        self.next_seq = req.next_seq
+        if req.merge:
+            self.next_seq = max(self.next_seq, req.next_seq)
+        else:
+            self.next_seq = req.next_seq
         self._persist()
         return SimpleResp(detail=f"loaded {len(req.jobs)} jobs")
 

@@ -27,6 +27,7 @@ __all__ = [
     "StatReq", "StatResp",
     "DeleteReq", "DeleteResp",
     "HoldReq", "ReleaseReq", "SignalReq", "RerunReq", "LoadStateReq", "PurgeReq",
+    "AdminServers",
     "SimpleResp",
     "RunJobReq", "RunJobResp",
     "SchedPollReq", "SchedPollResp",
@@ -100,19 +101,44 @@ class RerunReq:
 
 @dataclass(frozen=True)
 class PurgeReq:
-    """Admin wipe of all job state (a rejoining replica discards its stale
+    """Admin wipe of job state (a rejoining replica discards its stale
     recovered queue before state transfer — the 'configuration file
-    modification' half of the prototype's replica-cloning procedure)."""
+    modification' half of the prototype's replica-cloning procedure).
+
+    With ``stride == 0`` (default) everything is wiped and the id counter
+    reset. A sharded replica unit resyncs only its own stripe of the job
+    namespace: ``stride = <shard count>, lane = <shard id>`` purges exactly
+    the jobs whose sequence number satisfies ``(seq - 1) % stride == lane``,
+    leaving the other shards' jobs and the id counter untouched.
+    """
+
+    stride: int = 0
+    lane: int = 0
 
 
 @dataclass(frozen=True)
 class LoadStateReq:
     """Admin bulk-load of job state (snapshot state transfer — the
     extension mode foreshadowed by the paper's 'unified and location
-    independent state description' future work)."""
+    independent state description' future work).
+
+    ``merge=False`` (default) demands an empty server — the unsharded
+    clone-a-replica semantics. ``merge=True`` adds/overwrites only the
+    carried jobs and ratchets ``next_seq`` to the max, so one shard's
+    snapshot can land without clobbering the other shards' stripes.
+    """
 
     jobs: tuple
     next_seq: int
+    merge: bool = False
+
+
+@dataclass(frozen=True)
+class AdminServers:
+    """HA layer -> mom: the authoritative head-server set after a
+    membership change (obituaries and future start reports follow it)."""
+
+    servers: tuple
 
 
 @dataclass(frozen=True)
@@ -204,6 +230,7 @@ register_wire_types(
     StatReq, StatResp,
     DeleteReq, DeleteResp,
     HoldReq, ReleaseReq, SignalReq, RerunReq, LoadStateReq, PurgeReq,
+    AdminServers,
     SimpleResp,
     RunJobReq, RunJobResp,
     SchedPollReq, SchedPollResp,

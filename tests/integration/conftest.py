@@ -23,11 +23,13 @@ FAST_GROUP = GroupConfig(
 )
 
 
-def make_stack(heads=2, computes=2, seed=11, state_transfer="replay", **cluster_kwargs):
+def make_stack(heads=2, computes=2, seed=11, state_transfer="replay", shards=1,
+               **cluster_kwargs):
     cluster = Cluster(head_count=heads, compute_count=computes, seed=seed,
                       login_node=True, **cluster_kwargs)
     stack = build_joshua_stack(
-        cluster, group_config=FAST_GROUP, state_transfer=state_transfer
+        cluster, group_config=FAST_GROUP, state_transfer=state_transfer,
+        shards=shards,
     )
     return stack
 

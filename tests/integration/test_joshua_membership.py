@@ -8,6 +8,7 @@ held jobs (reproduced limitation); snapshot mode (the future-work path) can.
 
 import pytest
 
+from repro.joshua.wire import XferPush
 from repro.pbs.job import JobState
 
 from tests.integration.conftest import drive, make_stack, settle, total_runs
@@ -210,7 +211,7 @@ class TestCrashedHeadRejoins:
 
 class TestStateTransferPull:
     def test_lost_push_frame_recovered_over_rpc(self, stack):
-        """The sponsors' ``("XFER", …)`` push can be lost like any other
+        """The sponsors' ``XferPush`` can be lost like any other
         datagram. The joiner must not stall or recut forever: after the
         push deadline it pulls the served capture directly over RPC
         (StateXferReq) and completes the transfer."""
@@ -218,10 +219,7 @@ class TestStateTransferPull:
         ids = [drive(stack, client.jsub(name=f"pre{i}", walltime=900)) for i in range(3)]
 
         def is_xfer_push(src, dst, payload):
-            return (
-                isinstance(payload, tuple) and len(payload) == 2
-                and payload[0] == "XFER"
-            )
+            return isinstance(payload, XferPush)
 
         stack.cluster.network.add_drop_filter(is_xfer_push)
         stack.add_head("head2")

@@ -1,0 +1,40 @@
+"""Sharding-refactor behavior preservation: ``shards=1`` is wire-identical.
+
+The router/replica split (PROTOCOLS.md §10) must be invisible when there is
+only one shard: every frame, at every timestamp, byte for byte. The pinned
+digests in ``tests/data/wire_baseline.json`` were captured from the
+pre-sharding build (``tools/capture_wire_baseline.py``); regenerating them
+here through the refactored stack proves preservation on all three baseline
+scenarios — normal operation, membership churn, and partition + heal.
+
+A legitimate wire-protocol change must recapture the baseline in the same
+commit (see the capture tool's docstring).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.wiretrace import SCENARIOS, run_scenario
+
+_BASELINE = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                         "data", "wire_baseline.json")
+
+
+def _pinned():
+    with open(_BASELINE) as f:
+        return json.load(f)
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_shards1_wire_identical_to_presharding_baseline(scenario):
+    pinned = _pinned()[scenario]
+    fresh = run_scenario(scenario, shards=1)
+    # Compare the coarse counters first: on a digest mismatch they say
+    # where to look (frame count, clock, event count) before bisecting.
+    assert fresh["frames"] == pinned["frames"]
+    assert fresh["bytes"] == pinned["bytes"]
+    assert fresh["now"] == pinned["now"]
+    assert fresh["events"] == pinned["events"]
+    assert fresh["digest"] == pinned["digest"]

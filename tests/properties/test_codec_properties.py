@@ -29,6 +29,7 @@ import repro.pvfs.metadata  # noqa: F401
 import repro.pvfs.wire  # noqa: F401
 import repro.rpc.wire  # noqa: F401
 from repro.gcs.messages import DataMsg, MessageId
+from repro.joshua.wire import StateXferResp
 from repro.net.address import Address
 from repro.net.codec import WIRE, CodecError, encoded_size
 from repro.pbs.job import JobSpec, JobState
@@ -103,6 +104,7 @@ _BY_CLASS_NAME = {
     "MessageId": _MSG_ID,
     "JobSpec": _SPEC,
     "JobState": JobState.QUEUED,
+    "StateXferResp": StateXferResp("m", "replay", (), 1, ()),
 }
 
 #: Exemplars for scalar / union annotations.

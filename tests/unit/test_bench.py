@@ -175,6 +175,27 @@ class TestExperimentSmoke:
         # All 12 commands committed in both arms (delivery completed).
         assert result["unbatched"]["jobs"] == result["batched"]["jobs"] == 12
 
+    def test_shard_scaling_reduced_scale(self):
+        """CI smoke for the sharding extension: a small burst still shows
+        2 shards out-committing 1, and the sequencer-kill run still shows
+        the undisturbed shard committing while the victim shard stalls."""
+        from repro.bench.experiments.sharding import (
+            measure_shard_burst,
+            sequencer_kill,
+        )
+        one = measure_shard_burst(1, heads=3, jobs=12, seed=1)
+        two = measure_shard_burst(2, heads=3, jobs=12, seed=1)
+        assert one["committed"] == two["committed"] == 12
+        assert two["committed_per_s"] > one["committed_per_s"]
+        assert two["per_shard_committed"] == [6, 6]
+
+        kill = sequencer_kill(shards=2, heads=3, seed=1)
+        windows = kill["windows"]
+        assert windows["sequencer_dead"]["committed"][1] == 0
+        assert windows["sequencer_dead"]["committed"][0] > 0
+        assert windows["after_failover"]["committed"][1] > 0
+        assert kill["new_shard1_sequencer"] != kill["victim_sequencer"]
+
     def test_figure12_rows(self):
         from repro.bench.experiments.availability import figure12
         rows = figure12()

@@ -203,6 +203,23 @@ class TestR3:
         )
         assert [f.rule for f in findings] == ["R3", "R3"]
 
+    def test_fires_on_conditional_set_assignment(self):
+        # The install_view shape: a name bound to set arithmetic behind a
+        # conditional expression is still a set when iterated later.
+        findings = check_source(
+            src(
+                """
+                def f(view, old, forget):
+                    departed = set(old) - set(view) if old is not None else set()
+                    for gone in departed:
+                        forget(gone)
+                """
+            ),
+            path="gcs/bad.py",
+            rules=["R3"],
+        )
+        assert rules_of(findings) == ["R3"]
+
     def test_quiet_when_sorted_or_reduced(self):
         findings = check_source(
             src(

@@ -1,0 +1,41 @@
+"""(Re)capture the wire-digest baseline for the sharding refactor proof.
+
+Usage::
+
+    PYTHONPATH=src python tools/capture_wire_baseline.py [out.json]
+
+Writes ``tests/data/wire_baseline.json`` (default) with one digest record
+per scenario from :mod:`repro.analysis.wiretrace`. Re-run only after an
+*intentional* wire-protocol change, in the commit that makes the change,
+so the diff shows old vs new digests alongside the code that moved them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.analysis.wiretrace import scenario_digests
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tests", "data", "wire_baseline.json",
+)
+
+
+def main() -> int:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_OUT
+    digests = scenario_digests(shards=1)
+    os.makedirs(os.path.dirname(out_path), exist_ok=True)
+    with open(out_path, "w") as f:
+        json.dump(digests, f, indent=1, sort_keys=True)
+        f.write("\n")
+    for name, record in digests.items():
+        print(f"{name}: {record['frames']} frames, digest {record['digest'][:16]}…")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
