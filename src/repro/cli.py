@@ -11,6 +11,7 @@
     python -m repro chaos run  [--seed S] [--schedule FILE] [...]
     python -m repro chaos soak [--seed S] [--runs N] [...]
     python -m repro trace [--seed S] [--jobs N] [--jsonl FILE]
+    python -m repro postmortem BUNDLE [--limit N]
     python -m repro lint  [--rule RN ...] [--jsonl]
 
 Every command prints the same tables the benchmark suite produces; all
@@ -19,7 +20,9 @@ on invariant violations and print the offending seed + schedule JSON so
 the exact scenario can be replayed. ``trace`` runs a fully observed
 scenario and prints per-job causal timelines plus the Figure-10-style
 per-phase latency breakdown; ``--jsonl`` exports the merged span/log/
-metric stream for offline analysis.
+metric/time-series stream for offline analysis. ``postmortem`` renders a
+flight-recorder bundle (the JSONL files a failed ``chaos run`` writes) as
+a human-readable merged timeline.
 """
 
 from __future__ import annotations
@@ -95,10 +98,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="independent ordering groups over the same "
                                 "heads (PROTOCOLS.md §10); workload is "
                                 "spread across every shard's queues")
+    chaos_run.add_argument("--shard", type=int, default=None,
+                           help="restrict the per-shard tables to one shard")
     chaos_run.add_argument("--schedule", metavar="FILE",
                            help="JSON fault schedule (default: random from seed)")
     chaos_run.add_argument("--jsonl", metavar="FILE",
-                           help="write structured log records + metrics as JSONL")
+                           help="write structured log records + metrics + "
+                                "time-series samples as JSONL")
+    chaos_run.add_argument("--postmortem-dir", metavar="DIR", default=".",
+                           help="where a failed run writes its flight-"
+                                "recorder bundles (default: cwd)")
 
     chaos_soak = chaos_sub.add_parser("soak", help="many seeded scenarios")
     _common_chaos_args(chaos_soak)
@@ -113,10 +122,27 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--jobs", type=int, default=3)
     trace.add_argument("--ordering", choices=["sequencer", "token"],
                        default="sequencer")
+    trace.add_argument("--shards", type=int, default=1,
+                       help="independent ordering groups over the same heads; "
+                            "submissions round-robin across shard queues")
+    trace.add_argument("--shard", type=int, default=None,
+                       help="restrict the per-shard tables to one shard")
     trace.add_argument("--jsonl", metavar="FILE",
-                       help="write the merged span/log/metric stream as JSONL")
+                       help="write the merged span/log/metric/time-series "
+                            "stream as JSONL")
     trace.add_argument("--rpc", action="store_true",
                        help="also print the per-request-type RPC table")
+
+    postmortem = sub.add_parser(
+        "postmortem",
+        help="render a flight-recorder bundle as a merged timeline",
+    )
+    postmortem.add_argument("bundle", metavar="BUNDLE",
+                            help="bundle file written by a failed chaos run "
+                                 "(JSONL, header + merged records)")
+    postmortem.add_argument("--limit", type=int, default=None, metavar="N",
+                            help="show only the last N records (closest to "
+                                 "the trigger; default: all)")
 
     lint = sub.add_parser(
         "lint", help="determinism & protocol static analysis (rules R1–R6)"
@@ -248,6 +274,7 @@ def _cmd_chaos(args):
                 from repro.obs.export import metric_records, write_jsonl
                 records = list(report.log_records)
                 records.extend(metric_records(report.registry))
+                records.extend(report.timeseries)
                 write_jsonl(args.jsonl, records)
         else:
             reports = soak(
@@ -260,14 +287,31 @@ def _cmd_chaos(args):
         # a usage error, not a crash.
         return f"error: {exc}", 2
 
-    from repro.obs.report import rpc_latency_lines
+    from repro.obs.report import (
+        rpc_latency_lines,
+        shard_breakdown_lines,
+        wire_bytes_lines,
+    )
 
     lines = [r.summary() for r in reports]
     failed = [r for r in reports if not r.ok]
     if args.chaos_command == "run":
+        report = reports[0]
         lines.append("")
         lines.append("rpc conversations (per request type):")
-        lines.extend(rpc_latency_lines(reports[0].registry))
+        lines.extend(rpc_latency_lines(report.registry))
+        if report.shards > 1 or args.shard is not None:
+            lines.append("")
+            lines.append("per-shard ordering pipeline:")
+            lines.extend(shard_breakdown_lines(report.registry, args.shard))
+        lines.append("")
+        lines.append("wire bytes by message type:")
+        lines.extend(wire_bytes_tables(report))
+        if report.timeseries:
+            lines.append("")
+            lines.append("busiest time series (per 1s window):")
+            lines.extend(timeseries_top_lines(report.timeseries,
+                                              shard=args.shard))
     for r in failed:
         lines.append("")
         lines.append(f"FAILED seed={r.seed} ordering={r.ordering} — replay with:")
@@ -278,11 +322,59 @@ def _cmd_chaos(args):
             # usually the fastest pointer from a violation to its fault.
             lines.append(f"  rpc timeouts ({len(r.rpc_timeouts)}, most recent last):")
             lines.extend(f"    {t.describe()}" for t in r.rpc_timeouts[-10:])
+        if r.postmortems:
+            bundle_dir = getattr(args, "postmortem_dir", ".")
+            lines.append("  flight-recorder bundles (render with "
+                         "`repro postmortem FILE`):")
+            lines.extend(
+                f"    {path}"
+                for path in _write_postmortems(r, bundle_dir)
+            )
         lines.append("  schedule:")
         lines.extend("  " + line for line in r.schedule.to_json().splitlines())
     if not failed:
         lines.append(f"{len(reports)} run(s), zero invariant violations")
     return "\n".join(lines), (1 if failed else 0)
+
+
+def _write_postmortems(report, directory) -> list[str]:
+    """Write a failed chaos run's flight-recorder bundles as JSONL files
+    (``postmortem-<seed>-<n>.jsonl``); returns the paths written."""
+    import os
+
+    from repro.obs.recorder import write_bundle
+
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for i, bundle in enumerate(report.postmortems):
+        path = os.path.join(directory, f"postmortem-{report.seed}-{i}.jsonl")
+        write_bundle(bundle, path)
+        paths.append(path)
+    return paths
+
+
+def wire_bytes_tables(report) -> list[str]:
+    """The wire/offered byte table from a :class:`ChaosReport`'s captured
+    ledgers (same shape as :func:`repro.obs.report.wire_bytes_lines`, which
+    reads a live network)."""
+    from repro.obs.report import wire_bytes_lines
+
+    class _Ledgers:
+        wire_bytes_by_type = report.wire_bytes_by_type
+        offered_bytes_by_type = report.offered_bytes_by_type
+
+    return wire_bytes_lines(_Ledgers)
+
+
+def timeseries_top_lines(samples, *, shard=None, limit: int = 12) -> list[str]:
+    """Render a ``repro top`` table from already-captured time-series
+    records (a :class:`ChaosReport` carries the samples, not the sampler)."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.timeseries import TimeSeriesSampler
+
+    sampler = TimeSeriesSampler(MetricsRegistry())
+    sampler.samples = list(samples)
+    return sampler.top_lines(limit=limit, shard=shard)
 
 
 def _cmd_trace(args):
@@ -292,16 +384,19 @@ def _cmd_trace(args):
         job_timeline_lines,
         phase_breakdown_lines,
         rpc_latency_lines,
+        shard_breakdown_lines,
+        wire_bytes_lines,
     )
+    from repro.obs.timeseries import timeseries_of
 
     run = run_traced_scenario(
         seed=args.seed, heads=args.heads, computes=args.computes,
-        jobs=args.jobs, ordering=args.ordering,
+        jobs=args.jobs, ordering=args.ordering, shards=args.shards,
     )
     lines = [
         f"traced run: seed={run.seed} heads={run.heads} "
         f"computes={run.computes} ordering={run.ordering} "
-        f"jobs={len(run.submitted)}",
+        f"shards={run.shards} jobs={len(run.submitted)}",
     ]
     for trace in run.collector.job_traces():
         lines.append("")
@@ -313,14 +408,36 @@ def _cmd_trace(args):
         lines.append("")
         lines.append("rpc conversations (per request type):")
         lines.extend(rpc_latency_lines(run.registry))
+    if run.shards > 1 or args.shard is not None:
+        lines.append("")
+        lines.append("per-shard ordering pipeline:")
+        lines.extend(shard_breakdown_lines(run.registry, args.shard))
+    lines.append("")
+    lines.append("wire bytes by message type:")
+    lines.extend(wire_bytes_lines(run.network))
+    sampler = timeseries_of(run.network)
+    if sampler is not None:
+        lines.append("")
+        lines.append("busiest time series (per 1s window):")
+        lines.extend(sampler.top_lines(shard=args.shard))
     if args.jsonl:
-        count = write_jsonl(
-            args.jsonl,
-            collector_records(run.collector, run.cluster.kernel.log),
-        )
+        records = collector_records(run.collector, run.cluster.kernel.log)
+        if sampler is not None:
+            records.extend(sampler.records())
+        count = write_jsonl(args.jsonl, records)
         lines.append("")
         lines.append(f"wrote {count} records to {args.jsonl}")
     return "\n".join(lines)
+
+
+def _cmd_postmortem(args):
+    from repro.obs.recorder import read_bundle, timeline_lines
+
+    try:
+        bundle = read_bundle(args.bundle)
+    except (OSError, ValueError) as exc:
+        return f"error: {exc}", 2
+    return "\n".join(timeline_lines(bundle, limit=args.limit))
 
 
 def _cmd_lint(args):
@@ -348,6 +465,7 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
+    "postmortem": _cmd_postmortem,
     "lint": _cmd_lint,
 }
 

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.gcs.messages import DeliveredMessage
+from repro.obs.recorder import recorder_of
 from repro.pbs.job import JobState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -201,6 +202,12 @@ class InvariantSuite:
 
     def _violate(self, invariant: str, detail: str) -> None:
         self.violations.append(Violation(invariant, self.kernel.now, detail))
+        # With a flight recorder attached, every violation snapshots the
+        # per-node rings into a postmortem bundle — the causal record of
+        # the seconds leading up to the breach.
+        recorder = recorder_of(self.stack.cluster.network)
+        if recorder is not None:
+            recorder.capture(f"invariant:{invariant}", detail)
 
     # -- periodic / final checks ---------------------------------------------
 

@@ -25,6 +25,8 @@ from repro.joshua.deploy import build_joshua_stack
 from repro.joshua.shard import queue_for_shard
 from repro.obs.collector import attach_collector
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import attach_recorder
+from repro.obs.timeseries import attach_timeseries
 from repro.rpc import TimeoutRecord, rpc_state
 from repro.util.errors import NoActiveHeadError
 
@@ -69,6 +71,15 @@ class ChaosReport:
     #: Ordering-layer shard count the stack ran with (1 = the paper's
     #: single group).
     shards: int = 1
+    #: Postmortem bundles the flight recorder captured (invariant
+    #: violations, sanitizer findings, exhausted RPC conversations) —
+    #: each a causally merged snapshot of every node's last-K ring.
+    postmortems: list[dict] = field(default_factory=list)
+    #: Per-window time-series samples (``type="timeseries"`` records).
+    timeseries: list[dict] = field(default_factory=list)
+    #: Per-message-type byte ledgers from the network fabric.
+    wire_bytes_by_type: dict = field(default_factory=dict)
+    offered_bytes_by_type: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -129,6 +140,11 @@ def run_chaos(
     )
     stack = build_joshua_stack(cluster, group_config=group, shards=shards)
     collector = attach_collector(cluster.network, registry=registry)
+    # Flight recorder + time-series observatory: passive (the obs-passivity
+    # suite holds both to bit-identical wire traces), so every chaos run
+    # carries its own black box and time-resolved metrics.
+    flight = attach_recorder(cluster.network)
+    sampler = attach_timeseries(cluster.network)
     cluster.run(until=2.0)  # let the group form before faults begin
 
     suite = InvariantSuite(stack, queue_bound=queue_bound).attach()
@@ -193,6 +209,10 @@ def run_chaos(
         rpc_timeouts=list(rpc_state(cluster.network).timeouts),
         registry=collector.registry,
         log_records=cluster.kernel.log.to_dicts(),
+        postmortems=list(flight.bundles),
+        timeseries=sampler.records(),
+        wire_bytes_by_type=dict(cluster.network.wire_bytes_by_type),
+        offered_bytes_by_type=dict(cluster.network.offered_bytes_by_type),
     )
 
 

@@ -77,6 +77,12 @@ class GroupConfig:
     #: ordering load across the shared heads. 0 (default) reproduces the
     #: single-group deployment exactly — rank 0 is the coordinator.
     group_id: int = 0
+    #: Total number of shard groups in the deployment this group belongs
+    #: to. Purely descriptive — the protocol never reads it — but the
+    #: observability layer uses ``shard_count > 1`` to decide whether GCS
+    #: spans/metrics should carry a ``shard=<group_id>`` label, so a
+    #: single-group run stays label-identical to the historical output.
+    shard_count: int = 1
     heartbeat_interval: float = 0.25
     suspect_timeout: float = 0.75
     flush_timeout: float = 1.0
@@ -109,6 +115,8 @@ class GroupConfig:
     def __post_init__(self):
         if self.group_id < 0:
             raise GroupCommError("group_id must be non-negative")
+        if self.shard_count < 1:
+            raise GroupCommError("shard_count must be at least 1")
         if self.heartbeat_interval <= 0:
             raise GroupCommError("heartbeat_interval must be positive")
         if self.suspect_timeout <= self.heartbeat_interval:

@@ -20,6 +20,7 @@ from typing import Callable
 from repro.gcs.messages import Heartbeat
 from repro.net.address import Address
 from repro.net.transport import Transport
+from repro.obs.collector import collector_of
 
 __all__ = ["FailureDetector"]
 
@@ -55,7 +56,22 @@ class FailureDetector:
         self._suspected: set[Address] = set()
         self._stopped = False
         self._dormant = False
+        #: Shard label for observability spans (set by the owning
+        #: GroupMember in a sharded deployment; None = unlabelled).
+        self._obs_shard: int | None = None
         self._loop = self.kernel.spawn(self._run(), name=f"fd@{transport.address}")
+
+    def _observe(self, transition: str, peer: Address | None = None) -> None:
+        """Report a detector state transition to an attached trace collector
+        (observation only — no-op when the simulation is unobserved)."""
+        collector = collector_of(self.transport.endpoint.network)
+        if collector is not None:
+            collector.gcs_fd(
+                self.transport.address.node,
+                str(peer) if peer is not None else None,
+                transition,
+                shard=self._obs_shard,
+            )
 
     # -- peer management -----------------------------------------------------
 
@@ -72,7 +88,9 @@ class FailureDetector:
 
     def forgive(self, peer: Address) -> None:
         """Clear a suspicion (peer re-admitted by the membership layer)."""
-        self._suspected.discard(peer)
+        if peer in self._suspected:
+            self._suspected.discard(peer)
+            self._observe("forgive", peer)
         self._last_heard[peer] = self.kernel.now
 
     @property
@@ -106,12 +124,15 @@ class FailureDetector:
                 # The node is down (or its network is blacked out) but we were
                 # not torn down: go dormant rather than exiting, so the
                 # detector beacons and suspects again once the node recovers.
-                self._dormant = True
+                if not self._dormant:
+                    self._dormant = True
+                    self._observe("dormant")
                 continue
             if self._dormant:
                 # Re-arming after an outage: count peer silence from now, or
                 # every peer would be suspected for our own downtime.
                 self._dormant = False
+                self._observe("rearm")
                 now = self.kernel.now
                 for peer in sorted(self._peers):
                     self._last_heard[peer] = now
@@ -130,5 +151,6 @@ class FailureDetector:
                     self.kernel.log.info(
                         f"fd@{self.transport.address}", f"suspecting {peer}"
                     )
+                    self._observe("suspect", peer)
                     if self.on_suspect is not None:
                         self.on_suspect(peer)

@@ -143,6 +143,10 @@ class GroupMember:
         # Forward ordering assignments to an attached trace collector
         # (observation only — the engine behaves identically either way).
         self.engine.observer = self._order_observed
+        #: Shard label the observability layer stamps on this group's
+        #: spans/metrics (None for single-group runs — historical output).
+        self._obs_shard = config.group_id if config.shard_count > 1 else None
+        self.detector._obs_shard = self._obs_shard
         #: Outbound DATA coalescing (None = unbatched, the default: every
         #: multicast is its own DataMsg frame, byte-for-byte unchanged).
         self.batcher: DataBatcher | None = None
@@ -266,7 +270,8 @@ class GroupMember:
         self.stats["multicasts"] += 1
         collector = collector_of(self.network)
         if collector is not None:
-            collector.gcs_multicast(self.address.node, msg_id, service, payload)
+            collector.gcs_multicast(self.address.node, msg_id, service, payload,
+                                    shard=self._obs_shard)
         if self.state == NORMAL:
             self._send_data(msg_id, service, payload)
         return msg_id
@@ -449,19 +454,23 @@ class GroupMember:
             self._own_pending.pop(msg.msg_id, None)
             self.stats["delivered"] += 1
             if collector is not None:
-                collector.gcs_delivered(self.address.node, msg, self.queue.snapshot())
+                collector.gcs_delivered(self.address.node, msg,
+                                        self.queue.snapshot(),
+                                        shard=self._obs_shard)
             if self.on_deliver is not None:
                 self.on_deliver(msg)
 
     def _order_observed(self, seq: int, msg_id: MessageId) -> None:
         collector = collector_of(self.network)
         if collector is not None:
-            collector.gcs_ordered(self.address.node, seq, msg_id)
+            collector.gcs_ordered(self.address.node, seq, msg_id,
+                                  shard=self._obs_shard)
 
     def _batch_flushed(self, count: int, reason: str) -> None:
         collector = collector_of(self.network)
         if collector is not None:
-            collector.gcs_batch_flush(self.address.node, count, reason)
+            collector.gcs_batch_flush(self.address.node, count, reason,
+                                      shard=self._obs_shard)
 
     def _on_suspect(self, peer: Address) -> None:
         self.flush.on_suspect(peer)
@@ -495,6 +504,17 @@ class GroupMember:
         self._last_stable_sent = -1
         self.recovery.future_first_seen = None
         self.stats["view_changes"] += 1
+        collector = collector_of(self.network)
+        if collector is not None:
+            sequencer_of = getattr(self.engine, "sequencer_of", None)
+            sequencer = (
+                str(sequencer_of(view)) if sequencer_of is not None else None
+            )
+            collector.gcs_view(
+                self.address.node, view.view_id,
+                [str(m) for m in view.members], sequencer,
+                shard=self._obs_shard,
+            )
         if self.on_view is not None:
             self.on_view(view)
         # Transitional deliveries: the agreed part of the closing list is

@@ -107,7 +107,7 @@ class ShardReplica:
 
         self.group = GroupMember(
             server.node.network.bind(server.node.name, self.gcs_port),
-            dataclasses.replace(group_config, group_id=index),
+            dataclasses.replace(group_config, group_id=index, shard_count=nshards),
             on_deliver=self._on_deliver,
             on_view=self._on_view,
         )

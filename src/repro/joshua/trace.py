@@ -19,8 +19,11 @@ from repro.cluster.cluster import Cluster
 from repro.gcs.config import GroupConfig
 from repro.joshua.config import JOSHUA_GROUP_CONFIG
 from repro.joshua.deploy import build_joshua_stack
+from repro.joshua.shard import queue_for_shard
 from repro.obs.collector import TraceCollector, attach_collector
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import attach_recorder
+from repro.obs.timeseries import attach_timeseries
 from repro.util.errors import NoActiveHeadError
 
 __all__ = ["TraceRun", "run_traced_scenario"]
@@ -38,10 +41,16 @@ class TraceRun:
     cluster: Cluster
     submitted: list[str] = field(default_factory=list)
     failed_submits: int = 0
+    #: Ordering-layer shard count (1 = single group, the default).
+    shards: int = 1
 
     @property
     def registry(self) -> MetricsRegistry:
         return self.collector.registry
+
+    @property
+    def network(self):
+        return self.cluster.network
 
 
 def run_traced_scenario(
@@ -52,13 +61,17 @@ def run_traced_scenario(
     jobs: int = 3,
     ordering: str = "sequencer",
     walltime: float = 1.0,
+    shards: int = 1,
     registry: MetricsRegistry | None = None,
 ) -> TraceRun:
     """Run the observed scenario to completion; deterministic given *seed*.
 
     Jobs are submitted back-to-back from the login node (each waits for its
     jsub ack, the exclusive scheduler then runs them serially), so per-job
-    timelines do not overlap and the per-phase breakdown is clean.
+    timelines do not overlap and the per-phase breakdown is clean. With
+    ``shards > 1`` the submissions round-robin across every shard's queue
+    namespace and GCS spans/metrics carry ``shard=`` labels. The flight
+    recorder and time-series sampler are always attached (passive).
     """
     group = GroupConfig(
         heartbeat_interval=JOSHUA_GROUP_CONFIG.heartbeat_interval,
@@ -73,11 +86,13 @@ def run_traced_scenario(
     cluster = Cluster(
         head_count=heads, compute_count=computes, login_node=True, seed=seed
     )
-    stack = build_joshua_stack(cluster, group_config=group)
+    stack = build_joshua_stack(cluster, group_config=group, shards=shards)
     collector = attach_collector(cluster.network, registry=registry)
+    attach_recorder(cluster.network)
+    attach_timeseries(cluster.network)
     run = TraceRun(
         seed=seed, heads=heads, computes=computes, ordering=ordering,
-        collector=collector, cluster=cluster,
+        collector=collector, cluster=cluster, shards=shards,
     )
     cluster.run(until=2.0)  # group formation
 
@@ -85,9 +100,13 @@ def run_traced_scenario(
 
     def workload():
         for i in range(jobs):
+            extra = (
+                {"queue": queue_for_shard(i % shards, shards)}
+                if shards > 1 else {}
+            )
             try:
                 job_id = yield from client.jsub(
-                    name=f"trace-{i}", walltime=walltime
+                    name=f"trace-{i}", walltime=walltime, **extra
                 )
                 run.submitted.append(job_id)
             except NoActiveHeadError:  # pragma: no cover - no faults here

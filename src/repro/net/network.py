@@ -181,6 +181,11 @@ class Network:
         #: ``bytes_offered`` includes but ``wire_bytes_by_type`` never sees)
         #: still shows up in a per-type breakdown.
         self.offered_bytes_by_type: dict[str, int] = {}
+        #: Hooks ``fn(now, src, dst, kind, size)`` fired for every offered
+        #: frame, at the same site as the ``bytes_offered`` accounting.
+        #: Observation only — the flight recorder in ``repro.obs`` registers
+        #: here; empty by default, costing one truthiness check per send.
+        self.on_frame: list = []
 
     # -- node lifecycle ------------------------------------------------------
 
@@ -293,6 +298,9 @@ class Network:
         self.offered_bytes_by_type[offered_kind] = (
             self.offered_bytes_by_type.get(offered_kind, 0) + size
         )
+        if self.on_frame:
+            for hook in self.on_frame:
+                hook(self.kernel.now, src, dst, offered_kind, size)
 
         if not self.node_is_up(dst.node):
             if self._nodes_up.get(dst.node) and dst.node in self._paused:

@@ -33,12 +33,30 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    percentile_from_counts,
+)
+from repro.obs.recorder import (
+    FlightRecorder,
+    attach_recorder,
+    detach_recorder,
+    read_bundle,
+    recorder_of,
+    timeline_lines,
+    write_bundle,
 )
 from repro.obs.report import (
     job_timeline_lines,
     metrics_summary_lines,
     phase_breakdown_lines,
     rpc_latency_lines,
+    shard_breakdown_lines,
+    wire_bytes_lines,
+)
+from repro.obs.timeseries import (
+    TimeSeriesSampler,
+    attach_timeseries,
+    detach_timeseries,
+    timeseries_of,
 )
 
 __all__ = [
@@ -65,4 +83,18 @@ __all__ = [
     "phase_breakdown_lines",
     "rpc_latency_lines",
     "metrics_summary_lines",
+    "wire_bytes_lines",
+    "shard_breakdown_lines",
+    "percentile_from_counts",
+    "FlightRecorder",
+    "attach_recorder",
+    "recorder_of",
+    "detach_recorder",
+    "timeline_lines",
+    "write_bundle",
+    "read_bundle",
+    "TimeSeriesSampler",
+    "attach_timeseries",
+    "timeseries_of",
+    "detach_timeseries",
 ]

@@ -74,12 +74,18 @@ class TraceCollector:
         self._mcast_sent: dict = {}
         #: msg_ids whose first ORDER assignment was already recorded.
         self._ordered_ids: set = set()
+        #: Observers ``fn(event)`` invoked with every recorded
+        #: :class:`TraceEvent` (the flight recorder registers here).
+        self.on_event: list = []
 
     # -- event plumbing ------------------------------------------------------
 
     def record(self, kind: str, node: str, trace_id: str | None = None, **fields) -> TraceEvent:
         event = TraceEvent(self.kernel.now, kind, node, trace_id, fields)
         self.events.append(event)
+        if self.on_event:
+            for hook in self.on_event:
+                hook(event)
         return event
 
     # -- client-side RPC hooks ----------------------------------------------
@@ -133,52 +139,104 @@ class TraceCollector:
             ).observe(self.kernel.now - started)
 
     # -- GCS ordering pipeline ----------------------------------------------
+    #
+    # Every method takes an optional ``shard`` (the group_id of a sharded
+    # deployment's ordering group, ``None`` for single-group runs): sharded
+    # spans/metrics carry a ``shard=`` dimension, single-group output stays
+    # byte-identical to the historical (unlabelled) form.
 
-    def gcs_multicast(self, node: str, msg_id, service: str, payload) -> None:
+    @staticmethod
+    def _shard_labels(shard) -> dict:
+        return {} if shard is None else {"shard": shard}
+
+    def gcs_multicast(self, node: str, msg_id, service: str, payload,
+                      shard: int | None = None) -> None:
+        # Stamped at the *original* multicast call — before the DataBatcher
+        # can coalesce the command into a later wire frame — so ordering/e2e
+        # delay attribution is batching-independent by construction
+        # (pinned by tests/unit/test_obs_batching_attribution.py).
         self._mcast_sent[msg_id] = self.kernel.now
         if len(self._mcast_sent) > MCAST_MAP_LIMIT:
             # Trim oldest half; insertion order == send order.
             for key in list(self._mcast_sent)[: MCAST_MAP_LIMIT // 2]:
                 del self._mcast_sent[key]
-        self.registry.counter("gcs.multicasts", node=node, service=service).inc()
+        labels = self._shard_labels(shard)
+        self.registry.counter("gcs.multicasts", node=node, service=service,
+                              **labels).inc()
         self.record("gcs.mcast", node, msg_id=str(msg_id), service=service,
-                    payload=type(payload).__name__)
+                    payload=type(payload).__name__, **labels)
 
-    def gcs_batch_flush(self, node: str, count: int, reason: str) -> None:
+    def gcs_batch_flush(self, node: str, count: int, reason: str,
+                        shard: int | None = None) -> None:
         """A :class:`~repro.gcs.batching.DataBatcher` flushed *count*
         coalesced multicasts (reason: count/bytes/timer/drain)."""
-        self.registry.counter("gcs.batch.flushes", node=node, reason=reason).inc()
+        labels = self._shard_labels(shard)
+        self.registry.counter("gcs.batch.flushes", node=node, reason=reason,
+                              **labels).inc()
         self.registry.histogram(
-            "gcs.batch.size", node=node, buckets=ATTEMPT_BUCKETS
+            "gcs.batch.size", node=node, buckets=ATTEMPT_BUCKETS, **labels
         ).observe(float(count))
-        self.record("gcs.batch", node, count=count, reason=reason)
+        self.record("gcs.batch", node, count=count, reason=reason, **labels)
 
-    def gcs_ordered(self, node: str, seq: int, msg_id) -> None:
-        self.registry.counter("gcs.order.assignments", node=node).inc()
+    def gcs_ordered(self, node: str, seq: int, msg_id,
+                    shard: int | None = None) -> None:
+        labels = self._shard_labels(shard)
+        self.registry.counter("gcs.order.assignments", node=node, **labels).inc()
         if msg_id not in self._ordered_ids:
             self._ordered_ids.add(msg_id)
             sent = self._mcast_sent.get(msg_id)
             if sent is not None:
-                self.registry.histogram("gcs.ordering.delay_s", node=node).observe(
-                    self.kernel.now - sent
-                )
-        self.record("gcs.order", node, seq=seq, msg_id=str(msg_id))
+                self.registry.histogram(
+                    "gcs.ordering.delay_s", node=node, **labels
+                ).observe(self.kernel.now - sent)
+        self.record("gcs.order", node, seq=seq, msg_id=str(msg_id), **labels)
 
-    def gcs_delivered(self, node: str, msg, queue_stats: dict) -> None:
-        self.registry.counter("gcs.delivered", node=node, service=msg.service).inc()
-        self.registry.gauge("gcs.delivery.backlog", node=node).set(
+    def gcs_delivered(self, node: str, msg, queue_stats: dict,
+                      shard: int | None = None) -> None:
+        labels = self._shard_labels(shard)
+        self.registry.counter("gcs.delivered", node=node, service=msg.service,
+                              **labels).inc()
+        self.registry.gauge("gcs.delivery.backlog", node=node, **labels).set(
             queue_stats.get("payloads", 0)
         )
         sent = self._mcast_sent.get(msg.msg_id)
         if sent is not None and msg.sender.node == node:
             # End-to-end ordering+stability overhead, measured at the sender
-            # (the Transis share of a jsub's latency in Figure 10).
-            self.registry.histogram("gcs.e2e.delay_s", node=node).observe(
-                self.kernel.now - sent
-            )
+            # (the Transis share of a jsub's latency in Figure 10), timed
+            # from the original multicast stamp (batching-independent).
+            self.registry.histogram("gcs.e2e.delay_s", node=node,
+                                    **labels).observe(self.kernel.now - sent)
         self.record("gcs.deliver", node, msg_id=str(msg.msg_id), seq=msg.seq,
                     view=msg.view_id, service=msg.service,
-                    payload=type(msg.payload).__name__, sender=msg.sender.node)
+                    payload=type(msg.payload).__name__, sender=msg.sender.node,
+                    **labels)
+
+    # -- GCS lifecycle: failure detector & views -----------------------------
+
+    def gcs_fd(self, node: str, peer: str | None, transition: str,
+               shard: int | None = None) -> None:
+        """A failure-detector state transition on *node*.
+
+        ``transition`` is one of ``suspect`` / ``forgive`` (per-*peer*) or
+        ``dormant`` / ``rearm`` (detector-wide; *peer* is ``None``)."""
+        labels = self._shard_labels(shard)
+        self.registry.counter("gcs.fd.transitions", node=node,
+                              transition=transition, **labels).inc()
+        fields = dict(transition=transition, **labels)
+        if peer is not None:
+            fields["peer"] = peer
+        self.record("gcs.fd", node, **fields)
+
+    def gcs_view(self, node: str, view_id: int, members: list,
+                 sequencer: str | None, shard: int | None = None) -> None:
+        """*node* installed view *view_id*; *sequencer* names the member
+        that now orders this group's traffic (``None`` for token ordering),
+        making sequencer handoffs visible in the trace."""
+        labels = self._shard_labels(shard)
+        self.registry.counter("gcs.view.installs", node=node, **labels).inc()
+        self.registry.gauge("gcs.view.size", node=node, **labels).set(len(members))
+        self.record("gcs.view", node, view=view_id, members=list(members),
+                    sequencer=sequencer, **labels)
 
     # -- job lifecycle -------------------------------------------------------
 

@@ -26,6 +26,7 @@ __all__ = [
     "MetricsRegistry",
     "LATENCY_BUCKETS",
     "ATTEMPT_BUCKETS",
+    "percentile_from_counts",
 ]
 
 #: Default latency buckets (seconds): 1 ms .. 10 s, roughly log-spaced.
@@ -36,6 +37,56 @@ LATENCY_BUCKETS = (
 
 #: Buckets for attempt/retry counts.
 ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 4.0, 5.0, 8.0, 16.0)
+
+
+def percentile_from_counts(
+    bounds: tuple,
+    counts,
+    overflow: int,
+    count: int,
+    p: float,
+    *,
+    minimum: float | None = None,
+    maximum: float | None = None,
+) -> float:
+    """The *p*-th percentile (``0 < p <= 100``) estimated from fixed-bucket
+    counts, with linear interpolation inside the target bucket.
+
+    This is the one shared implementation behind
+    :meth:`Histogram.percentile` and the per-window percentiles of the
+    time-series sampler (which feeds it bucket-count *deltas*). Compared to
+    the bucket-upper-bound estimate of :meth:`Histogram.quantile` it
+    interpolates between the bucket's lower and upper bound by the rank's
+    position within the bucket, clamped to the observed ``minimum`` /
+    ``maximum`` when known — a strictly better estimate from the same data.
+    """
+    if count <= 0:
+        return 0.0
+    if not 0 < p <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {p}")
+    target = p / 100.0 * count
+    cumulative = 0
+    for index, upper in enumerate(bounds):
+        bucket = counts[index]
+        cumulative += bucket
+        if cumulative >= target:
+            lower = bounds[index - 1] if index > 0 else 0.0
+            if bucket > 0:
+                # Rank position inside this bucket, in (0, 1].
+                fraction = (target - (cumulative - bucket)) / bucket
+                value = lower + (upper - lower) * fraction
+            else:  # pragma: no cover - cumulative only grows on non-empty
+                value = upper
+            if minimum is not None:
+                value = max(value, minimum)
+            if maximum is not None:
+                value = min(value, maximum)
+            return value
+    # Target rank lies in the +Inf overflow bucket: the honest point
+    # estimate is the observed maximum, falling back to the top bound.
+    if maximum is not None:
+        return maximum
+    return bounds[-1] if bounds else 0.0
 
 
 class Counter:
@@ -111,14 +162,25 @@ class Histogram:
                 return bound
         return self.max if self.max is not None else self.bounds[-1]
 
+    def percentile(self, p: float) -> float:
+        """The *p*-th percentile (``0 < p <= 100``), linearly interpolated
+        within the target bucket and clamped to the observed min/max —
+        strictly better than the upper-bound estimate of :meth:`quantile`
+        (which is retained for backward compatibility)."""
+        return percentile_from_counts(
+            self.bounds, self.counts, self.overflow, self.count, p,
+            minimum=self.min, maximum=self.max,
+        )
+
     def summary(self) -> dict:
         return {
             "count": self.count,
             "mean": self.mean,
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
 
     def snapshot(self) -> dict:

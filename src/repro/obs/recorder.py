@@ -1,0 +1,294 @@
+"""The flight recorder: bounded per-node rings and postmortem bundles.
+
+A :class:`FlightRecorder` passively keeps the **last K observations per
+node** — spans (every :class:`~repro.obs.events.TraceEvent` the collector
+records, which includes the GCS lifecycle: failure-detector transitions,
+view installs and sequencer handoffs), and wire frames (type / size / src /
+dst, from the network's ``on_frame`` hook) — so that when something goes
+wrong the seconds *leading up to* the failure are reconstructible, not just
+the failure itself. That is the debugging instrument the Microsoft Cluster
+Service retrospective credits for making regroup incidents tractable: a
+bounded, always-on event log per node.
+
+A **postmortem bundle** is a causally merged (time-sorted) snapshot of all
+rings plus the trigger that caused it. Bundles are captured automatically
+when
+
+* an :class:`~repro.faults.invariants.InvariantSuite` check fails (the
+  suite calls :func:`recorder_of` at its violation site),
+* the determinism sanitizer records an
+  :class:`~repro.sim.sanitizer.Ambiguity` or
+  :class:`~repro.sim.sanitizer.AliasingViolation` (via the sanitizer's
+  ``on_finding`` callback), or
+* an RPC conversation exhausts its retries (the ``rpc.call`` span with
+  ``outcome="timeout"`` the collector emits for every timed-out
+  conversation),
+
+and on demand via :meth:`FlightRecorder.capture`. Bundles are written as
+JSONL (one header record, then the merged timeline) and rendered
+human-readable by :func:`timeline_lines` — the ``repro postmortem``
+CLI surface.
+
+**Passivity.** The recorder only appends to plain containers: no simulation
+events, no RNG, no wire bytes. ``tests/integration/test_obs_passive.py``
+holds runs with the recorder attached to bit-identical wire traces.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.obs.collector import attach_collector
+from repro.obs.export import dumps_record
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+    from repro.obs.events import TraceEvent
+
+__all__ = [
+    "FlightRecorder",
+    "attach_recorder",
+    "recorder_of",
+    "detach_recorder",
+    "timeline_lines",
+    "write_bundle",
+    "read_bundle",
+]
+
+#: Default per-node ring capacity (observations, spans + frames combined).
+RING_LIMIT = 512
+
+#: Default cap on retained bundles **per trigger reason**. The *first*
+#: failures of each kind are the interesting ones (later ones are usually
+#: cascade), and a per-reason cap keeps a flood of one trigger class (e.g.
+#: expected RPC timeouts while a head is down) from crowding out a rarer,
+#: more serious one (an invariant violation). Past the cap the recorder
+#: only counts what it dropped.
+MAX_BUNDLES = 8
+
+
+class FlightRecorder:
+    """Bounded per-node observation rings with postmortem capture."""
+
+    def __init__(
+        self,
+        network: "Network",
+        *,
+        ring_limit: int = RING_LIMIT,
+        max_bundles: int = MAX_BUNDLES,
+    ):
+        self.network = network
+        self.kernel = network.kernel
+        self.ring_limit = ring_limit
+        self.max_bundles = max_bundles
+        #: node name -> ring of record dicts (each shaped like an export
+        #: record: ``type`` is ``"span"`` or ``"frame"``).
+        self.rings: dict[str, deque] = {}
+        #: Captured bundles, oldest first, at most ``max_bundles`` per
+        #: distinct trigger reason.
+        self.bundles: list[dict] = []
+        #: Bundles not retained because their reason's cap was reached.
+        self.dropped_bundles = 0
+        self._bundle_counts: dict[str, int] = {}
+        #: Total observations fed to the rings (monotonic; ring eviction
+        #: does not decrement it).
+        self.observed = 0
+
+    # -- feed side (hook callbacks) -----------------------------------------
+
+    def _ring(self, node: str) -> deque:
+        ring = self.rings.get(node)
+        if ring is None:
+            ring = self.rings[node] = deque(maxlen=self.ring_limit)
+        return ring
+
+    def on_trace_event(self, event: "TraceEvent") -> None:
+        """Collector ``on_event`` hook: every span lands in its node's ring;
+        an exhausted RPC conversation additionally triggers a capture."""
+        self.observed += 1
+        self._ring(event.node).append(event.to_dict())
+        if event.kind == "rpc.call" and event.fields.get("outcome") == "timeout":
+            fields = event.fields
+            self.capture(
+                "rpc-exhausted",
+                f"{fields.get('request')} from {event.node} to "
+                f"{fields.get('dst')} gave up after "
+                f"{fields.get('attempts')} attempt(s)",
+            )
+
+    def on_frame(self, now: float, src, dst, kind: str, size: int) -> None:
+        """Network ``on_frame`` hook: offered wire frames, recorded against
+        the *sending* node (that is where the causal story unfolds)."""
+        self.observed += 1
+        self._ring(src.node).append({
+            "type": "frame",
+            "time": now,
+            "node": src.node,
+            "src": str(src),
+            "dst": str(dst),
+            "kind": kind,
+            "size": size,
+        })
+
+    def on_sanitizer_finding(self, finding) -> None:
+        """Sanitizer ``on_finding`` hook: Ambiguity / AliasingViolation."""
+        self.capture(
+            f"sanitizer-{type(finding).__name__.lower()}", finding.describe()
+        )
+
+    # -- capture -------------------------------------------------------------
+
+    def capture(self, reason: str, detail: str = "") -> dict:
+        """Snapshot every ring into one causally merged postmortem bundle.
+
+        Always returns the bundle; it is retained in :attr:`bundles` only
+        while its *reason* is under :attr:`max_bundles` captures (the count
+        of shed later bundles is kept in :attr:`dropped_bundles`).
+        """
+        records: list[dict] = []
+        for node in sorted(self.rings):
+            records.extend(self.rings[node])
+        # Stable sort: same-time records keep per-node append order, nodes
+        # interleave in sorted-name order — deterministic and readable.
+        records.sort(key=lambda r: r["time"])
+        bundle = {
+            "type": "postmortem",
+            "reason": reason,
+            "detail": detail,
+            "time": self.kernel.now,
+            "nodes": sorted(self.rings),
+            "record_count": len(records),
+            "records": records,
+        }
+        kept = self._bundle_counts.get(reason, 0)
+        if kept < self.max_bundles:
+            self._bundle_counts[reason] = kept + 1
+            self.bundles.append(bundle)
+        else:
+            self.dropped_bundles += 1
+        return bundle
+
+
+# -- attachment ------------------------------------------------------------
+
+
+def attach_recorder(
+    network: "Network",
+    *,
+    registry=None,
+    ring_limit: int = RING_LIMIT,
+    max_bundles: int = MAX_BUNDLES,
+) -> FlightRecorder:
+    """Attach (or return the already-attached) flight recorder.
+
+    Ensures a collector is attached (the recorder rides its ``on_event``
+    stream), registers the network frame hook, and — when the kernel runs
+    with ``sanitize=True`` — the sanitizer finding hook.
+    """
+    existing = recorder_of(network)
+    if existing is not None:
+        return existing
+    collector = attach_collector(network, registry=registry)
+    recorder = FlightRecorder(
+        network, ring_limit=ring_limit, max_bundles=max_bundles
+    )
+    collector.on_event.append(recorder.on_trace_event)
+    network.on_frame.append(recorder.on_frame)
+    sanitizer = network.kernel.sanitizer
+    if sanitizer is not None:
+        sanitizer.on_finding = recorder.on_sanitizer_finding
+    network._obs_recorder = recorder
+    return recorder
+
+
+def recorder_of(network: "Network") -> FlightRecorder | None:
+    """The recorder attached to *network*, or ``None`` (the common case —
+    unobserved simulations pay one attribute read per trigger site)."""
+    return getattr(network, "_obs_recorder", None)
+
+
+def detach_recorder(network: "Network") -> None:
+    """Remove the attached recorder and its hook registrations."""
+    recorder = recorder_of(network)
+    if recorder is None:
+        return
+    from repro.obs.collector import collector_of
+
+    collector = collector_of(network)
+    if collector is not None and recorder.on_trace_event in collector.on_event:
+        collector.on_event.remove(recorder.on_trace_event)
+    if recorder.on_frame in network.on_frame:
+        network.on_frame.remove(recorder.on_frame)
+    sanitizer = network.kernel.sanitizer
+    if sanitizer is not None and sanitizer.on_finding == recorder.on_sanitizer_finding:
+        sanitizer.on_finding = None
+    network._obs_recorder = None
+
+
+# -- bundle rendering & I/O ------------------------------------------------
+
+
+def _describe_record(record: dict) -> str:
+    kind = record.get("type")
+    if kind == "frame":
+        return (
+            f"FRAME {record.get('kind'):<16} {record.get('src')} -> "
+            f"{record.get('dst')} ({record.get('size')}B)"
+        )
+    fields = record.get("fields") or {}
+    extra = "".join(f" {k}={v!r}" for k, v in sorted(fields.items()))
+    trace = record.get("trace_id")
+    tag = f" [{trace}]" if trace else ""
+    return f"span  {record.get('kind'):<16}{tag}{extra}"
+
+
+def timeline_lines(bundle: dict, *, limit: int | None = None) -> list[str]:
+    """Human-readable rendering of one postmortem bundle.
+
+    With *limit*, only the last *limit* timeline records are shown (the
+    ones closest to the trigger).
+    """
+    records = bundle.get("records", [])
+    shown = records if limit is None or len(records) <= limit else records[-limit:]
+    lines = [
+        f"POSTMORTEM [{bundle.get('reason')}] at t={bundle.get('time', 0.0):.4f}",
+        f"  {bundle.get('detail')}",
+        f"  nodes: {', '.join(bundle.get('nodes', []))} — "
+        f"{len(records)} record(s)"
+        + ("" if shown is records else f", last {len(shown)} shown"),
+    ]
+    for record in shown:
+        lines.append(
+            f"  t={record.get('time', 0.0):.4f} "
+            f"[{record.get('node', '?'):<8}] {_describe_record(record)}"
+        )
+    return lines
+
+
+def write_bundle(bundle: dict, path) -> int:
+    """Write one bundle as JSONL: a header record (the bundle metadata,
+    ``records`` elided) followed by the merged timeline, one record per
+    line. Returns the number of lines written."""
+    header = {k: v for k, v in bundle.items() if k != "records"}
+    lines = [dumps_record(header)]
+    lines.extend(dumps_record(r) for r in bundle.get("records", []))
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+def read_bundle(path) -> dict:
+    """Re-assemble a bundle written by :func:`write_bundle`."""
+    with open(path) as fh:
+        lines = [line for line in fh.read().splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"empty postmortem bundle: {path}")
+    header = json.loads(lines[0])
+    if header.get("type") != "postmortem":
+        raise ValueError(f"not a postmortem bundle (header type "
+                         f"{header.get('type')!r}): {path}")
+    header["records"] = [json.loads(line) for line in lines[1:]]
+    return header

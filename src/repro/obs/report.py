@@ -22,6 +22,8 @@ __all__ = [
     "phase_breakdown_lines",
     "rpc_latency_lines",
     "metrics_summary_lines",
+    "wire_bytes_lines",
+    "shard_breakdown_lines",
 ]
 
 
@@ -74,11 +76,13 @@ def phase_breakdown_lines(registry: "MetricsRegistry") -> list[str]:
         s = hist.summary()
         rows.append([
             phase, str(s["count"]), _ms(s["mean"]), _ms(s["min"]),
-            _ms(s["p50"]), _ms(s["p95"]), _ms(s["max"]),
+            _ms(s["p50"]), _ms(s["p95"]), _ms(s["p99"]), _ms(s["max"]),
         ])
     if not rows:
         return ["  (no job phases observed)"]
-    return format_table(["phase", "count", "mean", "min", "p50", "p95", "max"], rows)
+    return format_table(
+        ["phase", "count", "mean", "min", "p50", "p95", "p99", "max"], rows
+    )
 
 
 def rpc_latency_lines(registry: "MetricsRegistry") -> list[str]:
@@ -130,3 +134,104 @@ def metrics_summary_lines(registry: "MetricsRegistry", prefix: str = "") -> list
 def dict_by_label(pairs, label: str) -> dict:
     """``registry.find()`` output keyed by one label's value."""
     return {labels.get(label): metric for labels, metric in pairs}
+
+
+def wire_bytes_lines(network) -> list[str]:
+    """Per-message-type byte ledger tables: bytes that occupied the wire
+    (off-node, post-drop) next to bytes offered to the fabric (pre-drop),
+    sorted by wire share."""
+    wire = network.wire_bytes_by_type
+    offered = network.offered_bytes_by_type
+    if not wire and not offered:
+        return ["  (no wire traffic observed)"]
+    total_wire = sum(wire.values()) or 1
+    rows = []
+    for kind in sorted(set(wire) | set(offered),
+                       key=lambda k: (-wire.get(k, 0), k)):
+        rows.append([
+            kind,
+            str(wire.get(kind, 0)),
+            f"{100.0 * wire.get(kind, 0) / total_wire:.1f}%",
+            str(offered.get(kind, 0)),
+        ])
+    rows.append([
+        "TOTAL", str(sum(wire.values())), "100.0%",
+        str(sum(offered.values())),
+    ])
+    return format_table(["type", "wire_bytes", "wire%", "offered_bytes"], rows)
+
+
+def shard_breakdown_lines(
+    registry: "MetricsRegistry", shard: int | None = None
+) -> list[str]:
+    """Per-shard ordering-pipeline table for sharded runs: multicasts,
+    deliveries, order assignments and e2e latency per ``shard=`` label.
+    With *shard*, only that shard's row is shown (the CLI ``--shard``
+    filter). Empty (one informational line) when no shard-labelled series
+    exist."""
+    shards: dict = {}
+
+    def tally(name: str, field: str) -> None:
+        for labels, metric in registry.find(name):
+            series_shard = labels.get("shard")
+            if series_shard is None:
+                continue
+            if shard is not None and series_shard != shard:
+                continue
+            entry = shards.setdefault(
+                series_shard,
+                {"mcast": 0, "delivered": 0, "ordered": 0, "e2e": None},
+            )
+            if field == "e2e":
+                merged = entry["e2e"]
+                if merged is None:
+                    entry["e2e"] = metric
+                else:
+                    # Several nodes' histograms: fold counts for the table.
+                    entry["e2e"] = _merge_hist(merged, metric)
+            else:
+                entry[field] += metric.value
+
+    tally("gcs.multicasts", "mcast")
+    tally("gcs.delivered", "delivered")
+    tally("gcs.order.assignments", "ordered")
+    tally("gcs.e2e.delay_s", "e2e")
+    if not shards:
+        if shard is not None:
+            return [f"  (no series labelled shard={shard})"]
+        return ["  (no shard-labelled series — single-group run)"]
+    rows = []
+    for which in sorted(shards):
+        entry = shards[which]
+        e2e = entry["e2e"]
+        if e2e is not None and e2e.count:
+            s = e2e.summary()
+            latency = f"{_ms(s['p50'])}/{_ms(s['p95'])}/{_ms(s['p99'])}"
+        else:
+            latency = "-"
+        rows.append([
+            str(which), str(entry["mcast"]), str(entry["ordered"]),
+            str(entry["delivered"]), latency,
+        ])
+    return format_table(
+        ["shard", "multicasts", "ordered", "delivered", "e2e p50/p95/p99"],
+        rows,
+    )
+
+
+def _merge_hist(a: "Histogram", b: "Histogram") -> "Histogram":
+    """A fresh histogram holding *a* + *b* (same bounds assumed; used only
+    for presentation, never fed back into a registry)."""
+    from repro.obs.metrics import Histogram
+
+    merged = Histogram(a.bounds)
+    merged.counts = [x + y for x, y in zip(a.counts, b.counts)]
+    merged.overflow = a.overflow + b.overflow
+    merged.count = a.count + b.count
+    merged.total = a.total + b.total
+    for source in (a, b):
+        if source.min is not None:
+            merged.min = source.min if merged.min is None else min(merged.min, source.min)
+        if source.max is not None:
+            merged.max = source.max if merged.max is None else max(merged.max, source.max)
+    return merged

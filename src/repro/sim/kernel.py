@@ -76,6 +76,12 @@ class Kernel:
         #: sanitizer uses it to attribute scheduled events to their creator.
         self._active_process: Process | None = None
         self._enqueue_meta: dict[int, object] = {}
+        #: Hooks ``fn(now)`` invoked whenever the clock advances to a new
+        #: time (observation only — fired after ``_now`` is updated, before
+        #: the event at that time is processed). The time-series sampler in
+        #: ``repro.obs`` registers here; empty by default, costing one
+        #: truthiness check per step.
+        self.on_advance: list = []
 
     # -- clock & stats ----------------------------------------------------
 
@@ -140,8 +146,12 @@ class Kernel:
         time, priority, _seq, event = heapq.heappop(self._heap)
         if time < self._now:  # pragma: no cover - heap invariant
             raise SimulationError(f"time ran backwards: {time} < {self._now}")
+        advanced = time > self._now
         self._now = time
         self._processed_events += 1
+        if advanced and self.on_advance:
+            for hook in self.on_advance:
+                hook(time)
         if self.sanitizer is not None:
             meta = self._enqueue_meta.pop(id(event), None)
             self.sanitizer.observe_pop(time, priority, event, meta)

@@ -192,6 +192,11 @@ class DeterminismSanitizer:
         self._window_key: tuple[float, int] | None = None
         self._window: dict[str, int] = {}
         self._pops = 0
+        #: Optional callback ``fn(finding)`` invoked with each
+        #: :class:`Ambiguity` / :class:`AliasingViolation` as it is recorded
+        #: (the flight recorder in ``repro.obs`` registers here to trigger a
+        #: postmortem dump). Observation only.
+        self.on_finding: Any = None
 
     # -- enqueue side ------------------------------------------------------
 
@@ -255,7 +260,10 @@ class DeterminismSanitizer:
         for fp, count in self._window.items():
             if count > 1 and (time, priority, fp) not in self._seen:
                 self._seen.add((time, priority, fp))
-                self.ambiguities.append(Ambiguity(time, priority, fp, count))
+                finding = Ambiguity(time, priority, fp, count)
+                self.ambiguities.append(finding)
+                if self.on_finding is not None:
+                    self.on_finding(finding)
         self._window.clear()
 
     # -- wire boundary -----------------------------------------------------
@@ -279,9 +287,10 @@ class DeterminismSanitizer:
                 key = (str(src), str(dst), _stable_token(obj))
                 if key not in self._alias_seen:
                     self._alias_seen.add(key)
-                    self.aliasing.append(
-                        AliasingViolation(time, key[0], key[1], key[2])
-                    )
+                    finding = AliasingViolation(time, key[0], key[1], key[2])
+                    self.aliasing.append(finding)
+                    if self.on_finding is not None:
+                        self.on_finding(finding)
 
     def finish(self) -> None:
         """Close the current tie window (call when the run ends)."""

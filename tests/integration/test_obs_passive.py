@@ -1,21 +1,24 @@
 """Passivity proof: observation leaves the simulation bit-identical.
 
-The obs layer's hard contract (ISSUE 3): attaching the full TraceCollector
-+ MetricsRegistry must not schedule a simulation event, draw randomness,
-or change a wire payload. These tests run three representative scenarios
-(normal operation, membership churn, partition + heal) twice — bare and
-fully observed — and demand *exact* equality of the wire-level send trace
-and the kernel/network counters. Back-to-back runs of the same seed are
-already bit-identical (see test_determinism), so any difference here is
-caused by observation itself.
+The obs layer's hard contract (ISSUE 3, extended by ISSUE 8): attaching
+the full observation stack — TraceCollector + MetricsRegistry, and now
+the FlightRecorder and TimeSeriesSampler on top — must not schedule a
+simulation event, draw randomness, or change a wire payload. These tests
+run four representative scenarios (normal operation, membership churn,
+partition + heal, and a *sharded* membership-churn run on two ordering
+groups) twice — bare and fully observed — and demand *exact* equality of
+the wire-level send trace and the kernel/network counters. Back-to-back
+runs of the same seed are already bit-identical (see test_determinism),
+so any difference here is caused by observation itself.
 
-Each observed run also has to produce non-trivial traces and metrics, so a
-collector that silently observes nothing cannot pass vacuously.
+Each observed run also has to produce non-trivial traces, metrics, ring
+contents and time-series samples, so an observer that silently observes
+nothing cannot pass vacuously.
 """
 
 import pytest
 
-from repro.obs import attach_collector
+from repro.obs import attach_collector, attach_recorder, attach_timeseries
 from tests.integration.conftest import drive, make_stack
 
 
@@ -77,34 +80,59 @@ def _scenario_partition(stack):
     stack.cluster.run(until=40.0)
 
 
+#: (scenario function, ordering-layer shard count). The sharded entry
+#: proves passivity of the whole observation stack — shard-labelled
+#: spans/metrics included — on the multi-group deployment under faults.
 SCENARIOS = {
-    "normal": _scenario_normal,
-    "membership": _scenario_membership,
-    "partition": _scenario_partition,
+    "normal": (_scenario_normal, 1),
+    "membership": (_scenario_membership, 1),
+    "partition": (_scenario_partition, 1),
+    "sharded-membership": (_scenario_membership, 2),
 }
 
 
 def _run(scenario: str, *, observed: bool):
-    stack = make_stack(heads=3, computes=2, seed=11)
+    run_scenario, shards = SCENARIOS[scenario]
+    stack = make_stack(heads=3, computes=2, seed=11, shards=shards)
     sends: list = []
     _spy_network_sends(stack, sends)
-    collector = attach_collector(stack.cluster.network) if observed else None
-    SCENARIOS[scenario](stack)
-    return sends, _summary(stack), collector
+    observers = None
+    if observed:
+        network = stack.cluster.network
+        observers = (
+            attach_collector(network),
+            attach_recorder(network),
+            attach_timeseries(network),
+        )
+    run_scenario(stack)
+    return sends, _summary(stack), observers
 
 
 class TestObservationIsPassive:
     @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
-    def test_trace_bit_identical_with_and_without_collector(self, scenario):
+    def test_trace_bit_identical_with_and_without_observers(self, scenario):
         bare_sends, bare_summary, _ = _run(scenario, observed=False)
-        obs_sends, obs_summary, collector = _run(scenario, observed=True)
+        obs_sends, obs_summary, observers = _run(scenario, observed=True)
 
         # The observed run really observed something...
-        assert collector is not None
+        collector, recorder, sampler = observers
         assert collector.jobs, "no job traces collected"
         assert any(t.phases() for t in collector.job_traces())
         assert collector.registry.find("rpc.client.latency_s")
         assert collector.registry.find("gcs.multicasts")
+        # ...the recorder's rings hold spans AND wire frames per node...
+        assert recorder.observed > 0
+        head_rings = [recorder.rings.get(f"head{i}", ()) for i in range(3)]
+        assert all(head_rings)
+        assert any(r["type"] == "frame"
+                   for ring in head_rings for r in ring)
+        # ...the sampler produced per-window series...
+        assert sampler.records()
+        if scenario.startswith("sharded"):
+            assert {0, 1} <= {
+                s["labels"].get("shard") for s in sampler.samples
+            }
+            assert collector.registry.find("gcs.fd.transitions")
 
         # ...and perturbed nothing: every datagram, timestamp and counter
         # matches the unobserved run exactly.

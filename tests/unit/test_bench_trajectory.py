@@ -1,0 +1,132 @@
+"""Tests for the perf-trajectory harness (``tools/bench_trajectory.py``).
+
+The gate logic is exercised hermetically — snapshots are dicts, no probe
+runs — including the acceptance demonstration: a deliberately-injected
+slowdown of each gated metric must fail the gate (the injection lives
+only here; the shipped tool measures honestly). The committed
+``BENCH_trajectory.json`` baseline is validated for shape so the CI gate
+always has something to compare against.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "bench_trajectory", REPO_ROOT / "tools" / "bench_trajectory.py"
+)
+trajectory = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(trajectory)
+
+BASELINE = {
+    "burst_committed_cmd_per_s": 15.8,
+    "burst_wire_bytes_per_cmd": 604.4,
+    "kernel_events_per_wall_s": 20000,
+    "codec_mb_per_wall_s": 4.0,
+}
+
+
+class TestCompare:
+    def test_identical_metrics_pass(self):
+        assert trajectory.compare_snapshots(BASELINE, dict(BASELINE)) == []
+
+    def test_small_wall_clock_noise_passes(self):
+        current = dict(BASELINE)
+        current["kernel_events_per_wall_s"] = BASELINE["kernel_events_per_wall_s"] * 0.5
+        current["codec_mb_per_wall_s"] = BASELINE["codec_mb_per_wall_s"] * 0.5
+        assert trajectory.compare_snapshots(BASELINE, current) == []
+
+    def test_injected_throughput_slowdown_fails(self):
+        # The acceptance demo: halve committed cmd/s — the gate must fail.
+        current = dict(BASELINE)
+        current["burst_committed_cmd_per_s"] = BASELINE["burst_committed_cmd_per_s"] / 2
+        failures = trajectory.compare_snapshots(BASELINE, current)
+        assert len(failures) == 1
+        assert "burst_committed_cmd_per_s" in failures[0]
+
+    def test_injected_wire_bloat_fails(self):
+        current = dict(BASELINE)
+        current["burst_wire_bytes_per_cmd"] = BASELINE["burst_wire_bytes_per_cmd"] * 1.10
+        failures = trajectory.compare_snapshots(BASELINE, current)
+        assert len(failures) == 1
+        assert "burst_wire_bytes_per_cmd" in failures[0]
+
+    def test_wall_clock_cliff_fails(self):
+        current = dict(BASELINE)
+        current["kernel_events_per_wall_s"] = BASELINE["kernel_events_per_wall_s"] * 0.1
+        failures = trajectory.compare_snapshots(BASELINE, current)
+        assert len(failures) == 1
+        assert "kernel_events_per_wall_s" in failures[0]
+
+    def test_improvements_always_pass(self):
+        current = {
+            "burst_committed_cmd_per_s": BASELINE["burst_committed_cmd_per_s"] * 2,
+            "burst_wire_bytes_per_cmd": BASELINE["burst_wire_bytes_per_cmd"] / 2,
+            "kernel_events_per_wall_s": BASELINE["kernel_events_per_wall_s"] * 3,
+            "codec_mb_per_wall_s": BASELINE["codec_mb_per_wall_s"] * 3,
+        }
+        assert trajectory.compare_snapshots(BASELINE, current) == []
+
+    def test_missing_metric_is_skipped_not_failed(self):
+        current = dict(BASELINE)
+        del current["codec_mb_per_wall_s"]
+        assert trajectory.compare_snapshots(BASELINE, current) == []
+
+
+class TestTrajectoryFile:
+    def test_append_replaces_same_label_and_scale(self):
+        data = {"snapshots": []}
+        trajectory.append_snapshot(data, "pr8", "smoke", {"m": 1})
+        trajectory.append_snapshot(data, "pr8", "full", {"m": 2})
+        trajectory.append_snapshot(data, "pr8", "smoke", {"m": 3})
+        assert len(data["snapshots"]) == 2
+        assert trajectory.baseline_for(data, "smoke")["metrics"] == {"m": 3}
+
+    def test_baseline_is_latest_of_matching_scale(self):
+        data = {"snapshots": []}
+        trajectory.append_snapshot(data, "pr7", "smoke", {"m": 1})
+        trajectory.append_snapshot(data, "pr8", "smoke", {"m": 2})
+        assert trajectory.baseline_for(data, "smoke")["label"] == "pr8"
+        assert trajectory.baseline_for(data, "full") is None
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        data = {"snapshots": []}
+        trajectory.append_snapshot(data, "pr8", "smoke", dict(BASELINE))
+        trajectory.save_trajectory(data, path)
+        assert trajectory.load_trajectory(str(path)) == data
+
+    def test_gate_without_baseline_fails_with_pointer(self, tmp_path):
+        text, code = trajectory.run_gate(str(tmp_path / "missing.json"), "smoke")
+        assert code == 1
+        assert "no committed" in text
+
+
+class TestCommittedBaseline:
+    """The repo's own BENCH_trajectory.json must carry this PR's snapshot
+    at both scales, with every gated metric present — the CI smoke gate
+    dies otherwise."""
+
+    def load(self):
+        with open(REPO_ROOT / "BENCH_trajectory.json") as fh:
+            return json.load(fh)
+
+    def test_baseline_exists_for_both_scales(self):
+        data = self.load()
+        for scale in ("smoke", "full"):
+            baseline = trajectory.baseline_for(data, scale)
+            assert baseline is not None, f"no {scale} snapshot committed"
+            for name in trajectory.METRICS:
+                assert name in baseline["metrics"], f"{scale} lacks {name}"
+
+    def test_deterministic_metrics_reproduce_at_smoke_scale(self):
+        # The simulation is seeded: re-measuring the deterministic pair on
+        # any machine must land exactly on the committed values. (Wall
+        # metrics are machine-dependent and not compared here.)
+        baseline = trajectory.baseline_for(self.load(), "smoke")
+        current = trajectory.measure("smoke")
+        for name, spec in trajectory.METRICS.items():
+            if spec["deterministic"]:
+                assert current[name] == baseline["metrics"][name]

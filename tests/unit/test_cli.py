@@ -75,6 +75,32 @@ class TestParser:
         assert args.seed == 3 and args.jobs == 1 and args.ordering == "token"
         assert args.rpc and args.jsonl == "trace.jsonl"
 
+    def test_trace_shard_flags(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.shards == 1 and args.shard is None
+        args = build_parser().parse_args(
+            ["trace", "--shards", "2", "--shard", "1"]
+        )
+        assert args.shards == 2 and args.shard == 1
+
+    def test_chaos_run_shard_and_postmortem_flags(self):
+        args = build_parser().parse_args(["chaos", "run"])
+        assert args.shards == 1 and args.postmortem_dir == "."
+        args = build_parser().parse_args(
+            ["chaos", "run", "--shards", "2", "--shard", "0",
+             "--postmortem-dir", "bundles"]
+        )
+        assert args.shards == 2 and args.shard == 0
+        assert args.postmortem_dir == "bundles"
+
+    def test_postmortem_requires_bundle(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["postmortem"])
+        args = build_parser().parse_args(
+            ["postmortem", "b.jsonl", "--limit", "5"]
+        )
+        assert args.bundle == "b.jsonl" and args.limit == 5
+
 
 class TestCommands:
     def test_figure12_output(self, capsys):
@@ -131,9 +157,29 @@ class TestCommands:
         assert "ordering" in out
         assert "rpc conversations" in out
         assert "JSubReq" in out
-        # JSONL export: every line parses; all discriminators present.
+        # Single-group run: wire-bytes and time-series tables render, the
+        # per-shard table stays out of the way.
+        assert "wire bytes by message type:" in out
+        assert "busiest time series (per 1s window):" in out
+        assert "per-shard ordering pipeline" not in out
+        # JSONL export: every line parses; all discriminators present,
+        # including the sampler's windows.
         records = [json.loads(line) for line in out_path.read_text().splitlines()]
-        assert {"span", "job", "metric"} <= {r["type"] for r in records}
+        assert {"span", "job", "metric", "timeseries"} <= {
+            r["type"] for r in records
+        }
+
+    def test_trace_sharded_output(self, capsys):
+        assert main(["trace", "--seed", "7", "--jobs", "2", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "shards=2" in out
+        assert "per-shard ordering pipeline:" in out
+        # both ordering groups carried traffic
+        shard_rows = [
+            ln for ln in out.splitlines()
+            if ln.strip() and ln.strip()[0].isdigit() and "ms" in ln
+        ]
+        assert len(shard_rows) >= 2
 
     def test_chaos_run_from_schedule_file(self, capsys, tmp_path):
         from repro.faults import FaultSchedule
@@ -149,3 +195,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "zero invariant violations" in out
+        assert "wire bytes by message type:" in out
+        assert "busiest time series (per 1s window):" in out
+
+    def test_write_postmortems_names_and_round_trips(self, tmp_path):
+        from types import SimpleNamespace
+
+        from repro.cli import _write_postmortems
+        from repro.obs.recorder import read_bundle
+
+        bundle = {
+            "type": "postmortem", "reason": "invariant:total-order",
+            "detail": "planted", "time": 1.5, "nodes": ["head0"],
+            "record_count": 1,
+            "records": [{"type": "frame", "time": 1.0, "node": "head0",
+                         "kind": "DataMsg", "src": "head0", "dst": "head1",
+                         "size": 64}],
+        }
+        report = SimpleNamespace(seed=11, postmortems=[bundle, dict(bundle)])
+        paths = _write_postmortems(report, str(tmp_path))
+        assert [p.rsplit("/", 1)[-1] for p in paths] == [
+            "postmortem-11-0.jsonl", "postmortem-11-1.jsonl"
+        ]
+        assert read_bundle(paths[0])["reason"] == "invariant:total-order"
+
+    def test_postmortem_rejects_non_bundle_file(self, tmp_path, capsys):
+        bogus = tmp_path / "trace.jsonl"
+        bogus.write_text('{"type": "span"}\n')
+        assert main(["postmortem", str(bogus)]) == 2
+        assert "error:" in capsys.readouterr().out

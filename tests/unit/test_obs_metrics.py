@@ -76,7 +76,52 @@ class TestHistogram:
     def test_empty_histogram_summary_is_zeroes(self):
         s = Histogram().summary()
         assert s == {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
-                     "p50": 0.0, "p95": 0.0}
+                     "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_percentile_interpolates_within_bucket(self):
+        # 100 observations uniform in the (0, 1.0] bucket of a (1.0, 2.0)
+        # histogram: p50 should land mid-bucket, not at the bound.
+        h = Histogram(buckets=(1.0, 2.0))
+        for i in range(100):
+            h.observe((i + 1) / 100.0)
+        p50 = h.percentile(50)
+        assert 0.4 <= p50 <= 0.6          # interpolated
+        assert h.quantile(0.50) == 1.0    # the old upper-bound estimate
+
+    def test_percentile_is_clamped_to_observed_min_and_max(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(0.7)
+        h.observe(0.9)
+        assert h.percentile(1) >= 0.7
+        assert h.percentile(99) <= 0.9
+
+    def test_percentile_of_overflow_rank_is_observed_max(self):
+        h = Histogram(buckets=(0.01,))
+        h.observe(7.0)
+        assert h.percentile(99) == 7.0
+
+    def test_percentile_orders_p50_p95_p99(self):
+        h = Histogram()
+        for i in range(200):
+            h.observe(0.001 * (i + 1))
+        assert h.percentile(50) <= h.percentile(95) <= h.percentile(99)
+
+    def test_percentile_rejects_out_of_range(self):
+        h = Histogram()
+        h.observe(0.5)
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_summary_percentiles_use_interpolation(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        for i in range(100):
+            h.observe((i + 1) / 100.0)
+        s = h.summary()
+        assert s["p50"] == h.percentile(50)
+        assert s["p99"] == h.percentile(99)
+        assert s["p50"] < 1.0
 
     def test_buckets_are_sorted_regardless_of_input_order(self):
         h = Histogram(buckets=(1.0, 0.01, 0.1))
