@@ -8,11 +8,15 @@ TORQUE and against 2-head JOSHUA. Reported: per-submission latency overhead
 and completed-job parity on real inter-arrival structure.
 """
 
+from dataclasses import dataclass
+
 from repro.bench.reporting import format_table
 from repro.bench.workloads import DiurnalWorkload
 from repro.cluster.cluster import Cluster
 from repro.joshua.config import JOSHUA_GROUP_CONFIG
 from repro.joshua.deploy import build_joshua_stack
+from repro.joshua.wire import Command
+from repro.net.codec import WIRE
 from repro.pbs import build_pbs_stack, export_swf, workload_from_swf
 from repro.pbs.service_times import ServiceTimes
 
@@ -45,13 +49,27 @@ def _generate_trace(jobs: int = 40, seed: int = 91) -> str:
     return export_swf(stack.server.jobs.snapshot())
 
 
-def _replay(trace: str, *, joshua: bool, seed: int = 92) -> dict:
+@dataclass(frozen=True)
+class _CommandV2(Command):
+    """``Command`` one defaulted trailing field ahead of the shipped
+    declaration — the mixed-version replay runs one head on this evolved
+    wire module (R7's only wire-compatible record delta)."""
+
+    origin: str = ""
+
+
+def _replay(trace: str, *, joshua: bool, mixed_version: bool = False,
+            seed: int = 92) -> dict:
     workload = workload_from_swf(trace, max_nodes=2)
     heads = 2 if joshua else 1
     cluster = Cluster(head_count=heads, compute_count=2, seed=seed, login_node=True)
     kernel = cluster.kernel
     if joshua:
         stack = build_joshua_stack(cluster, group_config=GROUP, service_times=TIMES)
+        if mixed_version:
+            cluster.network.set_node_codec(
+                "head1", WIRE.clone(overrides={"Command": _CommandV2})
+            )
         client = stack.client(node="login")
         submit = client.jsub
         completed = lambda: stack.pbs("head0").stats["completed"]  # noqa: E731
@@ -73,8 +91,14 @@ def _replay(trace: str, *, joshua: bool, seed: int = 92) -> dict:
     process = kernel.spawn(replayer())
     cluster.run(until=process)
     cluster.run(until=kernel.now + 300.0)
+    if joshua and mixed_version:
+        system = "JOSHUA x2 mixed"
+    elif joshua:
+        system = "JOSHUA x2"
+    else:
+        system = "TORQUE x1"
     return {
-        "system": "JOSHUA x2" if joshua else "TORQUE x1",
+        "system": system,
         "jobs": len(workload),
         "mean_submit_ms": round(1000 * sum(latencies) / len(latencies), 1),
         "completed": completed(),
@@ -87,17 +111,23 @@ def test_trace_replay(benchmark, report):
         return [
             _replay(trace, joshua=False),
             _replay(trace, joshua=True),
+            _replay(trace, joshua=True, mixed_version=True),
         ]
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     report(benchmark, "Trace replay: SWF day on TORQUE vs JOSHUA", format_table(rows), rows)
 
-    torque, joshua = rows
-    assert torque["jobs"] == joshua["jobs"]
-    # Both complete the whole trace.
+    torque, joshua, mixed = rows
+    assert torque["jobs"] == joshua["jobs"] == mixed["jobs"]
+    # All three complete the whole trace — including the rolling-upgrade
+    # group with one head a wire-schema version ahead (tolerant decode).
     assert torque["completed"] == torque["jobs"]
     assert joshua["completed"] == joshua["jobs"]
+    assert mixed["completed"] == mixed["jobs"]
     # Replication overhead on realistic arrivals is in the Figure 10 band
     # (2 heads: ~2.7x in the paper) — not free, not pathological.
     ratio = joshua["mean_submit_ms"] / torque["mean_submit_ms"]
     assert 1.5 <= ratio <= 4.0, ratio
+    # Version skew costs nothing measurable beyond plain replication.
+    skew = mixed["mean_submit_ms"] / joshua["mean_submit_ms"]
+    assert 0.8 <= skew <= 1.2, skew

@@ -25,6 +25,14 @@ Rule      Contract
           message types).
 ``R5``    Observability hooks are passive: ``repro.obs`` may not call
           mutating methods on the network, transport, or kernel.
+``R6``    Codec coverage: every exported record of a declared wire module
+          is registered with the codec, carries no set-typed fields, and
+          has a globally unique wire name.
+``R7``    Wire-schema stability: the schema extracted from the wire
+          modules' AST must match the committed ``WIRE_SCHEMA.lock``;
+          every delta is classified (wire-compatible / decode-compatible /
+          breaking) and fails the lint until reviewed and accepted via
+          ``repro schema update``.
 ========  =====================================================================
 
 Deliberate exemptions are annotated in-line::
@@ -42,7 +50,25 @@ from repro.analysis.runner import (
     ALL_RULES,
     check_files,
     check_source,
+    list_ignores,
     run_lint,
 )
+from repro.analysis.schema import (
+    SchemaDelta,
+    diff_schemas,
+    extract_from_root,
+    extract_schema,
+)
 
-__all__ = ["ALL_RULES", "Finding", "check_files", "check_source", "run_lint"]
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "SchemaDelta",
+    "check_files",
+    "check_source",
+    "diff_schemas",
+    "extract_from_root",
+    "extract_schema",
+    "list_ignores",
+    "run_lint",
+]

@@ -485,6 +485,7 @@ CODEC_MODULES = (
     CodecSpec("pbs/job.py"),
     CodecSpec("joshua/wire.py"),
     CodecSpec("pvfs/wire.py"),
+    CodecSpec("pvfs/metadata.py"),
     CodecSpec("aa/replicated.py"),
 )
 

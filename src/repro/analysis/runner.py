@@ -6,13 +6,22 @@ import ast
 from pathlib import Path
 
 from repro.analysis.findings import Finding
-from repro.analysis.ignores import parse_ignores
+from repro.analysis.ignores import IgnoreDirective, parse_ignores
 from repro.analysis.protocol import rule_r4, rule_r6
 from repro.analysis.rules import PER_FILE_RULES
+from repro.analysis.schema import LOCKFILE_NAME, load_lockfile, rule_r7
 
-__all__ = ["ALL_RULES", "check_files", "check_source", "run_lint"]
+__all__ = [
+    "ALL_RULES", "check_files", "check_source", "list_ignores", "run_lint",
+]
 
-ALL_RULES = ("R1", "R2", "R3", "R4", "R5", "R6")
+ALL_RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7")
+
+#: Sentinel distinguishing "no lockfile" (None) from "R7 not requested".
+#: ``check_files`` only runs R7 when a caller (``run_lint``) explicitly
+#: provides the lockfile context — snippet-level ``check_source`` calls
+#: have no lockfile to diff against and must not emit missing-lock noise.
+_LOCK_UNSET = object()
 
 
 def _default_root() -> Path:
@@ -32,8 +41,13 @@ def check_source(
     return check_files({path: source}, rules=rules)
 
 
-def check_files(files: dict[str, str], rules=None) -> list[Finding]:
-    """Lint *files* (repro-relative path -> source) with the given rules."""
+def check_files(
+    files: dict[str, str], rules=None, *, schema_lock=_LOCK_UNSET
+) -> list[Finding]:
+    """Lint *files* (repro-relative path -> source) with the given rules.
+
+    *schema_lock* is the parsed ``WIRE_SCHEMA.lock`` mapping (or ``None``
+    if the lockfile is missing); R7 only runs when it is provided."""
     active = frozenset(rules if rules is not None else ALL_RULES)
     full_run = active >= frozenset(ALL_RULES)
     findings: list[Finding] = []
@@ -60,6 +74,8 @@ def check_files(files: dict[str, str], rules=None) -> list[Finding]:
         raw.extend(rule_r4(trees))
     if "R6" in active:
         raw.extend(rule_r6(trees))
+    if "R7" in active and schema_lock is not _LOCK_UNSET:
+        raw.extend(rule_r7(trees, schema_lock))
 
     for finding in raw:
         ignores = ignore_sets.get(finding.path)
@@ -74,13 +90,36 @@ def check_files(files: dict[str, str], rules=None) -> list[Finding]:
     return findings
 
 
-def run_lint(root: str | Path | None = None, rules=None) -> list[Finding]:
-    """Lint every ``.py`` file under *root* (default: the repro package)."""
-    base = Path(root) if root is not None else _default_root()
+def _tree_sources(base: Path) -> dict[str, str]:
     files: dict[str, str] = {}
     for path in sorted(base.rglob("*.py")):
         rel = path.relative_to(base).as_posix()
         if "__pycache__" in rel:
             continue
         files[rel] = path.read_text(encoding="utf-8")
-    return check_files(files, rules=rules)
+    return files
+
+
+def run_lint(root: str | Path | None = None, rules=None) -> list[Finding]:
+    """Lint every ``.py`` file under *root* (default: the repro package).
+
+    R7 diffs the extracted wire schema against ``<root>/WIRE_SCHEMA.lock``
+    (a missing lockfile is itself a finding)."""
+    base = Path(root) if root is not None else _default_root()
+    files = _tree_sources(base)
+    schema_lock = load_lockfile(base / LOCKFILE_NAME)
+    return check_files(files, rules=rules, schema_lock=schema_lock)
+
+
+def list_ignores(
+    root: str | Path | None = None,
+) -> list[tuple[str, IgnoreDirective]]:
+    """Every ``# repro-lint: ignore[...]`` directive under *root*, as
+    ``(repro-relative path, directive)`` pairs in file/line order — the
+    audit surface behind ``repro lint --ignores``."""
+    base = Path(root) if root is not None else _default_root()
+    out: list[tuple[str, IgnoreDirective]] = []
+    for rel, source in sorted(_tree_sources(base).items()):
+        for directive in parse_ignores(source, rel).directives:
+            out.append((rel, directive))
+    return out

@@ -12,7 +12,8 @@
     python -m repro chaos soak [--seed S] [--runs N] [...]
     python -m repro trace [--seed S] [--jobs N] [--jsonl FILE]
     python -m repro postmortem BUNDLE [--limit N]
-    python -m repro lint  [--rule RN ...] [--jsonl]
+    python -m repro lint  [--rule RN ...] [--jsonl] [--ignores]
+    python -m repro schema {extract,update,diff} [--root DIR] [--jsonl]
 
 Every command prints the same tables the benchmark suite produces; all
 runs are deterministic given ``--seed``. The chaos commands exit non-zero
@@ -22,7 +23,11 @@ scenario and prints per-job causal timelines plus the Figure-10-style
 per-phase latency breakdown; ``--jsonl`` exports the merged span/log/
 metric/time-series stream for offline analysis. ``postmortem`` renders a
 flight-recorder bundle (the JSONL files a failed ``chaos run`` writes) as
-a human-readable merged timeline.
+a human-readable merged timeline. ``schema`` manages the committed wire
+schema (``WIRE_SCHEMA.lock``): ``extract`` prints the working tree's
+schema, ``update`` regenerates the lockfile (the reviewed acceptance step
+for any wire change rule R7 flags), and ``diff`` renders the classified
+deltas (exit 1 when any is breaking).
 """
 
 from __future__ import annotations
@@ -145,16 +150,40 @@ def build_parser() -> argparse.ArgumentParser:
                                  "the trigger; default: all)")
 
     lint = sub.add_parser(
-        "lint", help="determinism & protocol static analysis (rules R1–R6)"
+        "lint", help="determinism & protocol static analysis (rules R1–R7)"
     )
     lint.add_argument(
-        "--rule", action="append", choices=["R1", "R2", "R3", "R4", "R5", "R6"],
+        "--rule", action="append",
+        choices=["R1", "R2", "R3", "R4", "R5", "R6", "R7"],
         metavar="RN", help="run only these rules (repeatable; default: all)",
     )
     lint.add_argument("--jsonl", action="store_true",
                       help="one JSON object per finding instead of text")
     lint.add_argument("--root", metavar="DIR",
                       help="package root to lint (default: the installed repro package)")
+    lint.add_argument("--ignores", action="store_true",
+                      help="list every active '# repro-lint: ignore[RN]' "
+                           "directive (file:line, rules, reason) instead of "
+                           "linting")
+
+    schema = sub.add_parser(
+        "schema",
+        help="wire-schema lockfile: extract / update / diff (rule R7)",
+    )
+    schema_sub = schema.add_subparsers(dest="schema_command", required=True)
+    schema_extract = schema_sub.add_parser(
+        "extract", help="print the schema extracted from the working tree")
+    schema_update = schema_sub.add_parser(
+        "update", help="regenerate WIRE_SCHEMA.lock from the working tree "
+                       "(the reviewed acceptance step for R7 findings)")
+    schema_diff = schema_sub.add_parser(
+        "diff", help="classified deltas vs the lockfile (exit 1 on breaking)")
+    schema_diff.add_argument("--jsonl", action="store_true",
+                             help="one JSON object per delta instead of text")
+    for sub_cmd in (schema_extract, schema_update, schema_diff):
+        sub_cmd.add_argument(
+            "--root", metavar="DIR",
+            help="package root (default: the installed repro package)")
     return parser
 
 
@@ -441,19 +470,69 @@ def _cmd_postmortem(args):
 
 
 def _cmd_lint(args):
-    from repro.analysis import run_lint
+    from repro.analysis import list_ignores, run_lint
 
+    if args.ignores:
+        rows = [
+            (
+                f"{path}:{directive.line}",
+                ", ".join(directive.rules),
+                directive.reason,
+            )
+            for path, directive in list_ignores(root=args.root)
+        ]
+        lines = [
+            f"{location:<32} [{rules}] {reason}"
+            for location, rules, reason in rows
+        ]
+        lines.append(f"{len(rows)} active ignore directive(s)")
+        return "\n".join(lines), 0
     findings = run_lint(root=args.root, rules=args.rule)
     if args.jsonl:
         lines = [f.to_json() for f in findings]
     else:
         lines = [f.render() for f in findings]
-        which = ", ".join(args.rule) if args.rule else "R1–R6"
+        which = ", ".join(args.rule) if args.rule else "R1–R7"
         lines.append(
             f"{len(findings)} finding(s) ({which})"
             + ("" if findings else " — determinism/protocol contract holds")
         )
     return "\n".join(lines), (1 if findings else 0)
+
+
+def _cmd_schema(args):
+    import json
+
+    from repro.analysis import schema as schema_mod
+
+    current, _ = schema_mod.extract_from_root(args.root)
+    lock_path = schema_mod.lockfile_path(args.root)
+    counts = (
+        f"{len(current['records'])} records, {len(current['enums'])} enums"
+    )
+    if args.schema_command == "extract":
+        return json.dumps(current, indent=1, sort_keys=True), 0
+    if args.schema_command == "update":
+        schema_mod.write_lockfile(current, lock_path)
+        return f"wrote {lock_path} ({counts})", 0
+    locked = schema_mod.load_lockfile(lock_path)
+    if locked is None:
+        return (
+            f"no lockfile at {lock_path} — run `repro schema update` "
+            "and commit it",
+            1,
+        )
+    deltas = schema_mod.diff_schemas(locked, current)
+    if not deltas:
+        return f"lockfile matches the working tree ({counts})", 0
+    text = schema_mod.render_deltas(deltas, jsonl=args.jsonl)
+    breaking = sum(1 for d in deltas if d.severity == schema_mod.BREAKING)
+    if not args.jsonl:
+        text += (
+            f"\n{len(deltas)} delta(s), {breaking} breaking — review and "
+            "run `repro schema update` to accept"
+        )
+    return text, (1 if breaking else 0)
 
 
 _COMMANDS = {
@@ -467,6 +546,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "postmortem": _cmd_postmortem,
     "lint": _cmd_lint,
+    "schema": _cmd_schema,
 }
 
 

@@ -25,7 +25,8 @@ tag    encoding
 0x07   ``tuple`` — varint count + encoded items
 0x08   ``list`` — varint count + encoded items
 0x09   ``dict`` — varint count + encoded key/value pairs, insertion order
-0x0A   registered record — name + encoded fields in declaration order
+0x0A   registered record — name + 16-bit schema fingerprint + varint field
+       count + encoded fields in declaration order
 0x0B   registered enum — name + encoded member value
 =====  ======================================================================
 
@@ -35,6 +36,30 @@ rejects duplicate names. Sets and unregistered classes are *encode errors*:
 sets would smuggle hash order onto the wire, and an unregistered dataclass
 is a wire type the protocol layer forgot to declare (lint rule R6 enforces
 the declaration statically).
+
+Schema evolution
+----------------
+Each record frame carries a 2-byte :func:`schema_fingerprint` (a CRC of the
+record name and its field names, folded to 16 bits) plus the encoded field
+count — 3 bytes that let a receiver running a *different version* of a wire
+module detect the skew. Decode has two modes:
+
+* **tolerant** (the default): a frame with *more* fields than the local
+  declaration decodes positionally and skips the unknown trailing fields; a
+  frame with *fewer* fields fills the absent trailing fields from the local
+  declaration's defaults. Either way the sender's field prefix is trusted
+  positionally — which is exactly the evolution contract lint rule R7
+  enforces statically against ``WIRE_SCHEMA.lock`` (appends at the tail
+  only, never renames/reorders). A fingerprint mismatch at *equal* field
+  count (a rename or reorder — unalignable positionally) is always an
+  error.
+* **strict** (``Codec(strict=True)`` or ``decode(frame, strict=True)``):
+  any fingerprint or count mismatch is a :class:`CodecError`.
+
+:meth:`Codec.clone` derives a per-node codec with individual records
+swapped for evolved versions — the rolling-upgrade harness used by the
+mixed-version integration tests (the superseded class stays encodable, so
+shared protocol code that still constructs it keeps working).
 
 Registry
 --------
@@ -52,6 +77,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import struct
+import zlib
 from typing import Any
 
 from repro.util.errors import NetworkError
@@ -63,11 +89,40 @@ __all__ = [
     "register_wire_types",
     "register_wire_enum",
     "encoded_size",
+    "schema_fingerprint",
 ]
 
 
 class CodecError(NetworkError):
-    """A value could not be encoded to, or decoded from, wire bytes."""
+    """A value could not be encoded to, or decoded from, wire bytes.
+
+    Decode-side errors carry ``offset`` (byte position in the frame) and,
+    when the failure happened inside a record's field list,
+    ``record_context`` / ``field`` naming the innermost in-progress record.
+    """
+
+    offset: int | None = None
+    record_context: str | None = None
+    field: str | None = None
+
+
+def _codec_error(message: str, offset: int) -> CodecError:
+    """A decode error annotated with the byte offset it occurred at."""
+    exc = CodecError(f"{message} at byte {offset}")
+    exc.offset = offset
+    return exc
+
+
+def _annotate(exc: CodecError, record: str, field: str) -> None:
+    """Attach the *innermost* in-progress record/field to a decode error
+    (outer records re-raise without overwriting, so nested failures name
+    the record actually being decoded when the bytes ran out)."""
+    if exc.record_context is None:
+        exc.record_context = record
+        exc.field = field
+        exc.args = (
+            f"{exc.args[0]} (while decoding field {field!r} of {record})",
+        )
 
 
 _T_NONE = 0x00
@@ -103,7 +158,7 @@ def _decode_varint(data: bytes, pos: int) -> tuple[int, int]:
     shift = 0
     while True:
         if pos >= len(data):
-            raise CodecError("truncated varint")
+            raise _codec_error("truncated varint", pos)
         byte = data[pos]
         pos += 1
         result |= (byte & 0x7F) << shift
@@ -120,13 +175,32 @@ def _unzigzag(value: int) -> int:
     return (value >> 1) ^ -(value & 1)
 
 
-@dataclasses.dataclass(frozen=True)
+def schema_fingerprint(name: str, fields: tuple[str, ...]) -> int:
+    """16-bit schema fingerprint of a record: CRC-32 of the wire name and
+    field names (declaration order), folded to 16 bits. Carried in every
+    record frame (2 bytes) so a receiver can detect version skew; the
+    static extractor (``repro.analysis.schema``) computes the identical
+    value from the AST, which is what the lockfile completeness test pins.
+
+    Field *names* only — a type-annotation change is invisible at runtime
+    (the codec is self-describing per value) and is gated statically by
+    lint rule R7 instead."""
+    crc = zlib.crc32(",".join((name, *fields)).encode("utf-8"))
+    return (crc ^ (crc >> 16)) & 0xFFFF
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
 class _Record:
-    """One registered record class: its wire name and field order."""
+    """One registered record class: wire name, field order, and the
+    schema-evolution metadata (fingerprint, precomputed frame header,
+    zero-arg default factories for tolerant decode)."""
 
     name: str
     cls: type
     fields: tuple[str, ...]
+    fingerprint: int
+    header: bytes                 # fingerprint (>H) + varint field count
+    defaults: dict[str, Any]      # field name -> zero-arg factory
 
 
 def _record_fields(cls: type) -> tuple[str, ...]:
@@ -140,6 +214,34 @@ def _record_fields(cls: type) -> tuple[str, ...]:
     )
 
 
+def _record_defaults(cls: type) -> dict[str, Any]:
+    """Field name -> zero-arg factory for every field with a declared
+    default (what tolerant decode fills absent trailing fields from)."""
+    factories: dict[str, Any] = {}
+    if dataclasses.is_dataclass(cls):
+        for f in dataclasses.fields(cls):
+            if f.default is not dataclasses.MISSING:
+                default = f.default
+                factories[f.name] = lambda default=default: default
+            elif f.default_factory is not dataclasses.MISSING:
+                factories[f.name] = f.default_factory
+    elif hasattr(cls, "_field_defaults"):
+        for field_name, default in sorted(cls._field_defaults.items()):
+            factories[field_name] = lambda default=default: default
+    return factories
+
+
+def _make_record(wire_name: str, cls: type) -> _Record:
+    fields = _record_fields(cls)
+    fingerprint = schema_fingerprint(wire_name, fields)
+    header = bytearray(struct.pack(">H", fingerprint))
+    _encode_varint(len(fields), header)
+    return _Record(
+        wire_name, cls, fields, fingerprint, bytes(header),
+        _record_defaults(cls),
+    )
+
+
 class Codec:
     """Encode/decode registry mapping record classes to byte frames.
 
@@ -148,34 +250,45 @@ class Codec:
     fresh objects — two calls never return the same container identity.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, strict: bool = False) -> None:
         self._records_by_name: dict[str, _Record] = {}
         self._records_by_type: dict[type, _Record] = {}
         self._enums_by_name: dict[str, type] = {}
         self._enum_types: dict[type, str] = {}
+        self._strict = strict
 
     # -- registration -----------------------------------------------------------
 
-    def register(self, cls: type, *, name: str | None = None) -> type:
+    def register(
+        self, cls: type, *, name: str | None = None, replace: bool = False
+    ) -> type:
         """Register a dataclass or NamedTuple as a wire record.
 
         Idempotent for the same class; a *different* class under an already-
-        taken name is an error (names are the wire tag and must be unique)."""
+        taken name is an error (names are the wire tag and must be unique)
+        unless *replace* is set — then the new class takes over the name for
+        decode and the superseded class stays registered for encode only
+        (under its own, older shape), which is how :meth:`clone` models a
+        node whose wire module evolved while shared protocol code still
+        constructs the old class."""
         wire_name = name or cls.__name__
         existing = self._records_by_name.get(wire_name)
         if existing is not None:
             if existing.cls is cls:
                 return cls
-            raise CodecError(
-                f"wire name {wire_name!r} already registered for "
-                f"{existing.cls.__module__}.{existing.cls.__qualname__}"
-            )
-        record = _Record(wire_name, cls, _record_fields(cls))
+            if not replace:
+                raise CodecError(
+                    f"wire name {wire_name!r} already registered for "
+                    f"{existing.cls.__module__}.{existing.cls.__qualname__}"
+                )
+        record = _make_record(wire_name, cls)
         self._records_by_name[wire_name] = record
         self._records_by_type[cls] = record
         return cls
 
-    def register_enum(self, cls: type, *, name: str | None = None) -> type:
+    def register_enum(
+        self, cls: type, *, name: str | None = None, replace: bool = False
+    ) -> type:
         """Register an :class:`enum.Enum` whose members may ride in fields."""
         if not (isinstance(cls, type) and issubclass(cls, enum.Enum)):
             raise CodecError(f"{cls!r} is not an Enum")
@@ -184,10 +297,36 @@ class Codec:
         if existing is not None:
             if existing is cls:
                 return cls
-            raise CodecError(f"enum wire name {wire_name!r} already registered")
+            if not replace:
+                raise CodecError(
+                    f"enum wire name {wire_name!r} already registered"
+                )
         self._enums_by_name[wire_name] = cls
         self._enum_types[cls] = wire_name
         return cls
+
+    def clone(
+        self,
+        overrides: dict[str, type] | None = None,
+        *,
+        strict: bool | None = None,
+    ) -> Codec:
+        """A new codec with this one's registry, optionally with individual
+        wire names rebound to evolved classes (*overrides* maps wire name ->
+        class). The superseded class remains encodable under its old shape,
+        so shared code constructing it still works — the rolling-upgrade
+        harness for mixed-version groups (``Network.set_node_codec``)."""
+        other = Codec(strict=self._strict if strict is None else strict)
+        for wire_name, record in sorted(self._records_by_name.items()):
+            other.register(record.cls, name=wire_name)
+        for wire_name, cls in sorted(self._enums_by_name.items()):
+            other.register_enum(cls, name=wire_name)
+        for wire_name, cls in sorted((overrides or {}).items()):
+            if isinstance(cls, type) and issubclass(cls, enum.Enum):
+                other.register_enum(cls, name=wire_name, replace=True)
+            else:
+                other.register(cls, name=wire_name, replace=True)
+        return other
 
     def registered_records(self) -> list[type]:
         """Registered record classes, sorted by wire name (for tests/CI)."""
@@ -198,6 +337,31 @@ class Codec:
 
     def is_registered(self, cls: type) -> bool:
         return cls in self._records_by_type or cls in self._enum_types
+
+    def record_shapes(self) -> dict[str, dict[str, Any]]:
+        """Wire name -> ``{"module", "fields", "defaults", "fingerprint"}``
+        for every registered record — the runtime half of what the static
+        schema extractor derives from the AST (the lockfile completeness
+        test asserts the two agree)."""
+        return {
+            wire_name: {
+                "module": record.cls.__module__,
+                "fields": list(record.fields),
+                "defaults": sorted(record.defaults),
+                "fingerprint": record.fingerprint,
+            }
+            for wire_name, record in sorted(self._records_by_name.items())
+        }
+
+    def enum_shapes(self) -> dict[str, dict[str, Any]]:
+        """Wire name -> ``{"module", "members"}`` for registered enums."""
+        return {
+            wire_name: {
+                "module": cls.__module__,
+                "members": {member.name: member.value for member in cls},
+            }
+            for wire_name, cls in sorted(self._enums_by_name.items())
+        }
 
     # -- encoding ---------------------------------------------------------------
 
@@ -221,6 +385,7 @@ class Codec:
         if record is not None:
             out.append(_T_RECORD)
             self._encode_str(record.name, out)
+            out += record.header
             for field in record.fields:
                 self._encode_value(getattr(value, field), out)
             return
@@ -277,23 +442,32 @@ class Codec:
 
     # -- decoding ---------------------------------------------------------------
 
-    def decode(self, frame: bytes) -> Any:
-        """Reconstruct a fresh value from a byte frame."""
-        value, pos = self._decode_value(frame, 0)
+    def decode(self, frame: bytes, *, strict: bool | None = None) -> Any:
+        """Reconstruct a fresh value from a byte frame.
+
+        *strict* overrides this codec's schema-evolution tolerance for one
+        call (see the module docstring); the default is the codec's own
+        setting."""
+        tolerant = not (self._strict if strict is None else strict)
+        value, pos = self._decode_value(frame, 0, tolerant)
         if pos != len(frame):
-            raise CodecError(f"{len(frame) - pos} trailing bytes after decoded value")
+            raise _codec_error(
+                f"{len(frame) - pos} trailing bytes after decoded value", pos
+            )
         return value
 
     def _decode_str(self, data: bytes, pos: int) -> tuple[str, int]:
         length, pos = _decode_varint(data, pos)
         end = pos + length
         if end > len(data):
-            raise CodecError("truncated string")
+            raise _codec_error("truncated string", pos)
         return data[pos:end].decode("utf-8"), end
 
-    def _decode_value(self, data: bytes, pos: int) -> tuple[Any, int]:
+    def _decode_value(
+        self, data: bytes, pos: int, tolerant: bool
+    ) -> tuple[Any, int]:
         if pos >= len(data):
-            raise CodecError("truncated frame")
+            raise _codec_error("truncated frame", pos)
         tag = data[pos]
         pos += 1
         if tag == _T_NONE:
@@ -308,7 +482,7 @@ class Codec:
         if tag == _T_FLOAT:
             end = pos + 8
             if end > len(data):
-                raise CodecError("truncated float")
+                raise _codec_error("truncated float", pos)
             return _FLOAT.unpack(data[pos:end])[0], end
         if tag == _T_STR:
             return self._decode_str(data, pos)
@@ -316,41 +490,138 @@ class Codec:
             length, pos = _decode_varint(data, pos)
             end = pos + length
             if end > len(data):
-                raise CodecError("truncated bytes")
+                raise _codec_error("truncated bytes", pos)
             return data[pos:end], end
         if tag in (_T_TUPLE, _T_LIST):
             count, pos = _decode_varint(data, pos)
             items = []
             for _ in range(count):
-                item, pos = self._decode_value(data, pos)
+                item, pos = self._decode_value(data, pos, tolerant)
                 items.append(item)
             return (tuple(items) if tag == _T_TUPLE else items), pos
         if tag == _T_DICT:
             count, pos = _decode_varint(data, pos)
             mapping = {}
             for _ in range(count):
-                key, pos = self._decode_value(data, pos)
-                item, pos = self._decode_value(data, pos)
+                key, pos = self._decode_value(data, pos, tolerant)
+                item, pos = self._decode_value(data, pos, tolerant)
                 mapping[key] = item
             return mapping, pos
         if tag == _T_RECORD:
-            name, pos = self._decode_str(data, pos)
-            record = self._records_by_name.get(name)
-            if record is None:
-                raise CodecError(f"unknown wire record {name!r}")
-            values = []
-            for _ in record.fields:
-                value, pos = self._decode_value(data, pos)
-                values.append(value)
-            return record.cls(*values), pos
+            return self._decode_record(data, pos, tolerant, start=pos - 1)
         if tag == _T_ENUM:
+            start = pos - 1
             name, pos = self._decode_str(data, pos)
             cls = self._enums_by_name.get(name)
             if cls is None:
-                raise CodecError(f"unknown wire enum {name!r}")
-            value, pos = self._decode_value(data, pos)
+                raise _codec_error(f"unknown wire enum {name!r}", start)
+            value, pos = self._decode_value(data, pos, tolerant)
             return cls(value), pos
-        raise CodecError(f"unknown wire tag 0x{tag:02X}")
+        raise _codec_error(f"unknown wire tag 0x{tag:02X}", pos - 1)
+
+    def _decode_fields(
+        self,
+        data: bytes,
+        pos: int,
+        fields: tuple[str, ...],
+        name: str,
+        tolerant: bool,
+    ) -> tuple[list[Any], int]:
+        """Decode *fields* in order, annotating any failure with the
+        innermost record/field it happened inside (satisfies "say where,
+        not just what" for truncated frames)."""
+        values = []
+        for field in fields:
+            try:
+                value, pos = self._decode_value(data, pos, tolerant)
+            except CodecError as exc:
+                _annotate(exc, name, field)
+                raise
+            values.append(value)
+        return values, pos
+
+    def _decode_record(
+        self, data: bytes, pos: int, tolerant: bool, start: int
+    ) -> tuple[Any, int]:
+        name, pos = self._decode_str(data, pos)
+        record = self._records_by_name.get(name)
+        if record is None:
+            raise _codec_error(f"unknown wire record {name!r}", start)
+        if pos + 2 > len(data):
+            raise _codec_error(
+                f"truncated schema fingerprint of record {name}", pos
+            )
+        sent_fp = (data[pos] << 8) | data[pos + 1]
+        pos += 2
+        sent_count, pos = _decode_varint(data, pos)
+        if sent_fp == record.fingerprint and sent_count == len(record.fields):
+            values, pos = self._decode_fields(
+                data, pos, record.fields, name, tolerant
+            )
+            return record.cls(*values), pos
+        return self._decode_evolved(
+            data, pos, record, sent_fp, sent_count, tolerant, start
+        )
+
+    def _decode_evolved(
+        self,
+        data: bytes,
+        pos: int,
+        record: _Record,
+        sent_fp: int,
+        sent_count: int,
+        tolerant: bool,
+        start: int,
+    ) -> tuple[Any, int]:
+        """A record frame whose schema fingerprint/field count differ from
+        the local declaration — the sender runs another version of the wire
+        module. Tolerant mode applies the R7 evolution contract (trailing
+        appends only); strict mode and unalignable skews always raise."""
+        name = record.name
+        local = len(record.fields)
+        detail = (
+            f"sender 0x{sent_fp:04X} with {sent_count} fields, "
+            f"local 0x{record.fingerprint:04X} with {local} fields"
+        )
+        if not tolerant:
+            raise _codec_error(
+                f"schema mismatch for record {name} in strict mode "
+                f"({detail})", start
+            )
+        if sent_count == local:
+            raise _codec_error(
+                f"schema mismatch for record {name} ({detail}): same field "
+                "count but different fingerprint — a renamed or reordered "
+                "field cannot be aligned positionally", start
+            )
+        if sent_count > local:
+            # The sender is newer: take the local prefix positionally and
+            # skip the unknown trailing fields.
+            values, pos = self._decode_fields(
+                data, pos, record.fields, name, tolerant
+            )
+            for _ in range(sent_count - local):
+                try:
+                    _, pos = self._decode_value(data, pos, tolerant)
+                except CodecError as exc:
+                    _annotate(exc, name, "<unknown trailing field>")
+                    raise
+            return record.cls(*values), pos
+        # The sender is older: decode the common prefix, fill the absent
+        # trailing fields from the local declaration's defaults.
+        values, pos = self._decode_fields(
+            data, pos, record.fields[:sent_count], name, tolerant
+        )
+        for field in record.fields[sent_count:]:
+            factory = record.defaults.get(field)
+            if factory is None:
+                raise _codec_error(
+                    f"cannot fill field {field!r} of {name}: the sender "
+                    f"sent {sent_count} fields and {field!r} declares no "
+                    "default (breaking delta — see WIRE_SCHEMA.lock)", start
+                )
+            values.append(factory())
+        return record.cls(*values), pos
 
     # -- diagnostics ------------------------------------------------------------
 
@@ -366,6 +637,10 @@ class Codec:
                 )
             if self._records_by_type.get(record.cls) is not record:
                 raise CodecError(f"{record.name}: type table out of sync")
+            if schema_fingerprint(record.name, record.fields) != record.fingerprint:
+                raise CodecError(
+                    f"{record.name}: schema fingerprint out of sync"
+                )
 
 
 #: The process-wide registry. Append-only, written only at import time by the

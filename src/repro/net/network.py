@@ -47,7 +47,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.net.address import Address, Delivery
-from repro.net.codec import WIRE
+from repro.net.codec import WIRE, Codec
 from repro.net.link import FAST_ETHERNET, LOOPBACK, LinkModel
 from repro.net.partition import PartitionState
 from repro.sim.kernel import Kernel
@@ -157,6 +157,11 @@ class Network:
         self._drop_filter_ids = 0
         self._pair_seq: dict[tuple[Address, Address], int] = {}
         self._endpoints: dict[Address, Endpoint] = {}
+        #: Per-node codec overrides (rolling-upgrade harness): a node bound
+        #: here encodes its sends and decodes its deliveries with its *own*
+        #: codec — typically ``WIRE.clone(overrides=...)`` carrying an
+        #: evolved wire record. Unbound nodes use the shared ``WIRE``.
+        self._node_codecs: dict[str, Codec] = {}
         self._rng = kernel.streams.get("net")
         #: Simulated time at which the shared wire next becomes free.
         self._wire_free_at = 0.0
@@ -210,6 +215,22 @@ class Network:
             # A crashed node's endpoints vanish with it.
             for address in [a for a in self._endpoints if a.node == name]:
                 self._endpoints[address].close()
+
+    def set_node_codec(self, name: str, codec: Codec | None) -> None:
+        """Bind *name* to its own codec (``None`` reverts to the shared
+        ``WIRE``) — the mixed-version harness: a node running an evolved
+        wire module encodes with the evolved shape and decodes peers'
+        frames through its own tolerance/strictness setting."""
+        if name not in self._nodes_up:
+            raise NetworkError(f"unknown node {name!r}")
+        if codec is None:
+            self._node_codecs.pop(name, None)
+        else:
+            self._node_codecs[name] = codec
+
+    def codec_for(self, node: str) -> Codec:
+        """The codec *node* encodes/decodes with (default: shared WIRE)."""
+        return self._node_codecs.get(node, WIRE)
 
     def pause_node(self, name: str) -> None:
         """Black out *name*'s network: unreachable, but processes/endpoints
@@ -291,7 +312,7 @@ class Network:
                 return
             raise NodeDown(f"send from crashed node {src.node!r}")
         self.stats["sent"] += 1
-        frame = WIRE.encode(payload)
+        frame = self.codec_for(src.node).encode(payload)
         size = len(frame) + DATAGRAM_OVERHEAD
         self.stats["bytes_offered"] += size
         offered_kind = _payload_kind(payload)
@@ -358,8 +379,9 @@ class Network:
                 self.stats["dropped_unbound"] += 1
                 return
             # Decode a *fresh* object graph from the frame bytes — the
-            # receiver never sees the sender's objects.
-            fresh = WIRE.decode(frame)
+            # receiver never sees the sender's objects, and a node with its
+            # own codec sees the frame through its own wire-module version.
+            fresh = self.codec_for(dst.node).decode(frame)
             sanitizer = self.kernel.sanitizer
             if sanitizer is not None:
                 sanitizer.check_payload_isolation(

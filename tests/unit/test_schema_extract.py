@@ -1,0 +1,259 @@
+"""Schema extraction and R7 delta classification, on golden fixtures.
+
+A synthetic wire-module pair (base + evolved variants) exercises every R7
+delta class — compatible append, deprecated trailing field, removed field,
+reorder, rename, type change, enum member add/remove/value change — plus
+the lockfile round-trip/stability property (extract -> write -> load ->
+diff == empty).
+"""
+
+import ast
+import textwrap
+
+from repro.analysis import check_files
+from repro.analysis.schema import (
+    BREAKING,
+    COMPATIBLE,
+    DECODE_COMPATIBLE,
+    diff_schemas,
+    extract_schema,
+    load_lockfile,
+    render_deltas,
+    rule_r7,
+    write_lockfile,
+)
+from repro.net.codec import schema_fingerprint
+
+#: The golden base: one registered record of each kind plus an enum, in a
+#: module path R6/R7 recognise as a wire module (pvfs/wire.py is in
+#: CODEC_MODULES). Local helpers and unregistered classes must be ignored.
+BASE = textwrap.dedent(
+    """
+    from dataclasses import dataclass, field
+    from enum import Enum
+    from typing import Any, ClassVar, NamedTuple
+
+    from repro.net.codec import register_wire_enum, register_wire_types
+
+    __all__ = ["Color", "OpenReq", "SeekReq"]
+
+    class Color(Enum):
+        RED = "r"
+        BLUE = "b"
+
+    @dataclass(frozen=True)
+    class OpenReq:
+        path: str
+        mode: str = "r"
+        _LEGAL: ClassVar[tuple] = ()
+
+    class SeekReq(NamedTuple):
+        fd: int
+        offset: int = 0
+
+    @dataclass(frozen=True)
+    class NotOnTheWire:
+        x: int
+
+    register_wire_types(OpenReq, SeekReq)
+    register_wire_enum(Color)
+    """
+)
+
+
+def _schema(source: str, path: str = "pvfs/wire.py"):
+    schema, locations = extract_schema({path: ast.parse(source)})
+    return schema, locations
+
+
+def _deltas(new_source: str):
+    locked, _ = _schema(BASE)
+    current, _ = _schema(new_source)
+    return diff_schemas(locked, current)
+
+
+def _only(deltas, severity, kind):
+    hits = [d for d in deltas if d.severity == severity and d.kind == kind]
+    assert hits, f"no ({severity}, {kind}) delta in {deltas}"
+    return hits
+
+
+class TestExtraction:
+    def test_registered_types_only_with_fields_defaults_and_fingerprints(self):
+        schema, locations = _schema(BASE)
+        assert sorted(schema["records"]) == ["OpenReq", "SeekReq"]
+        assert sorted(schema["enums"]) == ["Color"]
+        open_req = schema["records"]["OpenReq"]
+        # ClassVar is not a field; defaults are recorded as source text.
+        assert [f["name"] for f in open_req["fields"]] == ["path", "mode"]
+        assert open_req["fields"][0]["default"] is None
+        assert open_req["fields"][1]["default"] == "'r'"
+        assert open_req["kind"] == "dataclass"
+        assert open_req["fingerprint"] == schema_fingerprint(
+            "OpenReq", ("path", "mode")
+        )
+        assert schema["records"]["SeekReq"]["kind"] == "namedtuple"
+        assert schema["enums"]["Color"]["members"] == {
+            "RED": "'r'", "BLUE": "'b'",
+        }
+        # Locations are kept out of the schema (no churn on unrelated
+        # edits) but available for finding anchors.
+        assert locations["OpenReq"][0] == "pvfs/wire.py"
+        assert locations["OpenReq"][1] > 0
+
+    def test_field_call_without_default_is_not_a_default(self):
+        source = BASE.replace(
+            'mode: str = "r"', "mode: str = field(repr=False)"
+        )
+        schema, _ = _schema(source)
+        assert schema["records"]["OpenReq"]["fields"][1]["default"] is None
+
+    def test_field_call_with_default_factory_is_a_default(self):
+        source = BASE.replace(
+            'mode: str = "r"', "mode: dict = field(default_factory=dict)"
+        )
+        schema, _ = _schema(source)
+        field = schema["records"]["OpenReq"]["fields"][1]
+        assert field["default"] == "field(default_factory=dict)"
+
+    def test_non_wire_modules_are_ignored(self):
+        schema, _ = _schema(BASE, path="pvfs/service.py")
+        assert schema["records"] == {} and schema["enums"] == {}
+
+
+class TestDeltaClassification:
+    def test_identical_schemas_have_no_deltas(self):
+        assert _deltas(BASE) == []
+
+    def test_defaulted_trailing_append_is_compatible(self):
+        deltas = _deltas(BASE.replace(
+            'mode: str = "r"', 'mode: str = "r"\n    flags: int = 0'
+        ))
+        (delta,) = _only(deltas, COMPATIBLE, "field-appended")
+        assert "flags" in delta.detail and delta.name == "OpenReq"
+
+    def test_undefaulted_trailing_append_is_breaking(self):
+        deltas = _deltas(BASE.replace(
+            'mode: str = "r"', 'mode: str = "r"\n    flags: int'
+        ))
+        _only(deltas, BREAKING, "field-appended-without-default")
+
+    def test_deprecated_defaulted_trailing_field_is_decode_compatible(self):
+        deltas = _deltas(BASE.replace('\n    mode: str = "r"', ""))
+        (delta,) = _only(deltas, DECODE_COMPATIBLE, "field-deprecated")
+        assert "'mode'" in delta.detail
+
+    def test_removed_undefaulted_trailing_field_is_breaking(self):
+        # The locked declaration had no default for the trailing field, so
+        # old receivers have nothing to fill it from.
+        locked, _ = _schema(BASE.replace("offset: int = 0", "offset: int"))
+        current, _ = _schema(BASE.replace("\n    offset: int = 0", ""))
+        deltas = diff_schemas(locked, current)
+        (delta,) = _only(deltas, BREAKING, "field-removed")
+        assert delta.name == "SeekReq"
+
+    def test_reorder_is_breaking(self):
+        deltas = _deltas(BASE.replace(
+            'path: str\n    mode: str = "r"',
+            'mode: str\n    path: str = "p"',
+        ))
+        _only(deltas, BREAKING, "fields-reordered")
+
+    def test_rename_is_breaking(self):
+        deltas = _deltas(BASE.replace("path: str", "file_path: str"))
+        (delta,) = _only(deltas, BREAKING, "field-renamed")
+        assert "'path'" in delta.detail and "'file_path'" in delta.detail
+
+    def test_type_change_is_breaking(self):
+        deltas = _deltas(BASE.replace("fd: int", "fd: str"))
+        (delta,) = _only(deltas, BREAKING, "field-type-changed")
+        assert delta.name == "SeekReq"
+
+    def test_default_value_change_is_decode_compatible(self):
+        deltas = _deltas(BASE.replace('mode: str = "r"', 'mode: str = "rw"'))
+        _only(deltas, DECODE_COMPATIBLE, "field-default-changed")
+
+    def test_record_added_is_compatible_and_removed_is_breaking(self):
+        added = BASE.replace(
+            "register_wire_types(OpenReq, SeekReq)",
+            "@dataclass(frozen=True)\n"
+            "class CloseReq:\n"
+            "    fd: int\n"
+            "register_wire_types(OpenReq, SeekReq, CloseReq)",
+        )
+        _only(_deltas(added), COMPATIBLE, "record-added")
+        locked, _ = _schema(added)
+        current, _ = _schema(BASE)
+        _only(diff_schemas(locked, current), BREAKING, "record-removed")
+
+    def test_enum_member_add_remove_and_value_change(self):
+        _only(_deltas(BASE.replace(
+            'BLUE = "b"', 'BLUE = "b"\n    GREEN = "g"'
+        )), COMPATIBLE, "enum-member-added")
+        _only(_deltas(BASE.replace('\n    BLUE = "b"', "")),
+              BREAKING, "enum-member-removed")
+        _only(_deltas(BASE.replace('BLUE = "b"', 'BLUE = "x"')),
+              BREAKING, "enum-member-value-changed")
+
+    def test_render_orders_breaking_first(self):
+        deltas = _deltas(BASE.replace(
+            'path: str\n    mode: str = "r"',
+            'mode: str\n    path: str = "p"',
+        ) + "\n")
+        text = render_deltas(deltas)
+        assert text.splitlines()[0].startswith(f"[{BREAKING}]")
+        jsonl = render_deltas(deltas, jsonl=True)
+        assert '"severity"' in jsonl
+
+
+class TestLockfileRoundTrip:
+    def test_extract_write_load_diff_is_stable(self, tmp_path):
+        schema, _ = _schema(BASE)
+        path = tmp_path / "WIRE_SCHEMA.lock"
+        write_lockfile(schema, path)
+        loaded = load_lockfile(path)
+        assert loaded == schema
+        assert diff_schemas(loaded, schema) == []
+        # Writing the loaded schema again is byte-identical (stable).
+        first = path.read_bytes()
+        write_lockfile(loaded, path)
+        assert path.read_bytes() == first
+
+    def test_missing_lockfile_is_none(self, tmp_path):
+        assert load_lockfile(tmp_path / "absent.lock") is None
+
+
+class TestRuleR7:
+    def test_clean_when_lock_matches(self):
+        schema, _ = _schema(BASE)
+        assert rule_r7({"pvfs/wire.py": ast.parse(BASE)}, schema) == []
+
+    def test_missing_lockfile_is_a_finding(self):
+        findings = rule_r7({"pvfs/wire.py": ast.parse(BASE)}, None)
+        assert len(findings) == 1
+        assert findings[0].rule == "R7"
+        assert "repro schema update" in findings[0].message
+
+    def test_no_wire_modules_no_findings_even_without_lock(self):
+        assert rule_r7({"pvfs/service.py": ast.parse("x = 1\n")}, None) == []
+
+    def test_findings_anchor_to_the_drifted_class(self):
+        locked, _ = _schema(BASE)
+        drifted = BASE.replace("path: str", "file_path: str")
+        findings = rule_r7({"pvfs/wire.py": ast.parse(drifted)}, locked)
+        (finding,) = findings
+        assert finding.path == "pvfs/wire.py"
+        assert finding.line == ast.parse(drifted).body[6].lineno or finding.line > 0
+        assert "[breaking]" in finding.message
+        assert "repro schema update" in finding.message
+
+    def test_check_files_runs_r7_only_with_lock_context(self):
+        # Without schema_lock, check_files must not emit R7 noise (the
+        # snippet-level API has no lockfile to diff against).
+        assert check_files({"pvfs/wire.py": BASE}, rules=["R7"]) == []
+        locked, _ = _schema(BASE)
+        drifted = BASE.replace("path: str", "renamed: str")
+        findings = check_files(
+            {"pvfs/wire.py": drifted}, rules=["R7"], schema_lock=locked
+        )
+        assert [f.rule for f in findings] == ["R7"]
