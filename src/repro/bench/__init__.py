@@ -17,12 +17,20 @@ Ablations          :mod:`repro.bench.experiments.ablations`
 =================  ======================================================
 """
 
-from repro.bench.workloads import BurstWorkload, PoissonWorkload, TraceWorkload
+from repro.bench.workloads import (
+    BurstWorkload,
+    OpenLoopRequest,
+    OpenLoopWorkload,
+    PoissonWorkload,
+    TraceWorkload,
+)
 from repro.bench.metrics import LatencySample, LatencyStats, summarize
 from repro.bench.reporting import format_table, paper_vs_measured
 
 __all__ = [
     "BurstWorkload",
+    "OpenLoopRequest",
+    "OpenLoopWorkload",
     "PoissonWorkload",
     "TraceWorkload",
     "LatencySample",

@@ -94,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--duration", type=float, default=30.0)
         p.add_argument("--intensity", type=int, default=3,
                        help="faults per randomly generated scenario")
+        p.add_argument("--read-mix", type=float, default=0.0, metavar="P",
+                       help="fraction of client operations that are "
+                            "read-your-writes jstat queries through the "
+                            "gateway (0 = historical write-only workload)")
 
     chaos_run = chaos_sub.add_parser("run", help="one scenario (random or from file)")
     _common_chaos_args(chaos_run)
@@ -297,6 +301,7 @@ def _cmd_chaos(args):
                 seed=args.seed, heads=args.heads, computes=args.computes,
                 jobs=args.jobs, duration=args.duration, ordering=args.ordering,
                 intensity=args.intensity, shards=args.shards,
+                read_mix=args.read_mix,
             )
             reports = [report]
             if args.jsonl:
@@ -310,6 +315,7 @@ def _cmd_chaos(args):
                 args.seed, args.runs,
                 heads=args.heads, computes=args.computes, jobs=args.jobs,
                 duration=args.duration, intensity=args.intensity,
+                read_mix=args.read_mix,
             )
     except ClusterError as exc:
         # Bad schedule contents or bad knob values (e.g. --intensity 0):

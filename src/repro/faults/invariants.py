@@ -31,6 +31,12 @@ Checked invariants:
   a bound on every live head (GC liveness: stability-based garbage
   collection must keep protocol state finite; see the paper's Transis
   crash post-mortem).
+* **read-your-writes / monotonic reads** — fed by the read workload via
+  :meth:`InvariantSuite.observe_read`: a local-replica ``jstat`` answered
+  under ``ryw`` must carry an ``as_of_seq`` at or above every floor the
+  client presented (its own writes' commit positions — the staleness
+  contract of PROTOCOLS.md §12), and successive local reads by one client
+  against one head must never see a shard's position go backwards.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.gcs.messages import DeliveredMessage
+from repro.joshua.wire import JStatResp
 from repro.obs.recorder import recorder_of
 from repro.pbs.job import JobState
 
@@ -87,6 +94,11 @@ class InvariantSuite:
         #: Live joshua daemons we tapped, by head (kept to read stats at crash).
         self._tapped_joshua: dict[str, "JoshuaServer"] = {}
         self._observing: set[str] = set()
+        #: (client, head, shard) -> highest replica position a local read
+        #: reported — the monotonic-reads watermark.
+        self._read_positions: dict[tuple, int] = {}
+        #: Local reads fed through :meth:`observe_read` (reporting aid).
+        self.reads_observed = 0
 
     # -- wiring --------------------------------------------------------------
 
@@ -199,6 +211,50 @@ class InvariantSuite:
                 f"{job_id} has {self._in_flight[job_id]} concurrent real "
                 f"executions (latest on {compute})",
             )
+
+    def observe_read(self, client: str, floors: dict, response) -> None:
+        """Check one completed ``jstat`` against the read-path contract.
+
+        *floors* is the per-shard ``min_seq`` map the client presented,
+        restricted to the shards the read gates on — every shard for an
+        id-less query, only the owning shard for a targeted one (empty
+        for non-``ryw`` reads).
+        Ordered answers (plain ``StatResp``) are serialised after every
+        committed write, so only local-replica answers
+        (:class:`~repro.joshua.wire.JStatResp`) are checked: the reported
+        ``as_of_seq`` must cover every floor, and must never go backwards
+        for one client against one head.
+        """
+        if not isinstance(response, JStatResp):
+            return
+        self.reads_observed += 1
+        as_of = dict(response.as_of_seq)
+        head = response.node
+        for shard, floor in sorted(floors.items()):
+            position = as_of.get(shard)
+            if position is None:
+                self._violate(
+                    "read-your-writes",
+                    f"{client} presented floor {floor} for shard {shard} but "
+                    f"{head} answered locally without that shard's position",
+                )
+            elif position < floor:
+                self._violate(
+                    "read-your-writes",
+                    f"{client} read {head} at shard {shard} position "
+                    f"{position}, below its own write floor {floor}",
+                )
+        for shard, position in sorted(as_of.items()):
+            key = (client, head, shard)
+            seen = self._read_positions.get(key, -1)
+            if position < seen:
+                self._violate(
+                    "monotonic-reads",
+                    f"{client} read {head} shard {shard} at position "
+                    f"{position} after having seen {seen}",
+                )
+            else:
+                self._read_positions[key] = position
 
     def _violate(self, invariant: str, detail: str) -> None:
         self.violations.append(Violation(invariant, self.kernel.now, detail))

@@ -23,12 +23,13 @@ from repro.faults.schedule import FaultSchedule, random_schedule
 from repro.gcs.config import GroupConfig
 from repro.joshua.deploy import build_joshua_stack
 from repro.joshua.shard import queue_for_shard
+from repro.joshua.wire import JStatResp
 from repro.obs.collector import attach_collector
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import attach_recorder
 from repro.obs.timeseries import attach_timeseries
 from repro.rpc import TimeoutRecord, rpc_state
-from repro.util.errors import NoActiveHeadError
+from repro.util.errors import ClusterError, NoActiveHeadError
 
 __all__ = ["CHAOS_GROUP", "ChaosReport", "run_chaos", "soak"]
 
@@ -80,6 +81,14 @@ class ChaosReport:
     #: Per-message-type byte ledgers from the network fabric.
     wire_bytes_by_type: dict = field(default_factory=dict)
     offered_bytes_by_type: dict = field(default_factory=dict)
+    #: Read-path workload share (0 = the historical write-only run) and
+    #: its outcome split (reads that completed locally / fell back to the
+    #: ordered stream / found no head at all).
+    read_mix: float = 0.0
+    reads_issued: int = 0
+    reads_local: int = 0
+    reads_fallback: int = 0
+    reads_failed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -88,10 +97,15 @@ class ChaosReport:
     def summary(self) -> str:
         status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
         sharding = f" shards={self.shards}" if self.shards > 1 else ""
+        reads = (
+            f" reads={self.reads_local}L/{self.reads_fallback}F/"
+            f"{self.reads_failed}X of {self.reads_issued}"
+            if self.read_mix > 0 else ""
+        )
         return (
             f"seed={self.seed} ordering={self.ordering}{sharding} "
             f"faults={len(self.schedule.events)} "
-            f"jobs={self.jobs_completed}/{self.jobs_submitted} {status}"
+            f"jobs={self.jobs_completed}/{self.jobs_submitted}{reads} {status}"
         )
 
 
@@ -108,6 +122,7 @@ def run_chaos(
     quiesce: float = 15.0,
     queue_bound: int = 500,
     shards: int = 1,
+    read_mix: float = 0.0,
     registry: MetricsRegistry | None = None,
 ) -> ChaosReport:
     """Run one chaos scenario and return its report.
@@ -118,7 +133,18 @@ def run_chaos(
     enough to finish during the run; after *duration* the injector heals
     every outstanding fault and the system gets *quiesce* seconds of calm
     before the final invariant checks.
+
+    With ``read_mix`` > 0 a second workload runs alongside: gateway
+    sessions (:mod:`repro.joshua.gateway`) that submit tracked jobs and
+    issue read-your-writes ``jstat`` queries, sized so reads make up
+    roughly that fraction of all client operations. Every completed read
+    is checked against the RYW/monotonic-reads invariants
+    (:meth:`~repro.faults.invariants.InvariantSuite.observe_read`); the
+    write workload is untouched, so ``read_mix=0`` runs are byte-identical
+    to the historical harness.
     """
+    if not 0.0 <= read_mix < 1.0:
+        raise ClusterError("read_mix must be in [0, 1)")
     # Batched sequencing is the interesting configuration for the stale-
     # flusher class of bug; keep a small batch delay on by default. DATA
     # batching likewise stays on so every chaos run exercises the Nagle
@@ -187,7 +213,49 @@ def run_chaos(
                 # is allowed; losing an *accepted* job is not.
                 failed_submits += 1
 
+    reads = (
+        int(round(jobs * read_mix / (1.0 - read_mix))) if read_mix > 0 else 0
+    )
+    read_stats = {"issued": 0, "local": 0, "fallback": 0, "failed": 0}
+
+    def read_workload():
+        nonlocal submitted
+        rng = cluster.kernel.streams.get("chaos-reads")
+        gateway = stack.gateway(consistency="ryw")
+        nreaders = min(3, reads)
+        sessions = [
+            gateway.session("login", f"reader{r}") for r in range(nreaders)
+        ]
+        window = 0.6 * duration
+        for i in range(reads):
+            yield cluster.kernel.timeout(window / reads)
+            session = sessions[i % nreaders]
+            client = session.client
+            try:
+                if not client.last_write_seq:
+                    # Establish this reader's floors first: a tracked
+                    # write of its own is what makes RYW falsifiable.
+                    walltime = float(rng.uniform(1.0, 3.0))
+                    yield from session.jsub(
+                        name=f"chaos-reader{i}", walltime=walltime
+                    )
+                    submitted += 1
+                read_stats["issued"] += 1
+                yield from session.jstat()  # id-less: gates every shard
+                response = client.last_stat_response
+                if isinstance(response, JStatResp):
+                    read_stats["local"] += 1
+                else:
+                    read_stats["fallback"] += 1
+                suite.observe_read(
+                    session.client_id, dict(client.last_write_seq), response
+                )
+            except NoActiveHeadError:
+                read_stats["failed"] += 1
+
     cluster.kernel.spawn(workload(), name="chaos-workload")
+    if reads:
+        cluster.kernel.spawn(read_workload(), name="chaos-read-workload")
     cluster.kernel.spawn(suite.sampler(1.0), name="invariant-sampler")
     cluster.run(until=2.0 + max(duration, schedule.horizon()))
     injector.heal_all()
@@ -213,6 +281,11 @@ def run_chaos(
         timeseries=sampler.records(),
         wire_bytes_by_type=dict(cluster.network.wire_bytes_by_type),
         offered_bytes_by_type=dict(cluster.network.offered_bytes_by_type),
+        read_mix=read_mix,
+        reads_issued=read_stats["issued"],
+        reads_local=read_stats["local"],
+        reads_fallback=read_stats["fallback"],
+        reads_failed=read_stats["failed"],
     )
 
 
@@ -225,6 +298,7 @@ def soak(
     jobs: int = 6,
     duration: float = 30.0,
     intensity: int = 3,
+    read_mix: float = 0.0,
 ) -> list[ChaosReport]:
     """Run *runs* chaos scenarios with per-run seeds derived from *seed*,
     alternating the ordering engine. Returns every report; callers check
@@ -242,6 +316,7 @@ def soak(
                 duration=duration,
                 ordering=ordering,
                 intensity=intensity,
+                read_mix=read_mix,
             )
         )
     return reports

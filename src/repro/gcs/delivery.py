@@ -56,6 +56,11 @@ class DeliveryQueue:
         self._stable: dict[Address, int] = {}
         #: every msg_id this member has ever delivered (any view).
         self._delivered_ids: set[MessageId] = set()
+        #: messages delivered across *all* views — the cumulative position
+        #: the read path's sequence surface reports (the per-view cursor
+        #: resets at every view change, so it cannot serve as a monotonic
+        #: applied-progress number).
+        self.delivered_total = 0
 
     # -- view lifecycle ------------------------------------------------------
 
@@ -157,6 +162,7 @@ class DeliveryQueue:
             if msg_id in self._delivered_ids:
                 continue  # duplicate across a view change
             self._delivered_ids.add(msg_id)
+            self.delivered_total += 1
             out.append(
                 DeliveredMessage(
                     msg_id=msg_id,
@@ -209,6 +215,17 @@ class DeliveryQueue:
             "payloads": len(self._data),
             "orderings": len(self._order),
             "stable_through": self.stable_through(),
+        }
+
+    def seq_surface(self) -> dict:
+        """The per-group sequence surface the local read path consumes:
+        within-view cursor/stability plus the cumulative delivered count
+        that survives view changes."""
+        return {
+            "view_id": self.view.view_id if self.view is not None else -1,
+            "cursor": self._cursor,
+            "stable_through": self.stable_through(),
+            "delivered_total": self.delivered_total,
         }
 
     # -- flush support -----------------------------------------------------------

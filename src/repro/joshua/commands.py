@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.joshua.wire import JDelReq, JStatReq, JSubReq
+from repro.joshua.wire import JDelReq, JStatReq, JSubReq, SeqStampedResp
 from repro.net.address import Address
 from repro.net.network import Network
 from repro.obs.collector import collector_of
@@ -52,6 +52,8 @@ class JoshuaClient:
         service_times: ServiceTimes = ERA_2006,
         timeout: float = 5.0,
         prefer: str | None = None,
+        track_writes: bool = False,
+        consistency: str = "ordered",
     ):
         if not heads:
             raise NoActiveHeadError("no head nodes configured")
@@ -61,6 +63,18 @@ class JoshuaClient:
         self.times = service_times
         self.timeout = timeout
         self.prefer = prefer
+        #: Ask heads to stamp each write's commit position (PROTOCOLS.md
+        #: §12) — the floors ``ryw`` reads later present. Off by default:
+        #: an untracked client is wire-identical to the historical one.
+        self.track_writes = track_writes
+        #: Default ``jstat`` consistency mode (overridable per call).
+        self.consistency = consistency
+        #: shard id -> highest commit position of this client's own writes.
+        self.last_write_seq: dict[int, int] = {}
+        #: The raw response of the most recent ``jstat`` (a ``JStatResp``
+        #: for local reads, a plain PBS ``StatResp`` for ordered ones) —
+        #: read-path tests and the chaos invariants inspect its ``as_of``.
+        self.last_stat_response = None
         self.stats = {"failovers": 0}
 
     def _uuid(self, kind: str) -> str:
@@ -102,22 +116,54 @@ class JoshuaClient:
         if collector is not None and uuid is not None:
             collector.job_event(self.node, "job.acked", trace_id=uuid,
                                 response=type(response).__name__)
+        if isinstance(response, SeqStampedResp):
+            if response.seq > self.last_write_seq.get(response.shard, 0):
+                self.last_write_seq[response.shard] = response.seq
+            return response.result
         return response
 
     def jsub(self, spec: JobSpec | None = None, **spec_kwargs) -> Generator:
         """Submit a job to the replicated service; returns the job id."""
         spec = spec or JobSpec(**spec_kwargs)
-        response = yield from self._call(JSubReq(self._uuid("jsub"), spec))
+        response = yield from self._call(
+            JSubReq(self._uuid("jsub"), spec, self.track_writes)
+        )
         return response.job_id
 
     def jdel(self, job_id: str) -> Generator:
         """Delete a job on every active head."""
-        response = yield from self._call(JDelReq(self._uuid("jdel"), job_id))
+        response = yield from self._call(
+            JDelReq(self._uuid("jdel"), job_id, self.track_writes)
+        )
         return response.job_id
 
-    def jstat(self, job_id: str | None = None) -> Generator:
-        """Totally-ordered status query; rows from the answering head."""
-        response = yield from self._call(JStatReq(self._uuid("jstat"), job_id))
+    def jstat(
+        self, job_id: str | None = None, *, consistency: str | None = None,
+    ) -> Generator:
+        """Status query; rows from the answering head.
+
+        ``consistency`` (default: the client's configured mode):
+
+        * ``"ordered"`` — through the ordered command stream, serialised
+          against every committed write (the historical behaviour, wire-
+          identical to the pre-read-path client);
+        * ``"eventual"`` — answered immediately from the receiving head's
+          local replica, however stale it happens to be;
+        * ``"ryw"`` — like eventual, but the request carries this client's
+          per-shard write floors; the head defers (bounded) until its
+          replica has applied them, falling back to ordered on timeout.
+        """
+        mode = consistency if consistency is not None else self.consistency
+        if mode == "ordered":
+            request = JStatReq(self._uuid("jstat"), job_id)
+        else:
+            floors = (
+                tuple(sorted(self.last_write_seq.items()))
+                if mode == "ryw" else ()
+            )
+            request = JStatReq(self._uuid("jstat"), job_id, mode, floors)
+        response = yield from self._call(request)
+        self.last_stat_response = response
         return list(response.rows)
 
     def jsig(self, job_id: str, signal: str = "SIGTERM") -> Generator:

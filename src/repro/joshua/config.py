@@ -33,6 +33,18 @@ class JoshuaTimes:
     cmd_reply: float = 0.002
     #: Handling a jmutex/jstarted/jdone request from a mom.
     mutex_process: float = 0.002
+    #: How long a read-your-writes ``jstat`` waits for the local replica to
+    #: catch up to the client's floor before falling back to the ordered
+    #: path (PROTOCOLS.md §12). Generous versus normal apply latency, small
+    #: versus the client RPC timeout so the fallback still answers in time.
+    read_catchup_timeout: float = 0.5
+    #: Single-threaded occupancy of one local-replica status answer: the
+    #: joshua daemon and its local PBS server are both single-threaded
+    #: processes, so a head answers local reads serially — per-head read
+    #: capacity is ``1 / read_service``, which is what the read-scaling
+    #: bench measures. Roughly the era's qstat handling plus the daemon's
+    #: receive/reply share.
+    read_service: float = 0.014
 
 
 ERA_2006_JOSHUA = JoshuaTimes()

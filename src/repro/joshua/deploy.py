@@ -85,6 +85,14 @@ class JoshuaStack:
             **kwargs,
         )
 
+    def gateway(self, **kwargs) -> "JoshuaGateway":
+        """A client gateway over this stack's heads (see
+        :mod:`repro.joshua.gateway`)."""
+        from repro.joshua.gateway import JoshuaGateway
+
+        kwargs.setdefault("service_times", self.service_times)
+        return JoshuaGateway(self.cluster.network, self.head_names, **kwargs)
+
     def _install_head_daemons(self, node: Node, *, initial: bool, contacts: list[str]) -> None:
         mom_addresses = self.mom_addresses
         server_address = Address(node.name, PBS_SERVER_PORT)

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.gcs.messages import SAFE
-from repro.joshua.wire import Command, JDelReq, JSubReq, XferMarker
+from repro.joshua.wire import Command, JDelReq, JSubReq, SeqStampedResp, XferMarker
 from repro.net.address import Address
 from repro.obs.collector import collector_of
 from repro.pbs.wire import DeleteReq, ErrorResp, StatReq, SubmitReq, rpc_call
@@ -40,8 +40,11 @@ class SerialExecutor:
         self.queue: Store = Store(replica.kernel)
         #: uuid -> cached local result (output dedup across retries).
         self.results: dict[str, object] = {}
-        #: uuid -> [(client src, rpc id)] awaiting the result.
-        self._pending_replies: dict[str, list[tuple[Address, int]]] = {}
+        #: uuid -> applied_seq the command executed at on this replica
+        #: (only recorded while the counter is exact; feeds SeqStampedResp).
+        self.results_seq: dict[str, int] = {}
+        #: uuid -> [(client src, rpc id, stamp seq?)] awaiting the result.
+        self._pending_replies: dict[str, list[tuple[Address, int, bool]]] = {}
         #: uuids this server has multicast (avoid re-multicast on retry).
         self._multicast_uuids: set[str] = set()
         #: Replicated command log (delivered order) — used by tests and by
@@ -60,9 +63,10 @@ class SerialExecutor:
             # client to another head instead of crashing on the multicast.
             return ErrorResp("joining", "head is joining; retry another")
         uuid = payload.uuid
+        track = bool(getattr(payload, "track_seq", False))
         if uuid in self.results:
-            return self.results[uuid]
-        self._pending_replies.setdefault(uuid, []).append((src, request_id))
+            return self._stamped(self.results[uuid], uuid, track)
+        self._pending_replies.setdefault(uuid, []).append((src, request_id, track))
         if uuid in self._multicast_uuids:
             return None  # already in flight; the delivery will answer
         self._multicast_uuids.add(uuid)
@@ -102,6 +106,7 @@ class SerialExecutor:
             if isinstance(payload, XferMarker):
                 yield from s._execute_marker(payload)
             elif isinstance(payload, Command):
+                s.drained_commands += 1
                 collector = collector_of(s.node.network)
                 if collector is not None:
                     collector.job_event(s.node.name, "job.ordered",
@@ -151,6 +156,9 @@ class SerialExecutor:
         except PBSError as exc:
             result = ErrorResp("pbs-error", str(exc))
         self.results[command.uuid] = result
+        self.s.note_applied()
+        if self.s.seq_exact:
+            self.results_seq[command.uuid] = self.s.applied_seq
         self.s.stats["executed"] += 1
         collector = collector_of(self.s.node.network)
         if collector is not None:
@@ -168,5 +176,19 @@ class SerialExecutor:
 
     def answer(self, uuid: str) -> None:
         result = self.results.get(uuid)
-        for src, request_id in self._pending_replies.pop(uuid, []):
-            self.s._reply(src, request_id, result)
+        for src, request_id, track in self._pending_replies.pop(uuid, []):
+            self.s._reply(src, request_id, self._stamped(result, uuid, track))
+
+    def _stamped(self, result, uuid: str, track: bool):
+        """Wrap *result* in a :class:`SeqStampedResp` when the writer asked
+        for its commit position — never for errors (the ``ErrorResp`` relay
+        must reach the client unwrapped to re-raise as PBSError) and never
+        from a floor counter (an understated stamp would admit stale RYW
+        reads later)."""
+        if (
+            not track
+            or isinstance(result, ErrorResp)
+            or uuid not in self.results_seq
+        ):
+            return result
+        return SeqStampedResp(result, self.s.shard_id, self.results_seq[uuid])

@@ -51,6 +51,7 @@ from repro.joshua.wire import (
     JMutexResp,
     JStartedReq,
     JStatReq,
+    JStatResp,
     JSubReq,
     Started,
     StateXferReq,
@@ -59,11 +60,12 @@ from repro.joshua.wire import (
 )
 from repro.joshua.xfer import StateTransfer
 from repro.net.address import Address
+from repro.obs.collector import collector_of
 from repro.pbs.job import JobSpec
 from repro.pbs.server import PBS_SERVER_PORT
-from repro.pbs.wire import ErrorResp
+from repro.pbs.wire import ErrorResp, StatReq
 from repro.rpc import RpcDispatcher
-from repro.util.errors import JoshuaError
+from repro.util.errors import JoshuaError, PBSError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
@@ -124,6 +126,21 @@ class JoshuaServer(Daemon):
         self.moms = list(moms or [])
         self.local_pbs = Address(node.name, PBS_SERVER_PORT)
         self.nshards = shards
+
+        #: When the head is busy answering local reads until (simulation
+        #: time): the daemon and its local PBS are single-threaded, so one
+        #: status answer occupies the head at a time — per-head read
+        #: capacity is ``1 / times.read_service`` (the scaling the
+        #: read-path bench measures). Only the read path reserves it; the
+        #: ordered paths keep their historical timing untouched.
+        self._read_busy_until = 0.0
+
+        #: Latched the first time any read-path or ``track_seq`` request
+        #: arrives at this head. Gates the applied-counter transfer in
+        #: :meth:`~repro.joshua.xfer.StateTransfer.capture_state`, so
+        #: deployments that never use the read path never put the counter
+        #: on the wire (the pinned baseline scenarios stay bit-identical).
+        self.seq_tracking = False
 
         #: One replica unit per shard, each with its own ordering group.
         self.shards = [
@@ -310,8 +327,129 @@ class JoshuaServer(Daemon):
         self.rpc.reply(dst, request_id, response)
 
     def _handle_command(self, src: Address, request_id: int, payload):
+        if isinstance(payload, JStatReq) and payload.consistency != "ordered":
+            self.seq_tracking = True
+            return self._read_locally(src, request_id, payload)
+        if getattr(payload, "track_seq", False):
+            self.seq_tracking = True
         replica = self._route_command(payload)
         return replica.executor.submit(src, request_id, payload)
+
+    # ------------------------------------------------------------------
+    # read path (PROTOCOLS.md §12)
+    # ------------------------------------------------------------------
+
+    def _read_locally(self, src: Address, request_id: int, req: JStatReq):
+        """Answer a read-path ``jstat`` from the local PBS replica.
+
+        ``eventual`` answers immediately; ``ryw`` first waits (bounded by
+        ``times.read_catchup_timeout``) for every gated shard's applied
+        position to reach the client's floor, then falls back to the
+        ordered path. An id-less query gates on — and reports — **every**
+        shard's position: all replicas on a head apply to the same local
+        PBS, so one local stat *is* the per-shard fan-out, merged.
+        """
+        t0 = self.kernel.now
+        if req.consistency not in ("eventual", "ryw"):
+            return ErrorResp(
+                "bad-request", f"unknown consistency {req.consistency!r}"
+            )
+        gating = (
+            self.shards if req.job_id is None
+            else [self.shard_for_job(req.job_id)]
+        )
+        if not all(replica.active for replica in gating):
+            return ErrorResp("joining", "head is joining; retry another")
+        floors = dict(req.min_seq) if req.consistency == "ryw" else {}
+        unmet = []
+        for replica in gating:
+            floor = floors.get(replica.shard_id, 0)
+            if floor <= 0:
+                continue
+            if not replica.seq_exact:
+                # A floor counter cannot prove the client's write was
+                # applied here; only the ordered path can serialise it.
+                return self._read_fallback(src, request_id, req, floors, 0.0)
+            if replica.applied_seq < floor:
+                unmet.append((floor, replica))
+        if unmet:
+            deadline_at = self.kernel.now + self.times.read_catchup_timeout
+            waiters = [(r, r.waiter_for_seq(floor)) for floor, r in unmet]
+            for replica, waiter in waiters:
+                if waiter.triggered:
+                    continue
+                remaining = deadline_at - self.kernel.now
+                if remaining > 0:
+                    yield self.kernel.any_of(
+                        [waiter, self.kernel.timeout(remaining)]
+                    )
+                if not waiter.triggered:
+                    for other, pending in waiters:
+                        other.forget_waiter(pending)
+                    return self._read_fallback(
+                        src, request_id, req, floors, self.kernel.now - t0
+                    )
+            if not all(replica.active for replica in gating):
+                # Demoted (view change / resync) while we waited.
+                return ErrorResp("joining", "head is joining; retry another")
+        # Reserve this head's serial read occupancy (floor-waiting above
+        # costs none — a blocked read burns no CPU).
+        start = max(self.kernel.now, self._read_busy_until)
+        self._read_busy_until = start + self.times.read_service
+        if start > self.kernel.now:
+            yield self.kernel.timeout(start - self.kernel.now)
+        try:
+            stat = yield from gating[0].executor.local_rpc(StatReq(req.job_id))
+        except PBSError as exc:
+            result = ErrorResp("pbs-error", str(exc))
+        else:
+            as_of = tuple(sorted(
+                (replica.shard_id, replica.applied_seq)
+                for replica in gating if replica.seq_exact
+            ))
+            result = JStatResp(tuple(stat.rows), as_of, self.head_name)
+        self._observe_read(req, "local", self.kernel.now - t0, gating)
+        yield self.kernel.timeout(self.times.cmd_reply)
+        return result
+
+    def _read_fallback(
+        self, src: Address, request_id: int, req: JStatReq,
+        floors: dict, waited: float,
+    ):
+        """Route a read the local replica cannot serve in time into the
+        ordered stream. An ordered command on shard *k* executes after all
+        committed shard-*k* writes, so id-less queries go to the shard with
+        the largest unmet floor — the one the client is actually waiting
+        on. (Simultaneously lagging *several* shards of an id-less query
+        is the documented cross-shard limitation, PROTOCOLS.md §12.)"""
+        replica = self._route_command(req)
+        if req.job_id is None and floors:
+            best_lag = 0
+            for candidate in self.shards:
+                floor = floors.get(candidate.shard_id, 0)
+                lag = floor - (
+                    candidate.applied_seq if candidate.seq_exact else 0
+                )
+                if lag > best_lag:
+                    best_lag, replica = lag, candidate
+        self._observe_read(req, "fallback", waited, [replica])
+        return replica.executor.submit(src, request_id, req)
+
+    def _observe_read(
+        self, req: JStatReq, outcome: str, waited: float, shards: list,
+    ) -> None:
+        collector = collector_of(self.node.network)
+        if collector is None:
+            return
+        lag = sum(r.delivered_commands - r.drained_commands for r in shards)
+        collector.joshua_read(
+            self.node.name, trace_id=req.uuid, mode=req.consistency,
+            outcome=outcome, wait_s=waited, lag=lag,
+            shard=(
+                shards[0].shard_id
+                if self.nshards > 1 and len(shards) == 1 else None
+            ),
+        )
 
     def _handle_jmutex(self, src: Address, request_id: int, req: JMutexReq) -> None:
         self.shard_for_job(req.job_id).arbiter.handle_jmutex(src, request_id, req)

@@ -104,6 +104,24 @@ class ShardReplica:
         #: jsub executions this shard has totally ordered — drives the
         #: striped force_job_id sequence (see :meth:`next_forced_job_id`).
         self.stripe_count = 0
+        #: Commands this replica has actually applied to the local PBS
+        #: (dedup-skipped re-deliveries do not count, so every replica of a
+        #: shard computes the identical sequence) — the staleness position
+        #: the read path reports and the RYW catch-up gate waits on.
+        self.applied_seq = 0
+        #: Whether ``applied_seq`` is exact (founders) or a floor (a joiner
+        #: whose sponsor did not transfer its counter). A floor counter can
+        #: serve eventual reads but must not stamp writes or satisfy RYW
+        #: floors — understating a client's floor would admit stale reads.
+        self.seq_exact = True
+        #: Commands delivered by the group to this replica (applied or not)
+        #: and commands its executor has drained — their difference is the
+        #: read path's staleness-lag gauge (the local apply backlog).
+        self.delivered_commands = 0
+        self.drained_commands = 0
+        #: RYW catch-up waiters: ``(floor, event)`` pairs; the executor
+        #: succeeds the event once ``applied_seq`` reaches the floor.
+        self._seq_waiters: list = []
 
         self.group = GroupMember(
             server.node.network.bind(server.node.name, self.gcs_port),
@@ -175,6 +193,50 @@ class ShardReplica:
         self.stripe_count += 1
         return f"{seq}.{_REPLICA_SERVER_NAME}"
 
+    # -- read-path sequence surface -------------------------------------------
+
+    def note_applied(self) -> None:
+        """One command actually applied to the local PBS: advance the
+        applied position and release any RYW waiters it satisfies."""
+        self.applied_seq += 1
+        if not self._seq_waiters:
+            return
+        still_waiting = []
+        for floor, event in self._seq_waiters:
+            if self.applied_seq >= floor:
+                if not event.triggered:
+                    event.succeed(self.applied_seq)
+            else:
+                still_waiting.append((floor, event))
+        self._seq_waiters = still_waiting
+
+    def restore_applied(self, seq: int, exact: bool) -> None:
+        """Re-anchor the applied position after a state transfer (the
+        sponsor's counter at the marker cut) and release waiters the jump
+        satisfies."""
+        self.seq_exact = exact
+        if seq > self.applied_seq:
+            self.applied_seq = seq - 1
+            self.note_applied()
+        else:
+            self.applied_seq = seq
+
+    def waiter_for_seq(self, floor: int):
+        """A kernel event that succeeds (with the applied position) once
+        ``applied_seq`` reaches *floor* — immediately if it already has."""
+        event = self.kernel.event()
+        if self.applied_seq >= floor:
+            event.succeed(self.applied_seq)
+        else:
+            self._seq_waiters.append((floor, event))
+        return event
+
+    def forget_waiter(self, event) -> None:
+        """Drop a catch-up waiter that timed out (fell back to ordered)."""
+        self._seq_waiters = [
+            (floor, e) for floor, e in self._seq_waiters if e is not event
+        ]
+
     # -- group callbacks ------------------------------------------------------
 
     def _on_deliver(self, msg: DeliveredMessage) -> None:
@@ -182,6 +244,8 @@ class ShardReplica:
         if self.xfer.should_drop(payload):
             return
         if isinstance(payload, (Command, XferMarker)):
+            if isinstance(payload, Command):
+                self.delivered_commands += 1
             self.executor.queue.put_nowait(msg)
             self.xfer.note_enqueued(payload)
         elif isinstance(payload, Claim):

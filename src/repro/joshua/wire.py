@@ -1,4 +1,12 @@
-"""JOSHUA wire messages: client commands, mutex traffic, state transfer."""
+"""JOSHUA wire messages: client commands, mutex traffic, state transfer.
+
+The read-path records (PROTOCOLS.md §12) grow existing requests by
+**wire-optional trailing fields** (:func:`repro.net.codec.mark_wire_optional`):
+a request whose new fields still hold their defaults encodes — and reprs —
+byte-identically to the pre-extension declaration, which is what keeps the
+``consistency="ordered"`` default bit-identical on the wire (the pinned
+``tests/data/wire_baseline.json`` digests).
+"""
 
 from __future__ import annotations
 
@@ -6,11 +14,11 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.net.address import Address
-from repro.net.codec import register_wire_types
+from repro.net.codec import elided_repr, mark_wire_optional, register_wire_types
 from repro.pbs.job import JobSpec
 
 __all__ = [
-    "JSubReq", "JDelReq", "JStatReq",
+    "JSubReq", "JDelReq", "JStatReq", "JStatResp", "SeqStampedResp",
     "JMutexReq", "JMutexResp", "JStartedReq", "JDoneReq",
     "StateXferReq", "StateXferResp", "XferPush",
     "Command", "Claim", "Started", "Done", "XferMarker",
@@ -20,29 +28,79 @@ __all__ = [
 # -- client -> joshua server ---------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class JSubReq:
-    """``jsub``: replicated job submission."""
+    """``jsub``: replicated job submission.
+
+    ``track_seq`` asks the head to stamp the commit sequence of this write
+    into the reply (:class:`SeqStampedResp`) so the client can later issue
+    read-your-writes ``jstat`` requests against it.
+    """
 
     uuid: str
     spec: JobSpec
+    track_seq: bool = False
+
+    __repr__ = elided_repr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class JDelReq:
     """``jdel``: replicated job deletion."""
 
     uuid: str
     job_id: str
+    track_seq: bool = False
+
+    __repr__ = elided_repr
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class JStatReq:
-    """``jstat``: status query, ordered with the state changes so every
-    user sees a queue consistent with the command order."""
+    """``jstat``: status query.
+
+    With ``consistency="ordered"`` (the legacy default) the query rides the
+    totally ordered stream exactly like a write, so every user sees a queue
+    consistent with the command order. ``"eventual"`` and ``"ryw"`` answer
+    from the receiving head's local replica without entering the ordered
+    stream; ``min_seq`` carries the client's read-your-writes floors as
+    sorted ``(shard, applied_seq)`` pairs.
+    """
 
     uuid: str
     job_id: str | None = None
+    consistency: str = "ordered"
+    min_seq: tuple = ()
+
+    __repr__ = elided_repr
+
+
+@dataclass(frozen=True)
+class JStatResp:
+    """A local-replica answer to a read-path ``jstat``.
+
+    ``as_of_seq`` is the answering replica's applied position per shard
+    (sorted ``(shard, applied_seq)`` pairs, exact counters only) — the
+    staleness bound the client/invariants can check against their floors.
+    Ordered-path queries keep answering with a plain PBS ``StatResp``; the
+    response *type* is how a client distinguishes a local read from an
+    ordered fallback.
+    """
+
+    rows: tuple
+    as_of_seq: tuple = ()
+    node: str = ""
+
+
+@dataclass(frozen=True)
+class SeqStampedResp:
+    """A write reply carrying its commit position: the wrapped PBS result
+    plus the (shard, applied_seq) the command executed at on the answering
+    head. Only sent when the writer asked via ``track_seq``."""
+
+    result: Any
+    shard: int
+    seq: int
 
 
 # -- mom prologue/epilogue -> joshua server ----------------------------------------
@@ -91,7 +149,7 @@ class StateXferReq:
     shard: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class StateXferResp:
     marker_uuid: str
     mode: str  # "replay" | "snapshot"
@@ -109,6 +167,13 @@ class StateXferResp:
     #: answered from cache instead of re-executing (and possibly
     #: re-launching) it.
     results: tuple = ()
+    #: The sponsor's exact applied-command counter at the marker cut, so
+    #: the joiner's read path resumes with an exact staleness position.
+    #: -1 (elided on the wire) when the sponsor is not tracking sequences —
+    #: the joiner then restarts with a floor counter (eventual reads only).
+    applied_seq: int = -1
+
+    __repr__ = elided_repr
 
 
 @dataclass(frozen=True)
@@ -163,8 +228,13 @@ class XferMarker:
     joiner: Address
 
 
+mark_wire_optional(JSubReq, "track_seq")
+mark_wire_optional(JDelReq, "track_seq")
+mark_wire_optional(JStatReq, "consistency", "min_seq")
+mark_wire_optional(StateXferResp, "applied_seq")
+
 register_wire_types(
-    JSubReq, JDelReq, JStatReq,
+    JSubReq, JDelReq, JStatReq, JStatResp, SeqStampedResp,
     JMutexReq, JMutexResp, JStartedReq, JDoneReq,
     StateXferReq, StateXferResp, XferPush,
     Command, Claim, Started, Done, XferMarker,

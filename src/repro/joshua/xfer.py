@@ -171,6 +171,17 @@ class StateTransfer:
             (job_id, entry.winner, entry.started)
             for job_id, entry in sorted(s.arbiter.entries.items())
         )
+        # The applied counter at the marker cut, so the joiner's read path
+        # resumes with an exact staleness position. Only transferred once a
+        # read/tracked request has latched seq_tracking on this head (the
+        # field stays at its default — and off the wire — in deployments
+        # that never use the read path) and only from an exact counter (a
+        # floor would poison the joiner's RYW gate).
+        applied = (
+            s.applied_seq
+            if s.server.seq_tracking and s.seq_exact
+            else -1
+        )
         return StateXferResp(
             marker.marker_uuid,
             s.state_transfer,
@@ -179,6 +190,7 @@ class StateTransfer:
             mutex,
             tuple(skipped),
             tuple(sorted(s.executor.results.items())),
+            applied,
         )
 
     def _owned(self, job_id: str) -> bool:
@@ -333,6 +345,14 @@ class StateTransfer:
             s.arbiter.entries.setdefault(job_id, _MutexEntry(winner, started))
         for uuid, cached in response.results:
             s.executor.results.setdefault(uuid, cached)
+        # Re-anchor the read path's applied position at the marker cut:
+        # post-marker commands execute after this method returns, so the
+        # sponsor's exact counter is exact here too. Without a transferred
+        # counter we restart at a floor — eventual reads stay safe, but RYW
+        # floors and write stamps are disabled until the head re-founds.
+        s.restore_applied(
+            max(response.applied_seq, 0), response.applied_seq >= 0
+        )
         self.syncing_marker = None
         self.needs_resync = False
         s.active = True

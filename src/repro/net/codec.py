@@ -61,6 +61,19 @@ swapped for evolved versions — the rolling-upgrade harness used by the
 mixed-version integration tests (the superseded class stays encodable, so
 shared protocol code that still constructs it keeps working).
 
+Wire-optional trailing fields
+-----------------------------
+:func:`mark_wire_optional` declares a contiguous *defaulted tail* of a
+record's fields as elidable: when every field of a trailing run still holds
+its declared default, the encoder omits that run and emits the fingerprint
+and count of the remaining *prefix* declaration instead. A record that has
+never set its new fields therefore produces **byte-identical frames to the
+pre-extension declaration** — which is how a wire record can grow without
+perturbing pinned wire-digest baselines. The decoder recognises the prefix
+fingerprints of its own declaration and fills the elided tail from the
+defaults — even in strict mode, because a compact frame of the *same*
+declaration is not version skew.
+
 Registry
 --------
 Registration is decentralised to respect the layering contract: each wire
@@ -88,6 +101,8 @@ __all__ = [
     "WIRE",
     "register_wire_types",
     "register_wire_enum",
+    "mark_wire_optional",
+    "elided_repr",
     "encoded_size",
     "schema_fingerprint",
 ]
@@ -193,7 +208,9 @@ def schema_fingerprint(name: str, fields: tuple[str, ...]) -> int:
 class _Record:
     """One registered record class: wire name, field order, and the
     schema-evolution metadata (fingerprint, precomputed frame header,
-    zero-arg default factories for tolerant decode)."""
+    zero-arg default factories for tolerant decode). Records with a
+    :func:`mark_wire_optional` tail additionally carry the per-prefix
+    headers/fingerprints the elision paths use."""
 
     name: str
     cls: type
@@ -201,6 +218,10 @@ class _Record:
     fingerprint: int
     header: bytes                 # fingerprint (>H) + varint field count
     defaults: dict[str, Any]      # field name -> zero-arg factory
+    min_fields: int               # shortest sendable prefix length
+    optional_defaults: tuple[Any, ...]   # default values, fields[min_fields:]
+    prefix_headers: tuple[bytes, ...]    # header per count k - min_fields
+    prefix_fingerprints: dict[int, int]  # sendable count k -> fingerprint
 
 
 def _record_fields(cls: type) -> tuple[str, ...]:
@@ -231,14 +252,43 @@ def _record_defaults(cls: type) -> dict[str, Any]:
     return factories
 
 
+def _record_header(fingerprint: int, count: int) -> bytes:
+    header = bytearray(struct.pack(">H", fingerprint))
+    _encode_varint(count, header)
+    return bytes(header)
+
+
 def _make_record(wire_name: str, cls: type) -> _Record:
     fields = _record_fields(cls)
     fingerprint = schema_fingerprint(wire_name, fields)
-    header = bytearray(struct.pack(">H", fingerprint))
-    _encode_varint(len(fields), header)
+    defaults = _record_defaults(cls)
+    optional = tuple(getattr(cls, "__wire_optional__", ()))
+    if optional:
+        if optional != fields[len(fields) - len(optional):]:
+            raise CodecError(
+                f"{wire_name}: __wire_optional__ {optional!r} is not the "
+                f"trailing run of the declared fields {fields!r}"
+            )
+        missing = [f for f in optional if f not in defaults]
+        if missing:
+            raise CodecError(
+                f"{wire_name}: wire-optional fields {missing!r} declare no "
+                "default — elision needs a value to fill back in"
+            )
+    min_fields = len(fields) - len(optional)
+    optional_defaults = tuple(defaults[f]() for f in optional)
+    prefix_headers = tuple(
+        _record_header(schema_fingerprint(wire_name, fields[:k]), k)
+        for k in range(min_fields, len(fields) + 1)
+    )
+    prefix_fingerprints = {
+        k: schema_fingerprint(wire_name, fields[:k])
+        for k in range(min_fields, len(fields))
+    }
     return _Record(
-        wire_name, cls, fields, fingerprint, bytes(header),
-        _record_defaults(cls),
+        wire_name, cls, fields, fingerprint, prefix_headers[-1],
+        defaults, min_fields, optional_defaults, prefix_headers,
+        prefix_fingerprints,
     )
 
 
@@ -385,8 +435,20 @@ class Codec:
         if record is not None:
             out.append(_T_RECORD)
             self._encode_str(record.name, out)
-            out += record.header
-            for field in record.fields:
+            send = len(record.fields)
+            if record.min_fields < send:
+                # Elide the longest trailing run of wire-optional fields
+                # still holding their declared defaults (type-exact compare:
+                # ``False == 0`` must not elide an int against a bool).
+                while send > record.min_fields:
+                    default = record.optional_defaults[send - 1 - record.min_fields]
+                    held = getattr(value, record.fields[send - 1])
+                    if type(held) is type(default) and held == default:
+                        send -= 1
+                    else:
+                        break
+            out += record.prefix_headers[send - record.min_fields]
+            for field in record.fields[:send]:
                 self._encode_value(getattr(value, field), out)
             return
         enum_name = self._enum_types.get(cls)
@@ -559,6 +621,21 @@ class Codec:
                 data, pos, record.fields, name, tolerant
             )
             return record.cls(*values), pos
+        if (
+            record.min_fields <= sent_count < len(record.fields)
+            and sent_fp == record.prefix_fingerprints.get(sent_count)
+        ):
+            # A compact frame of this very declaration: the sender elided a
+            # trailing run of wire-optional fields at their defaults. Not
+            # version skew, so accepted even in strict mode.
+            values, pos = self._decode_fields(
+                data, pos, record.fields[:sent_count], name, tolerant
+            )
+            values.extend(
+                record.defaults[field]()
+                for field in record.fields[sent_count:]
+            )
+            return record.cls(*values), pos
         return self._decode_evolved(
             data, pos, record, sent_fp, sent_count, tolerant, start
         )
@@ -641,6 +718,18 @@ class Codec:
                 raise CodecError(
                     f"{record.name}: schema fingerprint out of sync"
                 )
+            optional = tuple(getattr(record.cls, "__wire_optional__", ()))
+            if len(record.fields) - len(optional) != record.min_fields:
+                raise CodecError(
+                    f"{record.name}: wire-optional tail changed after "
+                    "registration"
+                )
+            # repro-lint: ignore[R3] audit only — order-independent raise
+            for k, fp in record.prefix_fingerprints.items():
+                if schema_fingerprint(record.name, record.fields[:k]) != fp:
+                    raise CodecError(
+                        f"{record.name}: prefix fingerprint table out of sync"
+                    )
 
 
 #: The process-wide registry. Append-only, written only at import time by the
@@ -661,6 +750,54 @@ def register_wire_types(*classes: type) -> None:
 def register_wire_enum(cls: type) -> type:
     """Register an enum whose members appear inside wire records."""
     return WIRE.register_enum(cls)
+
+
+def mark_wire_optional(cls: type, *fields: str) -> type:
+    """Declare *fields* — a contiguous defaulted tail of *cls*'s wire fields
+    — as elidable on the wire (see the module docstring). Call **before**
+    :func:`register_wire_types`, in the wire module that declares the
+    record; the marker lives on the class so :meth:`Codec.clone` re-derives
+    the elision tables when it re-registers the class."""
+    declared = _record_fields(cls)
+    if tuple(fields) != declared[len(declared) - len(fields):]:
+        raise CodecError(
+            f"{cls.__name__}: wire-optional fields {fields!r} must be the "
+            f"trailing run of the declared fields {declared!r}"
+        )
+    cls.__wire_optional__ = tuple(fields)
+    # Validate eagerly (defaults present, etc.) via a throwaway build.
+    _make_record(cls.__name__, cls)
+    return cls
+
+
+def elided_repr(value: Any) -> str:
+    """A ``repr`` that mirrors the wire frame: trailing wire-optional
+    fields still holding their declared defaults are omitted, so a record
+    that never set its new fields reprs exactly like the pre-extension
+    declaration did. Wire modules adopt it per record::
+
+        @dataclasses.dataclass(frozen=True, repr=False)
+        class JStatReq:
+            ...
+            __repr__ = elided_repr
+    """
+    cls = type(value)
+    fields = _record_fields(cls)
+    optional = tuple(getattr(cls, "__wire_optional__", ()))
+    defaults = _record_defaults(cls)
+    show = len(fields)
+    floor = len(fields) - len(optional)
+    while show > floor:
+        default = defaults[fields[show - 1]]()
+        held = getattr(value, fields[show - 1])
+        if type(held) is type(default) and held == default:
+            show -= 1
+        else:
+            break
+    body = ", ".join(
+        f"{field}={getattr(value, field)!r}" for field in fields[:show]
+    )
+    return f"{cls.__qualname__}({body})"
 
 
 def encoded_size(value: Any, codec: Codec | None = None) -> int:

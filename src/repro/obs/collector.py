@@ -238,6 +238,34 @@ class TraceCollector:
         self.record("gcs.view", node, view=view_id, members=list(members),
                     sequencer=sequencer, **labels)
 
+    # -- JOSHUA read path ----------------------------------------------------
+
+    def joshua_read(self, node: str, *, trace_id: str, mode: str, outcome: str,
+                    wait_s: float, lag: int, shard: int | None = None) -> None:
+        """A head answered (or punted) a non-ordered ``jstat``.
+
+        ``mode`` is the requested consistency (``eventual`` / ``ryw``);
+        ``outcome`` is ``local`` (answered from the local replica) or
+        ``fallback`` (deferred past the catch-up deadline and re-routed
+        through the ordered stream); ``wait_s`` is the catch-up wait spent
+        before answering either way; ``lag`` is the local apply backlog
+        (delivered-but-undrained commands) across the gating shards.
+        """
+        labels = self._shard_labels(shard)
+        if outcome == "local":
+            self.registry.counter("joshua.read.local", node=node, mode=mode,
+                                  **labels).inc()
+        else:
+            self.registry.counter("joshua.read.ordered_fallback", node=node,
+                                  mode=mode, **labels).inc()
+        if mode == "ryw":
+            self.registry.histogram("joshua.read.catchup_wait_s", node=node,
+                                    **labels).observe(wait_s)
+        self.registry.gauge("joshua.read.staleness_lag", node=node,
+                            **labels).set(float(lag))
+        self.record("joshua.read", node, trace_id=trace_id, mode=mode,
+                    outcome=outcome, wait_s=wait_s, lag=lag, **labels)
+
     # -- job lifecycle -------------------------------------------------------
 
     def job_alias(self, trace_id: str, job_id: str) -> None:

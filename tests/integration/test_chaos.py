@@ -113,6 +113,62 @@ class TestRandomSmoke:
         assert [str(v) for v in a.violations] == [str(v) for v in b.violations]
 
 
+class TestReadMix:
+    """The read-your-writes property under chaos: gateway sessions submit
+    then immediately jstat across head crashes and partitions. Every reply
+    must either reflect the session's own writes (a local ``JStatResp``
+    whose ``as_of_seq`` covers the floors — checked by the suite's
+    read-your-writes / monotonic-reads invariants) or be an explicit
+    ordered fallback."""
+
+    def test_ryw_reads_across_head_crash(self):
+        schedule = FaultSchedule().crash(6.0, "head0").restart(18.0, "head0")
+        report = run_chaos(
+            schedule, seed=21, heads=3, computes=2, jobs=6, read_mix=0.5,
+        )
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.reads_issued > 0
+        accounted = (report.reads_local + report.reads_fallback
+                     + report.reads_failed)
+        assert accounted == report.reads_issued
+        assert "reads=" in report.summary()
+
+    def test_ryw_reads_across_partition(self):
+        schedule = (
+            FaultSchedule()
+            .cut(6.0, "head0", "head1")
+            .cut(6.0, "head0", "head2")
+            .restore(14.0, "head0", "head1")
+            .restore(14.0, "head0", "head2")
+        )
+        report = run_chaos(
+            schedule, seed=27, heads=3, computes=2, jobs=6, read_mix=0.5,
+        )
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.reads_issued > 0
+        assert report.reads_local > 0  # the read path actually exercised
+
+    def test_random_scenario_with_read_mix(self):
+        report = run_chaos(seed=0, read_mix=0.4)
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.reads_issued > 0
+        assert report.events_applied
+
+    def test_write_only_summary_unchanged(self):
+        report = run_chaos(seed=0)
+        assert "reads=" not in report.summary()
+
+    def test_invalid_read_mix_rejected(self):
+        import pytest
+
+        from repro.util.errors import ClusterError
+
+        with pytest.raises(ClusterError):
+            run_chaos(seed=0, read_mix=1.0)
+        with pytest.raises(ClusterError):
+            run_chaos(seed=0, read_mix=-0.1)
+
+
 class TestInvariantSuiteCatchesRealBreakage:
     def test_lost_job_detected(self):
         """Sanity: the no-lost-command checker actually fires when a head's
@@ -128,6 +184,54 @@ class TestInvariantSuiteCatchesRealBreakage:
         stack.pbs("head1").jobs.remove(job_id)  # simulated state corruption
         suite.final_check()
         assert any(v.invariant == "no-lost-command" for v in suite.violations)
+
+    def test_stale_read_detected(self):
+        """Sanity: the read-your-writes checker fires when a local answer's
+        ``as_of_seq`` sits below the client's own write floor."""
+        from repro.faults import InvariantSuite
+        from repro.joshua.wire import JStatResp
+
+        stack = make_stack(heads=2, computes=1, seed=47)
+        stack.cluster.run(until=2.0)
+        suite = InvariantSuite(stack).attach()
+        suite.observe_read("alice", {0: 5}, JStatResp((), ((0, 3),), "head0"))
+        assert any(v.invariant == "read-your-writes" for v in suite.violations)
+
+    def test_missing_shard_position_detected(self):
+        from repro.faults import InvariantSuite
+        from repro.joshua.wire import JStatResp
+
+        stack = make_stack(heads=2, computes=1, seed=47)
+        stack.cluster.run(until=2.0)
+        suite = InvariantSuite(stack).attach()
+        suite.observe_read("alice", {1: 2}, JStatResp((), ((0, 9),), "head0"))
+        assert any(v.invariant == "read-your-writes" for v in suite.violations)
+
+    def test_monotonic_reads_regression_detected(self):
+        """Sanity: a session re-reading the same head must never see a
+        shard position go backwards."""
+        from repro.faults import InvariantSuite
+        from repro.joshua.wire import JStatResp
+
+        stack = make_stack(heads=2, computes=1, seed=47)
+        stack.cluster.run(until=2.0)
+        suite = InvariantSuite(stack).attach()
+        suite.observe_read("alice", {}, JStatResp((), ((0, 5),), "head0"))
+        assert not suite.violations
+        suite.observe_read("alice", {}, JStatResp((), ((0, 4),), "head0"))
+        assert any(v.invariant == "monotonic-reads" for v in suite.violations)
+        assert suite.reads_observed == 2
+
+    def test_ordered_responses_ignored_by_read_checker(self):
+        from repro.faults import InvariantSuite
+        from repro.pbs.wire import StatResp
+
+        stack = make_stack(heads=2, computes=1, seed=47)
+        stack.cluster.run(until=2.0)
+        suite = InvariantSuite(stack).attach()
+        suite.observe_read("alice", {0: 99}, StatResp(()))
+        assert not suite.violations
+        assert suite.reads_observed == 0
 
     def test_duplicate_launch_detected(self):
         """Sanity: concurrent duplicate executions are flagged the moment

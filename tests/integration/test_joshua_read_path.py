@@ -1,0 +1,213 @@
+"""The split command plane: local-replica reads and the client gateway.
+
+The write path is untouched — these tests pin the *read* path contract
+(PROTOCOLS.md §12): ``eventual`` answers from the receiving head's local
+PBS replica immediately, ``ryw`` defers until the head's applied sequence
+reaches the client's write floors (falling back to the ordered stream
+after ``read_catchup_timeout``), and ``ordered`` stays the wire-identical
+legacy route. The response *type* is the observable: a local read returns
+a :class:`JStatResp` (with per-shard ``as_of_seq``), an ordered read — a
+plain PBS :class:`StatResp`.
+"""
+
+import zlib
+
+import pytest
+
+from repro.joshua.wire import JStatResp
+from repro.pbs.wire import StatResp
+from repro.util.errors import NoActiveHeadError
+
+from tests.integration.conftest import drive, make_stack, settle
+
+
+class TestLocalReads:
+    def test_eventual_read_answers_locally(self):
+        stack = make_stack(heads=2)
+        client = stack.client(node="login", consistency="eventual")
+        job_id = drive(stack, client.jsub(name="seen", walltime=300))
+        settle(stack, 1.0)
+        rows = drive(stack, client.jstat())
+        assert [r["job_id"] for r in rows] == [job_id]
+        assert isinstance(client.last_stat_response, JStatResp)
+        assert client.last_stat_response.node in stack.head_names
+
+    def test_ordered_read_keeps_legacy_response_type(self):
+        stack = make_stack(heads=2)
+        client = stack.client(node="login")  # consistency="ordered" default
+        drive(stack, client.jsub(name="legacy", walltime=300))
+        rows = drive(stack, client.jstat())
+        assert len(rows) == 1
+        assert isinstance(client.last_stat_response, StatResp)
+
+    def test_ryw_read_reflects_own_write(self):
+        """Submit-then-jstat from a tracked client: the local answer's
+        ``as_of_seq`` must cover the write's commit position."""
+        stack = make_stack(heads=2)
+        client = stack.client(node="login", track_writes=True,
+                              consistency="ryw")
+        job_id = drive(stack, client.jsub(name="mine", walltime=300))
+        assert client.last_write_seq, "write was not seq-stamped"
+        floor = client.last_write_seq[0]
+        rows = drive(stack, client.jstat())
+        assert job_id in [r["job_id"] for r in rows]
+        response = client.last_stat_response
+        assert isinstance(response, JStatResp)
+        assert dict(response.as_of_seq)[0] >= floor
+
+    def test_ryw_defers_until_applied_catches_up(self):
+        """A floor ahead of the head's applied position parks the read;
+        the next committed write advances the position and releases it —
+        a local answer, not a fallback."""
+        stack = make_stack(heads=2)
+        kernel = stack.cluster.kernel
+        client = stack.client(node="login", track_writes=True,
+                              consistency="ryw")
+        drive(stack, client.jsub(name="first", walltime=300))
+        settle(stack, 1.0)
+        applied = stack.joshua("head0").shards[0].applied_seq
+        client.last_write_seq[0] = applied + 1  # a write no head applied yet
+        reader = kernel.spawn(client.jstat())
+        # Give the read time to arrive and park on the floor — well inside
+        # read_catchup_timeout (0.5 s), so it cannot have fallen back yet.
+        stack.cluster.run(until=kernel.now + 0.2)
+        writer = stack.client(node="login")
+        drive(stack, writer.jsub(name="unblocker", walltime=300))
+        stack.cluster.run(until=reader)
+        response = client.last_stat_response
+        assert isinstance(response, JStatResp), response
+        assert dict(response.as_of_seq)[0] >= applied + 1
+
+    def test_ryw_falls_back_to_ordered_after_timeout(self):
+        """A floor nothing will ever satisfy: the head waits out
+        ``read_catchup_timeout`` and routes the query into the ordered
+        stream — the reply is the legacy ``StatResp``, after the wait."""
+        stack = make_stack(heads=2)
+        kernel = stack.cluster.kernel
+        client = stack.client(node="login", track_writes=True,
+                              consistency="ryw")
+        drive(stack, client.jsub(name="only", walltime=300))
+        settle(stack, 1.0)
+        client.last_write_seq[0] = 10_000  # unreachable floor
+        t0 = kernel.now
+        rows = drive(stack, client.jstat())
+        timeout = stack.joshua("head0").times.read_catchup_timeout
+        assert kernel.now - t0 >= timeout
+        assert isinstance(client.last_stat_response, StatResp)
+        assert len(rows) == 1  # the ordered detour still answers correctly
+
+    def test_per_call_consistency_override(self):
+        stack = make_stack(heads=2)
+        client = stack.client(node="login")  # ordered by default
+        drive(stack, client.jsub(name="x", walltime=300))
+        drive(stack, client.jstat(consistency="eventual"))
+        assert isinstance(client.last_stat_response, JStatResp)
+        drive(stack, client.jstat())
+        assert isinstance(client.last_stat_response, StatResp)
+
+
+class TestCrossShardReads:
+    """The ROADMAP gap: an *ordered* id-less jstat serialises only against
+    shard 0's stream. Under the read path an id-less query gates on — and
+    reports — every shard's applied position (one local stat *is* the
+    per-shard fan-out, merged)."""
+
+    def test_idless_read_covers_both_shards(self):
+        stack = make_stack(heads=2, shards=2)
+        client = stack.client(node="login", track_writes=True,
+                              consistency="ryw")
+        # "batch" hashes to shard 0, "workq" to shard 1.
+        assert zlib.crc32(b"batch") % 2 == 0 and zlib.crc32(b"workq") % 2 == 1
+        a = drive(stack, client.jsub(name="a", walltime=300, queue="batch"))
+        b = drive(stack, client.jsub(name="b", walltime=300, queue="workq"))
+        assert sorted(client.last_write_seq) == [0, 1]  # floors on both
+        rows = drive(stack, client.jstat())
+        assert {r["job_id"] for r in rows} == {a, b}
+        response = client.last_stat_response
+        assert isinstance(response, JStatResp)
+        as_of = dict(response.as_of_seq)
+        assert sorted(as_of) == [0, 1]  # both shards' positions reported
+        for shard, floor in client.last_write_seq.items():
+            assert as_of[shard] >= floor
+
+    def test_targeted_read_gates_only_owning_shard(self):
+        """A jstat *with* an id gates on the owning shard alone: an
+        unreachable floor on the other shard must not stall or fall back."""
+        stack = make_stack(heads=2, shards=2)
+        client = stack.client(node="login", track_writes=True,
+                              consistency="ryw")
+        a = drive(stack, client.jsub(name="a", walltime=300, queue="batch"))
+        settle(stack, 1.0)
+        owner = stack.joshua("head0").shard_for_job(a).shard_id
+        other = 1 - owner
+        client.last_write_seq[other] = 10_000  # would never be met
+        rows = drive(stack, client.jstat(a))
+        assert [r["job_id"] for r in rows] == [a]
+        assert isinstance(client.last_stat_response, JStatResp)
+
+
+class TestGateway:
+    def test_sessions_spread_across_heads(self):
+        stack = make_stack(heads=3)
+        gateway = stack.gateway()
+        sessions = [gateway.session("login", f"client{i}") for i in range(60)]
+        by_head = {h: 0 for h in stack.head_names}
+        for session in sessions:
+            by_head[session.head] += 1
+        assert all(count > 0 for count in by_head.values()), by_head
+        assert gateway.stats["sessions"] == 60
+
+    def test_assignment_is_stable(self):
+        stack = make_stack(heads=3)
+        gateway = stack.gateway()
+        assert gateway.assign("alice") == gateway.assign("alice")
+
+    def test_session_read_your_writes_end_to_end(self):
+        stack = make_stack(heads=3)
+        gateway = stack.gateway()
+        session = gateway.session("login", "alice")
+        job_id = drive(stack, session.jsub(name="hello", walltime=300))
+        rows = drive(stack, session.jstat())
+        assert job_id in [r["job_id"] for r in rows]
+        assert gateway.stats["reads_local"] == 1
+        assert gateway.stats["reads_fallback"] == 0
+        assert gateway.stats["writes"] == 1
+
+    def test_failover_repins_sessions_off_dead_head(self):
+        """Crash a pinned head: the session's next call fails over, the
+        gateway takes the head out of rotation and re-pins every session
+        parked there."""
+        stack = make_stack(heads=3)
+        gateway = stack.gateway(forgive_after=60.0)
+        sessions = [gateway.session("login", f"client{i}") for i in range(30)]
+        victim = sessions[0].head
+        parked = [s for s in sessions if s.head == victim]
+        stack.cluster.node(victim).crash()
+        settle(stack, 0.5)
+        drive(stack, sessions[0].jsub(name="fo", walltime=300))
+        assert gateway.stats["failovers"] >= 1
+        assert victim not in gateway.live_heads()
+        for session in parked:
+            assert session.head != victim
+        assert gateway.stats["reassignments"] >= len(parked) - 1
+
+    def test_dead_head_forgiven_after_grace(self):
+        stack = make_stack(heads=3)
+        gateway = stack.gateway(forgive_after=5.0)
+        gateway.mark_dead("head1")
+        assert "head1" not in gateway.live_heads()
+        settle(stack, 6.0)
+        assert "head1" in gateway.live_heads()
+
+    def test_all_dead_degrades_to_full_rotation(self):
+        stack = make_stack(heads=2)
+        gateway = stack.gateway(forgive_after=60.0)
+        gateway.mark_dead("head0")
+        gateway.mark_dead("head1")
+        assert sorted(gateway.live_heads()) == sorted(stack.head_names)
+
+    def test_gateway_requires_heads(self):
+        stack = make_stack(heads=2)
+        with pytest.raises(NoActiveHeadError):
+            from repro.joshua.gateway import JoshuaGateway
+            JoshuaGateway(stack.cluster.network, [])

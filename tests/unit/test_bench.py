@@ -11,6 +11,7 @@ from repro.bench import (
     paper_vs_measured,
     summarize,
 )
+from repro.bench.workloads import OpenLoopWorkload
 from repro.bench.reporting import bar_chart
 from repro.pbs.job import JobSpec
 from repro.util.errors import ReproError
@@ -148,6 +149,92 @@ class TestReporting:
         assert lines[0].count("#") >= 1
 
 
+class TestOpenLoopWorkload:
+    def test_deterministic_given_seed(self):
+        a = list(OpenLoopWorkload(50, 10.0, read_fraction=0.5, seed=3))
+        b = list(OpenLoopWorkload(50, 10.0, read_fraction=0.5, seed=3))
+        assert a == b
+
+    def test_times_are_absolute_and_increasing(self):
+        times = [r.time for r in OpenLoopWorkload(200, 20.0, seed=1)]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_mean_rate(self):
+        requests = list(OpenLoopWorkload(4000, rate=50.0, seed=2))
+        assert requests[-1].time == pytest.approx(4000 / 50.0, rel=0.1)
+
+    def test_read_fraction(self):
+        requests = list(OpenLoopWorkload(
+            2000, 100.0, read_fraction=0.75, seed=4,
+        ))
+        reads = sum(1 for r in requests if r.kind == "jstat")
+        assert reads / len(requests) == pytest.approx(0.75, abs=0.05)
+        for request in requests:
+            if request.kind == "jstat":
+                assert request.spec is None
+            else:
+                assert request.kind == "jsub" and request.spec is not None
+
+    def test_clients_attributed_across_population(self):
+        requests = list(OpenLoopWorkload(500, 50.0, clients=10, seed=5))
+        assert {r.client for r in requests} == set(range(10))
+
+    def test_walltimes_heavy_tailed_and_capped(self):
+        workload = OpenLoopWorkload(
+            2000, 100.0, walltime_scale=10.0, walltime_cap=500.0, seed=6,
+        )
+        walltimes = [r.spec.walltime for r in workload if r.kind == "jsub"]
+        assert min(walltimes) >= 10.0  # scale * (1 + Lomax >= 0)
+        assert max(walltimes) <= 500.0
+        assert max(walltimes) == 500.0  # the tail really reaches the cap
+        # Most jobs are small: the median sits far below the cap.
+        assert sorted(walltimes)[len(walltimes) // 2] < 50.0
+
+    def test_bursty_same_mean_spikier_arrivals(self):
+        steady = list(OpenLoopWorkload(1000, 20.0, seed=7))
+        bursty = list(OpenLoopWorkload(
+            1000, 20.0, arrival="bursty", burst_factor=8.0,
+            burst_period=20.0, seed=7,
+        ))
+        # Same mean rate over the run...
+        assert bursty[-1].time == pytest.approx(steady[-1].time, rel=0.25)
+        # ...but arrivals land only in the on-window of each period.
+        for request in bursty:
+            assert (request.time % 20.0) < 20.0 / 8.0 + 1e-9
+
+    def test_diurnal_modulates_rate(self):
+        workload = OpenLoopWorkload(
+            2000, 1.0, arrival="diurnal", amplitude=0.8,
+            day_seconds=1000.0, seed=8,
+        )
+        requests = list(workload)
+        # The trough (start of day) sees far fewer arrivals than the peak.
+        day = 1000.0
+        trough = sum(1 for r in requests if (r.time % day) < day / 4)
+        peak = sum(1 for r in requests if day / 4 <= (r.time % day) < day / 2)
+        assert peak > 2 * trough
+
+    def test_len(self):
+        assert len(OpenLoopWorkload(42, 1.0)) == 42
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            OpenLoopWorkload(0, 1.0)
+        with pytest.raises(ReproError):
+            OpenLoopWorkload(1, 0.0)
+        with pytest.raises(ReproError):
+            OpenLoopWorkload(1, 1.0, arrival="lumpy")
+        with pytest.raises(ReproError):
+            OpenLoopWorkload(1, 1.0, read_fraction=1.5)
+        with pytest.raises(ReproError):
+            OpenLoopWorkload(1, 1.0, clients=0)
+        with pytest.raises(ReproError):
+            OpenLoopWorkload(1, 1.0, burst_factor=0.5)
+        with pytest.raises(ReproError):
+            OpenLoopWorkload(1, 1.0, amplitude=1.0)
+
+
 class TestExperimentSmoke:
     """Fast sanity runs of the experiment drivers (full runs live in
     benchmarks/)."""
@@ -195,6 +282,26 @@ class TestExperimentSmoke:
         assert windows["sequencer_dead"]["committed"][0] > 0
         assert windows["after_failover"]["committed"][1] > 0
         assert kill["new_shard1_sequencer"] != kill["victim_sequencer"]
+
+    def test_read_scaling_reduced_scale(self):
+        """CI smoke for the read-path extension: at reduced scale the
+        saturated local-read QPS still doubles from 1 to 2 heads, every
+        read completes, and reads are answered locally (not via the
+        ordered fallback). The write-within-10% claim needs the full
+        bench's sample size and is asserted only there."""
+        from repro.bench.experiments.read_scaling import read_scaling
+        result = read_scaling(
+            head_counts=(1, 2), duration=3.0, read_rate=300.0,
+            write_rate=3.0, clients=30, seed=1,
+        )
+        by_heads = {row["heads"]: row for row in result["rows"]}
+        assert result["read_qps_speedup"] >= 1.5, result
+        assert by_heads[2]["read_qps"] > by_heads[1]["read_qps"], result
+        for row in result["rows"]:
+            assert row["reads_failed"] == 0, row
+            assert row["reads_fallback"] == 0, row
+            assert row["reads_local"] == row["reads_completed"], row
+            assert row["write_committed"] > 0, row
 
     def test_figure12_rows(self):
         from repro.bench.experiments.availability import figure12

@@ -12,6 +12,10 @@ baseline so a silent slowdown cannot land. The three probes:
 * **wire bytes/cmd** — same run, encoded bytes on the wire per committed
   command. Also deterministic and tightly gated (this is the figure PR 6
   spent -60% on; it must not creep back).
+* **read QPS** — the saturated local-read probe (``measure_read_mix``):
+  an open-loop read mix offered above a 2-head stack's read capacity, so
+  the figure is the capacity of the local read path (PROTOCOLS.md §12)
+  in committed reads per *simulated* second. Deterministic, tight band.
 * **kernel events/s and codec MB/s (wall clock)** — how fast
   ``Kernel.run`` drains its heap and how fast the codec encodes a
   representative frame mix, per wall-clock second. Machine-dependent, so
@@ -45,8 +49,10 @@ import time
 #: for the codec probe. ``smoke`` is the per-PR CI gate (seconds); ``full``
 #: is the per-PR trajectory snapshot.
 SCALES = {
-    "full": {"heads": 3, "jobs": 50, "codec_iters": 4000},
-    "smoke": {"heads": 3, "jobs": 12, "codec_iters": 800},
+    "full": {"heads": 3, "jobs": 50, "codec_iters": 4000,
+             "read_duration": 4.0, "read_rate": 200.0},
+    "smoke": {"heads": 3, "jobs": 12, "codec_iters": 800,
+              "read_duration": 2.0, "read_rate": 200.0},
 }
 
 #: Gate bands per metric. ``deterministic`` metrics reproduce exactly on
@@ -59,6 +65,9 @@ METRICS = {
     },
     "burst_wire_bytes_per_cmd": {
         "direction": "lower", "deterministic": True, "tolerance": 0.05,
+    },
+    "read_local_qps": {
+        "direction": "higher", "deterministic": True, "tolerance": 0.05,
     },
     "kernel_events_per_wall_s": {
         "direction": "higher", "deterministic": False, "tolerance": 0.70,
@@ -133,10 +142,27 @@ def probe_burst(heads: int, jobs: int) -> dict:
     }
 
 
+def probe_read(duration: float, rate: float) -> dict:
+    """Saturated local-read capacity on 2 heads: offer *rate* reads/s
+    (above capacity) open-loop for *duration* simulated seconds; the
+    completed-read rate is the per-head capacity times two."""
+    from repro.bench.experiments.read_scaling import measure_read_mix
+
+    row = measure_read_mix(
+        heads=2, duration=duration, read_rate=rate, write_rate=2.0,
+        clients=30, seed=1,
+    )
+    return {
+        "read_local_qps": row["read_qps"],
+        "read_fallbacks": row["reads_fallback"],
+    }
+
+
 def measure(scale: str) -> dict:
     """Run every probe at *scale*; returns the metric dict."""
     params = SCALES[scale]
     metrics = probe_burst(params["heads"], params["jobs"])
+    metrics.update(probe_read(params["read_duration"], params["read_rate"]))
     metrics.update(probe_codec(params["codec_iters"]))
     return metrics
 
